@@ -1,0 +1,154 @@
+// Command budgetsolve determines minimum segment deadlines from a recorded
+// trace (Section III-C of the paper): it reads a trace file produced by
+// cmd/chainmon -trace (JSON) or the CSV export, extends the latencies by
+// d_ex, and solves the constraint satisfaction problem of Eqs. 2–7.
+//
+// Usage:
+//
+//	budgetsolve -trace t.json -m 2 -k 10 -be2e 400ms [-bseg 400ms]
+//	            [-dex 1ms] [-solver auto|independent|greedy|exact]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"chainmon/internal/budget"
+	"chainmon/internal/sim"
+	"chainmon/internal/trace"
+	"chainmon/internal/weaklyhard"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace file (JSON from cmd/chainmon -trace, or CSV)")
+	m := flag.Int("m", 2, "tolerated misses m")
+	k := flag.Int("k", 10, "window size k")
+	be2e := flag.Duration("be2e", 400*time.Millisecond, "end-to-end budget B_e2e")
+	bseg := flag.Duration("bseg", 0, "per-segment cap B_seg (0 = unconstrained)")
+	dex := flag.Duration("dex", time.Millisecond, "exception handling WCRT d_ex")
+	solver := flag.String("solver", "auto", "solver: auto, independent, greedy, exact")
+	semantics := flag.String("semantics", "eq7", "window semantics: eq7 (the paper's additive Eq. 7) or or (disjunctive chain violations)")
+	segments := flag.String("segments", "", "comma-separated segment names forming the chain, in order (default: all segments in file order)")
+	flag.Parse()
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tr, err := readTrace(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *segments != "" {
+		// A trace file may contain segments of several (parallel) chains;
+		// restrict to the requested chain members, in the given order.
+		var filtered trace.Trace
+		for _, name := range strings.Split(*segments, ",") {
+			name = strings.TrimSpace(name)
+			st := tr.Segment(name)
+			if st == nil {
+				log.Fatalf("segment %q not in trace (have %s)", name, segmentNames(tr))
+			}
+			filtered.Segments = append(filtered.Segments, st)
+		}
+		tr = &filtered
+	}
+
+	p := budget.Problem{
+		DEx:        int64(*dex),
+		Be2e:       int64(*be2e),
+		Bseg:       int64(*bseg),
+		Constraint: weaklyhard.Constraint{M: *m, K: *k},
+	}
+	aligned := alignAll(tr)
+	for i, st := range tr.Segments {
+		p.Segments = append(p.Segments, budget.SegmentInput{
+			Name:        st.Segment,
+			Latencies:   aligned[i],
+			Propagation: st.Propagation,
+		})
+	}
+
+	var a budget.Assignment
+	switch *semantics {
+	case "eq7":
+		switch *solver {
+		case "independent":
+			a = budget.SolveIndependent(p)
+		case "greedy":
+			a = budget.SolveGreedy(p)
+		case "exact":
+			a = budget.SolveExact(p, 64)
+		case "auto":
+			_, a = budget.Schedulable(p)
+		default:
+			log.Fatalf("unknown solver %q", *solver)
+		}
+	case "or":
+		a = budget.SolveExactOR(p, 64)
+	default:
+		log.Fatalf("unknown semantics %q", *semantics)
+	}
+
+	fmt.Printf("constraint %v, B_e2e=%v, B_seg=%v, d_ex=%v, %d aligned activations\n",
+		p.Constraint, *be2e, *bseg, *dex, len(aligned[0]))
+	if !a.Feasible {
+		fmt.Printf("NOT SCHEDULABLE: %s\n", a.Reason)
+		os.Exit(1)
+	}
+	fmt.Printf("schedulable, Σd = %v (%.1f%% of budget)\n",
+		sim.Duration(a.Sum), 100*float64(a.Sum)/float64(p.Be2e))
+	for i, d := range a.Deadlines {
+		fmt.Printf("  %-24s d = %v\n", p.Segments[i].Name, sim.Duration(d))
+	}
+	verify := p.Verify
+	if *semantics == "or" {
+		verify = p.VerifyOR
+	}
+	if ok, why := verify(a.Deadlines); !ok {
+		log.Fatalf("internal error: assignment failed verification: %s", why)
+	}
+}
+
+func segmentNames(tr *trace.Trace) string {
+	names := make([]string, len(tr.Segments))
+	for i, st := range tr.Segments {
+		names[i] = st.Segment
+	}
+	return strings.Join(names, ", ")
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return trace.ReadCSV(f)
+	}
+	return trace.ReadJSON(f)
+}
+
+// alignAll restricts every segment to the activations all segments share.
+func alignAll(tr *trace.Trace) [][]int64 {
+	count := map[uint64]int{}
+	for _, st := range tr.Segments {
+		for _, a := range st.Activations {
+			count[a]++
+		}
+	}
+	out := make([][]int64, len(tr.Segments))
+	for i, st := range tr.Segments {
+		for j, a := range st.Activations {
+			if count[a] == len(tr.Segments) {
+				out[i] = append(out[i], int64(st.Latencies[j]))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Command chainmon runs the monitored Autoware-style perception scenario
+// and prints per-segment statistics, chain accounting and monitor
+// overheads. It is the quickest way to see the monitoring system working
+// end to end.
+//
+// Usage:
+//
+//	chainmon [-frames N] [-seed S] [-deadline D] [-loss P] [-full]
+//	         [-recover] [-trace out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"chainmon/internal/monitor"
+	"chainmon/internal/perception"
+	"chainmon/internal/scenario"
+	"chainmon/internal/sim"
+)
+
+func main() {
+	frames := flag.Int("frames", 600, "number of lidar frames to simulate")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	deadline := flag.Duration("deadline", 100*time.Millisecond, "local segment deadline d_mon")
+	loss := flag.Float64("loss", 0, "inter-ECU message loss probability")
+	full := flag.Bool("full", false, "monitor the full chains (remote + fusion segments)")
+	withRecovery := flag.Bool("recover", false, "install recovery handlers on the lidar remote segments")
+	traceOut := flag.String("trace", "", "also record an unmonitored trace to this JSON file")
+	configPath := flag.String("config", "", "JSON scenario file (flags are applied on top)")
+	flag.Parse()
+
+	cfg := perception.DefaultConfig()
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			log.Fatalf("opening scenario: %v", err)
+		}
+		cfg, err = scenario.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	flag.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "frames":
+			cfg.Frames = *frames
+		case "seed":
+			cfg.Seed = *seed
+		case "deadline":
+			cfg.LocalDeadline = sim.Duration(*deadline)
+		case "loss":
+			cfg.Network.LossProb = *loss
+		case "full":
+			cfg.FullChain = *full
+		}
+	})
+	if *configPath == "" {
+		cfg.Frames = *frames
+		cfg.Seed = *seed
+		cfg.LocalDeadline = sim.Duration(*deadline)
+		cfg.Network.LossProb = *loss
+		cfg.FullChain = *full
+	}
+	if *withRecovery {
+		recover := func(ctx *monitor.ExceptionContext) *monitor.Recovery {
+			// Hold-over recovery: repeat the last frame's shape.
+			return &monitor.Recovery{
+				Data: &perception.FrameData{Points: 11000, FrontOnly: true},
+				Size: 16 * 11000,
+			}
+		}
+		cfg.Handlers = map[string]monitor.Handler{
+			perception.SegFrontRemote: recover,
+			perception.SegRearRemote:  recover,
+		}
+	}
+
+	s := perception.Build(cfg)
+	var sup *monitor.Supervisor
+	if cfg.FullChain {
+		// System-level entity: derive an operating mode from the chain
+		// windows (degrade on a violated window, safe-stop if it persists).
+		sup = monitor.NewSupervisor(s.K, 5)
+		sup.Watch(s.ChainFront)
+		sup.Watch(s.ChainRear)
+	}
+	end := s.Run()
+
+	fmt.Printf("simulated %v of operation (%d frames at %v period)\n\n",
+		sim.Duration(end), cfg.Frames, cfg.Period)
+
+	fmt.Println("evaluation segments on ECU2:")
+	for _, seg := range []*monitor.LocalSegment{s.SegObjects, s.SegGround} {
+		st := seg.Stats()
+		fmt.Printf("  %s\n", st.Summary())
+		fmt.Printf("    %s\n", st.Latencies().Tukey().DurationRow("latency"))
+		if st.Exceptions() > 0 {
+			fmt.Printf("    %s\n", st.DetectionLatencies().Tukey().DurationRow("detection"))
+		}
+	}
+
+	fmt.Println("\nmonitor overheads (simulated):")
+	for _, row := range s.MonECU2.Overheads().Rows() {
+		fmt.Printf("  %s\n", row)
+	}
+
+	if cfg.FullChain {
+		fmt.Println()
+		fmt.Print(s.ChainFront.Summary())
+		fmt.Print(s.ChainRear.Summary())
+		fmt.Printf("\nsupervisor final mode: %v\n", sup.Mode())
+		for _, ch := range sup.Changes() {
+			fmt.Printf("  %v  %v → %v (%s: %s)\n", ch.At, ch.From, ch.To, ch.Chain, ch.Reason)
+		}
+	}
+
+	if *traceOut != "" {
+		writeTrace(*traceOut, cfg)
+	}
+}
+
+// writeTrace records an unmonitored run of the same scenario and writes the
+// trace for cmd/budgetsolve.
+func writeTrace(path string, cfg perception.Config) {
+	cfg.Monitored = false
+	cfg.FullChain = false
+	cfg.Handlers = nil
+	cfg.Record = true
+	s := perception.Build(cfg)
+	s.Run()
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("creating trace file: %v", err)
+	}
+	defer f.Close()
+	if err := s.Recorder.Trace().WriteJSON(f); err != nil {
+		log.Fatalf("writing trace: %v", err)
+	}
+	fmt.Printf("\nunmonitored trace written to %s\n", path)
+}

@@ -1,0 +1,101 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// and prints the corresponding tables (Tukey boxplot rows, comparison and
+// schedulability tables). The default frame count matches the paper's
+// ~4700 activations per segment.
+//
+// Usage:
+//
+//	experiments [-frames N] [-seed S] [-fig 3|6|9|10|11|12|budget|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chainmon/internal/experiments"
+	"chainmon/internal/stats"
+)
+
+func main() {
+	frames := flag.Int("frames", 4700, "activations per segment for the perception runs")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	fig := flag.String("fig", "all", "which figure to regenerate (3, 6, 9, 10, 11, 12, budget, ablations, all)")
+	fig11n := flag.Int("fig11n", 2000, "activations for the wall-clock Fig. 11 run")
+	dump := flag.String("dump", "", "also dump raw samples as CSV files into this directory")
+	flag.Parse()
+
+	w := os.Stdout
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	dumpSamples := func(samples map[string]*stats.Sample) {
+		if *dump == "" {
+			return
+		}
+		if err := experiments.DumpCSV(*dump, samples); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if want("9") || want("10") {
+		r := experiments.RunFig9(*frames, *seed)
+		if want("9") {
+			r.Report(w)
+		}
+		if want("10") {
+			r.ReportFig10(w)
+		}
+		dumpSamples(r.Samples())
+	}
+	if want("11") {
+		r := experiments.RunFig11(*fig11n, 100*time.Microsecond)
+		r.Report(w)
+		dumpSamples(r.Samples())
+	}
+	if want("12") {
+		r := experiments.RunFig12(800, *seed, []float64{0, 0.5, 0.9})
+		r.Report(w)
+		dumpSamples(r.Samples())
+	}
+	if want("6") {
+		rows := experiments.RunFig6(500, *seed)
+		experiments.ReportFig6(w, rows)
+	}
+	if want("budget") {
+		r := experiments.RunBudgeting(minInt(*frames, 1000), *seed)
+		r.Report(w)
+	}
+	if want("3") {
+		r := experiments.RunFig3(*seed)
+		r.Report(w)
+	}
+	if want("ablations") {
+		experiments.ReportEpsilonAblation(w, experiments.RunEpsilonAblation(500, *seed,
+			[]time.Duration{0, 50 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond}))
+		experiments.ReportDeadlineSweep(w, experiments.RunDeadlineSweep(minInt(*frames, 1000), *seed,
+			[]time.Duration{60 * time.Millisecond, 80 * time.Millisecond, 100 * time.Millisecond,
+				120 * time.Millisecond, 140 * time.Millisecond}))
+		experiments.ReportOrderAblation(w, experiments.RunOrderAblation(minInt(*frames, 1000), *seed))
+		experiments.ReportMigrationAblation(w, experiments.RunMigrationAblation(minInt(*frames, 1000), *seed))
+	}
+	if *fig != "all" && !isKnown(*fig) {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func isKnown(f string) bool {
+	switch f {
+	case "3", "6", "9", "10", "11", "12", "budget", "ablations":
+		return true
+	}
+	return false
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,84 @@
+package chainmon_test
+
+import (
+	"fmt"
+
+	"chainmon"
+)
+
+// Example demonstrates the smallest complete monitored chain: a periodic
+// sensor, one remote segment supervised by interpreting the transmitted
+// timestamps, and one local segment supervised through the monitor thread.
+// One frame is lost on purpose; the temporal exception propagates and is
+// counted against the chain's weakly-hard constraint.
+func Example() {
+	k := chainmon.NewKernel()
+	domain := chainmon.NewDomain(k, chainmon.NewRNG(1))
+	ecu := domain.NewECU("ecu", 2, chainmon.ClockConfig{Epsilon: 50 * chainmon.Microsecond})
+
+	const period = 100 * chainmon.Millisecond
+	sensor := domain.NewDevice("sensor", "frames", period, chainmon.ClockConfig{})
+	sensor.Payload = func(n uint64) (any, int) { return n, 256 }
+	sensor.Perturb = func(n uint64) (bool, chainmon.Duration) { return n == 3, 0 } // frame 3 lost
+
+	node := ecu.NewNode("worker", 100)
+	out := node.NewPublisher("results")
+	in := node.Subscribe("frames",
+		func(*chainmon.Sample) chainmon.Duration { return 5 * chainmon.Millisecond },
+		func(s *chainmon.Sample) { out.Publish(s.Activation, s.Data, 64) })
+
+	mk := chainmon.Constraint{M: 1, K: 5}
+	built, err := chainmon.BuildChain(chainmon.ChainSpec{
+		Name: "sensor→result", Be2e: 45 * chainmon.Millisecond, Period: period, Constraint: mk,
+		Segments: []chainmon.SegmentSpec{
+			{Name: "s0", Kind: chainmon.KindRemote, DMon: 10 * chainmon.Millisecond, Sub: in},
+			{Name: "s1", Kind: chainmon.KindLocal, DMon: 30 * chainmon.Millisecond,
+				StartSub: in, EndPub: out},
+		},
+	}, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	built.Remotes["s0"].SetLastActivation(9)
+
+	sensor.Start(0)
+	k.At(chainmon.Time(10)*chainmon.Time(period), sensor.Stop)
+	k.RunFor(12 * 100 * chainmon.Millisecond)
+
+	exec, _, viol := built.Chain.Totals()
+	fmt.Printf("executions=%d violations=%d\n", exec, viol)
+	// Output: executions=10 violations=1
+}
+
+// Example_budgeting shows the Section III-C flow: minimum segment deadlines
+// from recorded latencies under a weakly-hard constraint.
+func Example_budgeting() {
+	p := chainmon.BudgetProblem{
+		Segments: []chainmon.BudgetSegment{
+			{Name: "remote", Latencies: []int64{10, 12, 40, 11, 10, 41, 12, 11}, Propagation: 1},
+			{Name: "local", Latencies: []int64{20, 22, 21, 60, 20, 21, 59, 22}, Propagation: 1},
+		},
+		DEx:        2,
+		Be2e:       120,
+		Constraint: chainmon.Constraint{M: 1, K: 4},
+	}
+	ok, a := chainmon.Schedulable(p)
+	fmt.Printf("schedulable=%v sum=%d\n", ok, a.Sum)
+	// Output: schedulable=true sum=104
+}
+
+// Example_weaklyHard shows the online (m,k) window counter that exception
+// handlers receive their miss budget from.
+func Example_weaklyHard() {
+	ctr := chainmon.NewCounter(chainmon.Constraint{M: 1, K: 3})
+	fmt.Println(ctr.Record(true), ctr.Violated())  // one miss: within budget
+	fmt.Println(ctr.Record(true), ctr.Violated())  // second miss in window: violated
+	fmt.Println(ctr.Record(false), ctr.Violated()) // window still holds both
+	fmt.Println(ctr.Record(false), ctr.Violated()) // oldest miss slid out
+	// Output:
+	// 1 false
+	// 2 true
+	// 2 true
+	// 1 false
+}

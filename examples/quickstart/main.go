@@ -1,0 +1,98 @@
+// Quickstart: a minimal monitored event chain.
+//
+// A sensor on its own resource publishes a frame every 100 ms over the
+// network to a processing node on ECU "A"; the node computes for a
+// data-dependent time and publishes its result to a sink. The chain is
+// split into one remote segment (sensor → processor reception, monitored by
+// interpreting the transmitted timestamps) and one local segment
+// (processor reception → result publication, monitored through the
+// shared-memory monitor thread).
+//
+// Faults are injected — a lost frame and an overlong computation — and the
+// monitors raise temporal exceptions: the remote one recovers with held-over
+// data, the local one propagates by omitting the late publication.
+package main
+
+import (
+	"fmt"
+
+	"chainmon"
+)
+
+func main() {
+	k := chainmon.NewKernel()
+	domain := chainmon.NewDomain(k, chainmon.NewRNG(1))
+
+	// Two ECUs with PTP-synchronized clocks (ε = 50 µs).
+	clock := chainmon.ClockConfig{Epsilon: 50 * chainmon.Microsecond}
+	ecuA := domain.NewECU("ecu-a", 2, clock)
+
+	// The sensor: a periodic device publishing "frames".
+	const period = 100 * chainmon.Millisecond
+	sensor := domain.NewDevice("sensor", "frames", period, clock)
+	sensor.Payload = func(n uint64) (any, int) { return fmt.Sprintf("frame-%d", n), 1024 }
+	// Fault 1: frame 7 is lost.
+	sensor.Perturb = func(n uint64) (bool, chainmon.Duration) { return n == 7, 0 }
+
+	// The processing node and the sink.
+	processor := ecuA.NewNode("processor", 100)
+	sink := ecuA.NewNode("sink", 90)
+	resultPub := processor.NewPublisher("results")
+	frameSub := processor.Subscribe("frames",
+		func(s *chainmon.Sample) chainmon.Duration {
+			if s.Activation == 13 {
+				// Fault 2: frame 13 takes far too long to process.
+				return 80 * chainmon.Millisecond
+			}
+			return 10 * chainmon.Millisecond
+		},
+		func(s *chainmon.Sample) { resultPub.Publish(s.Activation, s.Data, 64) })
+	results := 0
+	sink.Subscribe("results", nil, func(s *chainmon.Sample) { results++ })
+
+	// Monitoring: one monitor thread on the ECU, one local segment
+	// (reception → publication) and one remote segment on the sensor link.
+	lm := chainmon.NewLocalMonitor(ecuA)
+	mk := chainmon.Constraint{M: 1, K: 5} // tolerate 1 miss per 5 executions
+
+	local := lm.AddSegment(chainmon.SegmentConfig{
+		Name: "s1/process", DMon: 30 * chainmon.Millisecond, DEx: chainmon.Millisecond,
+		Period: period, Constraint: mk,
+		Handler: func(ctx *chainmon.ExceptionContext) *chainmon.Recovery {
+			fmt.Printf("%v  local exception  act=%d misses=%d → propagate (omit publication)\n",
+				ctx.RaisedAt, ctx.Activation, ctx.Misses)
+			return nil
+		},
+	})
+	local.StartOnDeliver(frameSub)
+	local.EndOnPublish(resultPub)
+
+	remote := chainmon.NewRemoteMonitor(frameSub, chainmon.SegmentConfig{
+		Name: "s0/sensor-link", DMon: 10 * chainmon.Millisecond, DEx: chainmon.Millisecond,
+		Period: period, Constraint: mk,
+		Handler: func(ctx *chainmon.ExceptionContext) *chainmon.Recovery {
+			fmt.Printf("%v  remote exception act=%d misses=%d → recover with held-over frame\n",
+				ctx.RaisedAt, ctx.Activation, ctx.Misses)
+			return &chainmon.Recovery{Data: "held-over", Size: 1024}
+		},
+	}, chainmon.VariantMonitorThread, lm)
+	remote.PropagateTo(local)
+
+	// The end-to-end chain: B_e2e = 40 ms split as 10 + 30.
+	chain := chainmon.NewChain("sensor→result", 40*chainmon.Millisecond, period, mk)
+	chain.Append(remote).Append(local)
+	chain.Seal()
+
+	// Run 20 frames.
+	sensor.Start(0)
+	k.At(chainmon.Time(20)*chainmon.Time(period), func() { sensor.Stop(); remote.Stop() })
+	k.RunFor(25 * 100 * chainmon.Millisecond)
+
+	fmt.Println()
+	fmt.Print(chain.Summary())
+	exec, rec, viol := chain.Totals()
+	fmt.Printf("\nsink received %d results; chain: %d executions, %d recovered, %d violations\n",
+		results, exec, rec, viol)
+	fmt.Printf("remote segment: %s\n", remote.Stats().Latencies().Tukey().DurationRow("latency"))
+	fmt.Printf("local segment:  %s\n", local.Stats().Latencies().Tukey().DurationRow("latency"))
+}

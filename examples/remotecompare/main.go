@@ -1,0 +1,131 @@
+// Remotecompare: why inter-arrival supervision is not enough.
+//
+// A sender publishes a frame every 100 ms to a receiver on another ECU.
+// After a while the network starts delivering each message 8 ms later than
+// the previous one: consecutive arrivals stay 108 ms apart — comfortably
+// within any reasonable inter-arrival bound — while the absolute latency
+// grows without limit. The DDS-deadline-QoS-style inter-arrival monitor
+// (t_max = 120 ms) stays silent; the paper's synchronization-based monitor,
+// which interprets the transmitted timestamps of the PTP-synchronized
+// sender, raises a temporal exception for every violated activation.
+package main
+
+import (
+	"fmt"
+
+	"chainmon"
+)
+
+const (
+	period = 100 * chainmon.Millisecond
+	dmon   = 20 * chainmon.Millisecond
+	frames = 60
+	// Lateness starts growing at this activation.
+	driftFrom = 20
+)
+
+// driftJitter is a deterministic network-delay schedule: message i is held
+// back netDelay(i) by the (increasingly congested) network. It implements
+// chainmon.Dist so it can be installed as a link's jitter.
+type driftJitter struct{ i uint64 }
+
+func (d *driftJitter) Sample(*chainmon.RNG) chainmon.Duration {
+	v := netDelay(d.i)
+	d.i++
+	return v
+}
+func (d *driftJitter) Bounds() (chainmon.Duration, chainmon.Duration) { return 0, 0 }
+func (d *driftJitter) String() string                                 { return "drift" }
+
+// buildRig creates one sender→receiver system and returns the kernel, the
+// publisher and the subscription. The tx→rx link delivers message i with
+// netDelay(i) of extra latency — after the sender stamped it.
+func buildRig() (*chainmon.Kernel, *chainmon.Publisher, *chainmon.Subscription, *chainmon.LocalMonitor) {
+	k := chainmon.NewKernel()
+	domain := chainmon.NewDomain(k, chainmon.NewRNG(42))
+	clock := chainmon.ClockConfig{Epsilon: 50 * chainmon.Microsecond}
+	tx := domain.NewECU("tx", 2, clock)
+	rx := domain.NewECU("rx", 2, clock)
+	domain.SetLink("tx", "rx", chainmon.LinkConfig{
+		BCRT:   300 * chainmon.Microsecond,
+		Jitter: &driftJitter{},
+	})
+	sender := tx.NewNode("sender", 100)
+	receiver := rx.NewNode("receiver", 100)
+	pub := sender.NewPublisher("frames")
+	sub := receiver.Subscribe("frames", nil, nil)
+	return k, pub, sub, chainmon.NewLocalMonitor(rx)
+}
+
+// netDelay is the network's extra delivery delay for activation n.
+func netDelay(n uint64) chainmon.Duration {
+	if n < driftFrom {
+		return 0
+	}
+	return chainmon.Duration(n-driftFrom+1) * 8 * chainmon.Millisecond
+}
+
+// drive publishes every frame exactly on the periodic grid: the source
+// timestamps are honest; the lateness happens in the network.
+func drive(k *chainmon.Kernel, pub *chainmon.Publisher) {
+	for i := 0; i < frames; i++ {
+		act := uint64(i)
+		k.At(chainmon.Time(act)*chainmon.Time(period), func() {
+			pub.Publish(act, nil, 256)
+		})
+	}
+}
+
+func main() {
+	mk := chainmon.Constraint{M: 0, K: 1}
+
+	// --- Inter-arrival supervision (the baseline). ---
+	k1, pub1, sub1, _ := buildRig()
+	ia := chainmon.NewInterArrivalMonitor(sub1, period+dmon)
+	// Count only detections during the active stream (expiries after the
+	// final publication are end-of-stream artifacts).
+	iaDetections := 0
+	lastSend := chainmon.Time(frames-1) * chainmon.Time(period)
+	ia.OnDetect(func(at chainmon.Time) {
+		if at <= lastSend {
+			iaDetections++
+		}
+	})
+	drive(k1, pub1)
+	horizon := chainmon.Time(frames) * chainmon.Time(period+10*chainmon.Millisecond)
+	k1.At(horizon, ia.Stop)
+	k1.RunUntil(horizon.Add(chainmon.Second))
+
+	// --- Synchronization-based monitoring (the paper's approach). ---
+	k2, pub2, sub2, lm := buildRig()
+	detected := 0
+	rm := chainmon.NewRemoteMonitor(sub2, chainmon.SegmentConfig{
+		Name: "tx→rx", DMon: dmon, Period: period, Constraint: mk,
+		Handler: func(ctx *chainmon.ExceptionContext) *chainmon.Recovery {
+			detected++
+			if detected <= 3 || detected%10 == 0 {
+				fmt.Printf("%v  sync-based exception for activation %d\n", ctx.RaisedAt, ctx.Activation)
+			}
+			return nil
+		},
+	}, chainmon.VariantMonitorThread, lm)
+	rm.SetLastActivation(frames - 1)
+	drive(k2, pub2)
+	k2.At(horizon, rm.Stop)
+	k2.RunUntil(horizon.Add(chainmon.Second))
+
+	// --- The verdict. ---
+	trueViolations := 0
+	for n := uint64(0); n < frames; n++ {
+		if netDelay(n) > dmon {
+			trueViolations++
+		}
+	}
+	fmt.Printf("\n%d of %d activations violated the %v deadline (lateness grows 8 ms per frame)\n",
+		trueViolations, frames, dmon)
+	fmt.Printf("inter-arrival monitor (t_max = %v): %d detections — blind to accumulating lateness\n",
+		period+dmon, iaDetections)
+	fmt.Printf("synchronization-based monitor:      %d temporal exceptions\n", detected)
+	_, misses, _ := rm.Counter().Totals()
+	fmt.Printf("recorded (m,k) misses:              %d\n", misses)
+}

@@ -1,0 +1,3 @@
+module chainmon
+
+go 1.22

@@ -1,0 +1,471 @@
+// Package budget implements the paper's trace-based budgeting step
+// (Section III-C): determining minimum segment deadlines d^{s_i} from
+// recorded traces such that the end-to-end latency budget (Eq. 3), the
+// per-segment throughput cap (Eq. 4) and the weakly-hard (m,k) window
+// constraint with miss propagation (Eqs. 5–7) are all satisfied.
+//
+// Recorded latencies are first extended by the exception-handling WCRT:
+// l' = l + d_ex (the extended trace L'^{s_i}); the solvers then search over
+// the distinct extended latency values, since the miss sequence of a segment
+// only changes at those points.
+//
+// Three solvers are provided:
+//
+//   - SolveIndependent: the p_l = 0 decomposition the paper describes — the
+//     CSP splits into single-variable problems per segment.
+//   - SolveGreedy: a heuristic for propagation (p_l = 1), per the paper's
+//     pointer to heuristic methods: start from the independent minimum and
+//     raise the deadline that most reduces the combined window violation.
+//   - SolveExact: branch-and-bound over candidate deadlines, optionally on
+//     quantile-reduced candidate sets; the ILP-equivalent exact reference
+//     for small instances.
+//
+// Windows follow the standard weakly-hard definition of k consecutive
+// executions (see internal/weaklyhard for the note on Eq. 6's indexing).
+package budget
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+
+	"chainmon/internal/weaklyhard"
+)
+
+// SegmentInput is one segment's recorded trace and propagation factor.
+type SegmentInput struct {
+	Name string
+	// Latencies are the recorded latencies l_n in nanoseconds, aligned by
+	// activation across segments of the problem.
+	Latencies []int64
+	// Propagation is p_l: 1 if unrecovered misses propagate to subsequent
+	// segments, 0 for perfect recovery.
+	Propagation int
+}
+
+// Problem is one budgeting instance for an event chain.
+type Problem struct {
+	Segments []SegmentInput
+	// DEx is the worst-case exception handling latency d_ex added to every
+	// recorded latency (extended trace).
+	DEx int64
+	// Be2e is the end-to-end budget B^c_e2e (Eq. 3).
+	Be2e int64
+	// Bseg is the per-segment throughput cap B^c_seg (Eq. 4). Zero means
+	// unconstrained.
+	Bseg int64
+	// Constraint is the chain's weakly-hard (m,k) constraint.
+	Constraint weaklyhard.Constraint
+}
+
+// Assignment is a solver result.
+type Assignment struct {
+	Feasible bool
+	// Deadlines d^{s_i}, one per segment, in input order. Only valid when
+	// Feasible.
+	Deadlines []int64
+	// Sum is the total of the deadlines (compared against Be2e).
+	Sum int64
+	// Reason describes why the problem is infeasible, when it is.
+	Reason string
+	// Nodes counts search nodes (exact solver) for reporting.
+	Nodes int
+}
+
+func (a Assignment) String() string {
+	if !a.Feasible {
+		return "infeasible: " + a.Reason
+	}
+	parts := make([]string, len(a.Deadlines))
+	for i, d := range a.Deadlines {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return fmt.Sprintf("sum=%d [%s]", a.Sum, strings.Join(parts, " "))
+}
+
+// validate checks problem well-formedness and aligns trace lengths.
+func (p *Problem) validate() error {
+	if len(p.Segments) == 0 {
+		return fmt.Errorf("budget: no segments")
+	}
+	if !p.Constraint.Valid() {
+		return fmt.Errorf("budget: invalid constraint %v", p.Constraint)
+	}
+	n := len(p.Segments[0].Latencies)
+	for _, s := range p.Segments {
+		if len(s.Latencies) == 0 {
+			return fmt.Errorf("budget: segment %q has an empty trace", s.Name)
+		}
+		if len(s.Latencies) != n {
+			return fmt.Errorf("budget: segment %q trace length %d, want %d (aligned activations)",
+				s.Name, len(s.Latencies), n)
+		}
+		if s.Propagation != 0 && s.Propagation != 1 {
+			return fmt.Errorf("budget: segment %q propagation %d, want 0 or 1", s.Name, s.Propagation)
+		}
+	}
+	return nil
+}
+
+// Extended returns segment i's extended latencies l' = l + d_ex.
+func (p *Problem) Extended(i int) []int64 {
+	out := make([]int64, len(p.Segments[i].Latencies))
+	for n, l := range p.Segments[i].Latencies {
+		out[n] = l + p.DEx
+	}
+	return out
+}
+
+// Verify checks a candidate deadline assignment against Eqs. 3–7 and
+// returns a diagnostic for the first violated constraint.
+func (p *Problem) Verify(deadlines []int64) (bool, string) {
+	if err := p.validate(); err != nil {
+		return false, err.Error()
+	}
+	if len(deadlines) != len(p.Segments) {
+		return false, fmt.Sprintf("assignment has %d deadlines, want %d", len(deadlines), len(p.Segments))
+	}
+	var sum int64
+	for i, d := range deadlines {
+		sum += d
+		if p.Bseg > 0 && d > p.Bseg {
+			return false, fmt.Sprintf("segment %d deadline %d exceeds B_seg %d (Eq. 4)", i, d, p.Bseg)
+		}
+	}
+	if sum > p.Be2e {
+		return false, fmt.Sprintf("deadline sum %d exceeds B_e2e %d (Eq. 3)", sum, p.Be2e)
+	}
+	// Eqs. 5–7: for every segment, the window sum of its own misses plus
+	// the propagated misses of preceding segments must stay within m.
+	n := len(p.Segments[0].Latencies)
+	carried := make([]int, n) // Σ_{l<i} p_l·m_l(n) contribution per activation
+	for i := range p.Segments {
+		ext := p.Extended(i)
+		weights := make([]int, n)
+		own := make([]int, n)
+		for j, l := range ext {
+			if l > deadlines[i] {
+				own[j] = 1
+			}
+			weights[j] = own[j] + carried[j]
+		}
+		if maxw := weaklyhard.MaxWindowSum(weights, p.Constraint.K); maxw > p.Constraint.M {
+			return false, fmt.Sprintf("segment %d: %d misses in a %d-window, limit %d (Eq. 5)",
+				i, maxw, p.Constraint.K, p.Constraint.M)
+		}
+		if p.Segments[i].Propagation == 1 {
+			for j := range carried {
+				carried[j] += own[j]
+			}
+		}
+	}
+	return true, ""
+}
+
+// SolveIndependent solves the CSP assuming p_l = 0 for every segment (the
+// paper's perfect-recovery decomposition): each segment independently takes
+// the minimum deadline that satisfies the (m,k) constraint on its own
+// extended trace; feasibility then reduces to Eqs. 3 and 4.
+func SolveIndependent(p Problem) Assignment {
+	if err := p.validate(); err != nil {
+		return Assignment{Reason: err.Error()}
+	}
+	deadlines := make([]int64, len(p.Segments))
+	var sum int64
+	for i := range p.Segments {
+		d, ok := weaklyhard.MinDeadline(p.Extended(i), p.Constraint)
+		if !ok {
+			return Assignment{Reason: fmt.Sprintf("segment %d has no feasible deadline", i)}
+		}
+		if p.Bseg > 0 && d > p.Bseg {
+			return Assignment{Reason: fmt.Sprintf(
+				"segment %d needs deadline %d > B_seg %d (Eq. 4)", i, d, p.Bseg)}
+		}
+		deadlines[i] = d
+		sum += d
+	}
+	if sum > p.Be2e {
+		return Assignment{Reason: fmt.Sprintf("minimum deadline sum %d exceeds B_e2e %d (Eq. 3)", sum, p.Be2e)}
+	}
+	return Assignment{Feasible: true, Deadlines: deadlines, Sum: sum}
+}
+
+// candidateSet returns the sorted distinct extended latencies of segment i,
+// clipped to Bseg (a deadline above Bseg violates Eq. 4; one above the
+// maximum latency is never needed). If maxCandidates > 0 the set is reduced
+// to evenly spaced quantiles, always keeping the extremes.
+func (p *Problem) candidateSet(i, maxCandidates int) []int64 {
+	ext := p.Extended(i)
+	c := append([]int64(nil), ext...)
+	slices.Sort(c)
+	c = slices.Compact(c)
+	if p.Bseg > 0 {
+		// Keep the first candidate above Bseg out; all candidates must be
+		// ≤ Bseg. If every latency exceeds Bseg, the segment can still use
+		// Bseg itself as deadline (everything misses).
+		j := 0
+		for _, v := range c {
+			if v <= p.Bseg {
+				c[j] = v
+				j++
+			}
+		}
+		c = c[:j]
+		if len(c) == 0 || c[len(c)-1] < p.Bseg {
+			c = append(c, p.Bseg)
+		}
+	}
+	if maxCandidates > 1 && len(c) > maxCandidates {
+		reduced := make([]int64, 0, maxCandidates)
+		for j := 0; j < maxCandidates; j++ {
+			idx := j * (len(c) - 1) / (maxCandidates - 1)
+			reduced = append(reduced, c[idx])
+		}
+		reduced = slices.Compact(reduced)
+		c = reduced
+	}
+	return c
+}
+
+// SolveExact finds the assignment minimizing the deadline sum subject to
+// Eqs. 3–7 using branch-and-bound over per-segment candidate deadlines.
+// maxCandidates > 0 reduces each segment's candidate set to that many
+// quantiles (0 = exhaustive — use only for small instances). The search
+// assigns segments in chain order, pruning on partial sums and on window
+// violations, which are monotone in the already-assigned prefix.
+func SolveExact(p Problem, maxCandidates int) Assignment {
+	if err := p.validate(); err != nil {
+		return Assignment{Reason: err.Error()}
+	}
+	ns := len(p.Segments)
+	n := len(p.Segments[0].Latencies)
+
+	cands := make([][]int64, ns)
+	exts := make([][]int64, ns)
+	minCand := make([]int64, ns)
+	for i := 0; i < ns; i++ {
+		cands[i] = p.candidateSet(i, maxCandidates)
+		exts[i] = p.Extended(i)
+		// The minimum *feasible* candidate for pruning: at least the
+		// smallest candidate value.
+		minCand[i] = cands[i][0]
+	}
+	// Suffix sums of minimum candidates for lower-bound pruning.
+	suffixMin := make([]int64, ns+1)
+	for i := ns - 1; i >= 0; i-- {
+		suffixMin[i] = suffixMin[i+1] + minCand[i]
+	}
+
+	best := Assignment{Reason: "no assignment satisfies Eqs. 3-7"}
+	bestSum := int64(math.MaxInt64)
+	cur := make([]int64, ns)
+	carried := make([][]int, ns+1)
+	carried[0] = make([]int, n)
+	nodes := 0
+
+	var search func(i int, sum int64)
+	search = func(i int, sum int64) {
+		nodes++
+		if sum+suffixMin[i] > p.Be2e || sum+suffixMin[i] >= bestSum {
+			return
+		}
+		if i == ns {
+			best = Assignment{Feasible: true, Deadlines: append([]int64(nil), cur...), Sum: sum}
+			bestSum = sum
+			return
+		}
+		for _, d := range cands[i] {
+			// Own misses at deadline d.
+			weights := make([]int, n)
+			own := make([]int, n)
+			miss := false
+			for j, l := range exts[i] {
+				if l > d {
+					own[j] = 1
+					miss = true
+				}
+				weights[j] = own[j] + carried[i][j]
+			}
+			if weaklyhard.MaxWindowSum(weights, p.Constraint.K) > p.Constraint.M {
+				continue // larger d can only help; but own misses shrink with d, so keep scanning
+			}
+			cur[i] = d
+			next := carried[i]
+			if p.Segments[i].Propagation == 1 && miss {
+				next = make([]int, n)
+				for j := range next {
+					next[j] = carried[i][j] + own[j]
+				}
+			}
+			carried[i+1] = next
+			search(i+1, sum+d)
+			// Candidates are ascending: once a candidate admits zero own
+			// misses, larger candidates are identical in effect.
+			if !miss {
+				break
+			}
+		}
+	}
+	search(0, 0)
+	best.Nodes = nodes
+	if !best.Feasible {
+		// Distinguish budget exhaustion from window infeasibility.
+		if ind := SolveIndependent(Problem{
+			Segments: p.Segments, DEx: p.DEx,
+			Be2e: math.MaxInt64, Bseg: p.Bseg, Constraint: p.Constraint,
+		}); ind.Feasible && ind.Sum > p.Be2e {
+			best.Reason = fmt.Sprintf("even per-segment minima sum to %d > B_e2e %d", ind.Sum, p.Be2e)
+		}
+	}
+	return best
+}
+
+// SolveGreedy is the heuristic for chains with propagation: it starts from
+// each segment's independent minimum deadline and, while the combined
+// propagated-window constraint (Eqs. 5–7) is violated, raises the deadline
+// whose increase removes the most window misses per nanosecond of budget.
+func SolveGreedy(p Problem) Assignment {
+	if err := p.validate(); err != nil {
+		return Assignment{Reason: err.Error()}
+	}
+	ns := len(p.Segments)
+	cands := make([][]int64, ns)
+	idx := make([]int, ns)
+	exts := make([][]int64, ns)
+	for i := 0; i < ns; i++ {
+		cands[i] = p.candidateSet(i, 0)
+		exts[i] = p.Extended(i)
+		// Start at the independent minimum.
+		d, ok := weaklyhard.MinDeadline(exts[i], p.Constraint)
+		if !ok {
+			return Assignment{Reason: fmt.Sprintf("segment %d has no feasible deadline", i)}
+		}
+		if p.Bseg > 0 && d > p.Bseg {
+			return Assignment{Reason: fmt.Sprintf("segment %d needs deadline %d > B_seg %d", i, d, p.Bseg)}
+		}
+		idx[i] = slices.Index(cands[i], d)
+		if idx[i] < 0 {
+			// d is always a member of the candidate set unless clipping
+			// replaced it with Bseg.
+			idx[i] = len(cands[i]) - 1
+		}
+	}
+
+	deadlines := func() []int64 {
+		out := make([]int64, ns)
+		for i := range out {
+			out[i] = cands[i][idx[i]]
+		}
+		return out
+	}
+	violation := func(ds []int64) int {
+		// Total excess misses over all segments' windows.
+		n := len(exts[0])
+		carried := make([]int, n)
+		excess := 0
+		for i := 0; i < ns; i++ {
+			weights := make([]int, n)
+			own := make([]int, n)
+			for j, l := range exts[i] {
+				if l > ds[i] {
+					own[j] = 1
+				}
+				weights[j] = own[j] + carried[j]
+			}
+			if w := weaklyhard.MaxWindowSum(weights, p.Constraint.K); w > p.Constraint.M {
+				excess += w - p.Constraint.M
+			}
+			if p.Segments[i].Propagation == 1 {
+				for j := range carried {
+					carried[j] += own[j]
+				}
+			}
+		}
+		return excess
+	}
+
+	// Each iteration advances one candidate index, so the ascent terminates;
+	// the cap guards against pathological inputs.
+	const maxIters = 100_000
+	for iter := 0; iter < maxIters; iter++ {
+		ds := deadlines()
+		var sum int64
+		for _, d := range ds {
+			sum += d
+		}
+		if sum > p.Be2e {
+			return Assignment{Reason: fmt.Sprintf("greedy ascent exceeded B_e2e %d at sum %d", p.Be2e, sum)}
+		}
+		exc := violation(ds)
+		if exc == 0 {
+			return Assignment{Feasible: true, Deadlines: ds, Sum: sum, Nodes: iter}
+		}
+		// Pick the single-segment bump with the best excess reduction per
+		// added nanosecond.
+		bestSeg, bestGain := -1, 0.0
+		for i := 0; i < ns; i++ {
+			if idx[i]+1 >= len(cands[i]) {
+				continue
+			}
+			nd := cands[i][idx[i]+1]
+			if p.Bseg > 0 && nd > p.Bseg {
+				continue
+			}
+			trial := append([]int64(nil), ds...)
+			trial[i] = nd
+			reduction := exc - violation(trial)
+			cost := nd - ds[i]
+			if reduction <= 0 || cost <= 0 {
+				continue
+			}
+			if gain := float64(reduction) / float64(cost); gain > bestGain {
+				bestGain, bestSeg = gain, i
+			}
+		}
+		if bestSeg < 0 {
+			// No single bump helps; fall back to bumping the segment with
+			// the cheapest next candidate to keep making progress.
+			cheapest, cost := -1, int64(math.MaxInt64)
+			for i := 0; i < ns; i++ {
+				if idx[i]+1 < len(cands[i]) {
+					c := cands[i][idx[i]+1] - cands[i][idx[i]]
+					if c < cost {
+						cheapest, cost = i, c
+					}
+				}
+			}
+			if cheapest < 0 {
+				return Assignment{Reason: "no deadline increase can satisfy the window constraint"}
+			}
+			bestSeg = cheapest
+		}
+		idx[bestSeg]++
+	}
+	return Assignment{Reason: "greedy ascent did not converge"}
+}
+
+// Schedulable reports whether the event chain is schedulable per the
+// paper's definition: a solution to the constraint satisfaction problem
+// exists. It uses the decomposition for propagation-free problems and the
+// greedy heuristic (verified) otherwise, falling back to exact search on
+// small instances.
+func Schedulable(p Problem) (bool, Assignment) {
+	allZero := true
+	for _, s := range p.Segments {
+		if s.Propagation != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		a := SolveIndependent(p)
+		return a.Feasible, a
+	}
+	if a := SolveGreedy(p); a.Feasible {
+		if ok, _ := p.Verify(a.Deadlines); ok {
+			return true, a
+		}
+	}
+	a := SolveExact(p, 64)
+	return a.Feasible, a
+}

@@ -1,0 +1,382 @@
+package budget
+
+import (
+	"math/rand"
+	"testing"
+
+	"chainmon/internal/weaklyhard"
+)
+
+func simpleProblem() Problem {
+	return Problem{
+		Segments: []SegmentInput{
+			{Name: "s0", Latencies: []int64{10, 12, 30, 11, 10, 29, 12, 11}, Propagation: 0},
+			{Name: "s1", Latencies: []int64{20, 22, 21, 55, 20, 21, 54, 22}, Propagation: 0},
+		},
+		DEx:        2,
+		Be2e:       80,
+		Bseg:       60,
+		Constraint: weaklyhard.Constraint{M: 1, K: 4},
+	}
+}
+
+func TestValidateRejectsBadProblems(t *testing.T) {
+	cases := []Problem{
+		{},
+		{Segments: []SegmentInput{{Name: "a"}}, Constraint: weaklyhard.Constraint{M: 0, K: 1}},
+		{Segments: []SegmentInput{
+			{Name: "a", Latencies: []int64{1, 2}},
+			{Name: "b", Latencies: []int64{1}},
+		}, Constraint: weaklyhard.Constraint{M: 0, K: 1}},
+		{Segments: []SegmentInput{
+			{Name: "a", Latencies: []int64{1}, Propagation: 2},
+		}, Constraint: weaklyhard.Constraint{M: 0, K: 1}},
+		{Segments: []SegmentInput{
+			{Name: "a", Latencies: []int64{1}},
+		}, Constraint: weaklyhard.Constraint{M: 3, K: 2}},
+	}
+	for i, p := range cases {
+		if a := SolveIndependent(p); a.Feasible {
+			t.Errorf("case %d: expected infeasible/invalid", i)
+		}
+	}
+}
+
+func TestExtendedAddsDEx(t *testing.T) {
+	p := simpleProblem()
+	ext := p.Extended(0)
+	if ext[0] != 12 || ext[2] != 32 {
+		t.Errorf("extended = %v", ext)
+	}
+}
+
+func TestSolveIndependentMinimal(t *testing.T) {
+	p := simpleProblem()
+	p.Be2e = 90
+	a := SolveIndependent(p)
+	if !a.Feasible {
+		t.Fatalf("infeasible: %s", a.Reason)
+	}
+	// Segment 0 extended: 12,14,32,13,12,31,14,13 — misses at positions 2
+	// (32) and 5 (31). With d=14 the window [2..5] holds both misses,
+	// violating (1,4); d=31 leaves only the miss at position 2 → minimal.
+	if a.Deadlines[0] != 31 {
+		t.Errorf("d0 = %d, want 31", a.Deadlines[0])
+	}
+	// Segment 1 extended: 22,24,23,57,22,23,56,24 — misses at positions 3
+	// (57) and 6 (56); the window [3..6] holds both → d=56 is minimal.
+	if a.Deadlines[1] != 56 {
+		t.Errorf("d1 = %d, want 56", a.Deadlines[1])
+	}
+	if a.Sum != 87 {
+		t.Errorf("sum = %d", a.Sum)
+	}
+}
+
+func TestSolveIndependentRespectsBe2e(t *testing.T) {
+	p := simpleProblem()
+	// With minimum sum 87 (see above) and Be2e 80, independent solving
+	// must report infeasibility.
+	a := SolveIndependent(p)
+	if a.Feasible {
+		t.Fatalf("expected infeasible at Be2e=80, got %v", a)
+	}
+	p.Be2e = 90
+	a = SolveIndependent(p)
+	if !a.Feasible || a.Sum != 87 {
+		t.Fatalf("want feasible sum 87, got %v", a)
+	}
+}
+
+func TestSolveIndependentRespectsBseg(t *testing.T) {
+	p := simpleProblem()
+	p.Be2e = 1000
+	p.Bseg = 40 // segment 1 needs 56
+	if a := SolveIndependent(p); a.Feasible {
+		t.Fatalf("expected Bseg infeasibility, got %v", a)
+	}
+}
+
+func TestVerifyAgreesWithSolvers(t *testing.T) {
+	p := simpleProblem()
+	p.Be2e = 90
+	a := SolveIndependent(p)
+	if !a.Feasible {
+		t.Fatal(a.Reason)
+	}
+	if ok, why := p.Verify(a.Deadlines); !ok {
+		t.Errorf("Verify rejected the independent solution: %s", why)
+	}
+	// Lowering a deadline below the minimum must fail verification.
+	bad := append([]int64(nil), a.Deadlines...)
+	bad[0] = 13
+	if ok, _ := p.Verify(bad); ok {
+		t.Error("Verify accepted a violating assignment")
+	}
+}
+
+func TestVerifyEq3Eq4(t *testing.T) {
+	p := simpleProblem()
+	p.Be2e = 90
+	if ok, why := p.Verify([]int64{100, 10}); ok || why == "" {
+		t.Error("Bseg violation not caught")
+	}
+	if ok, _ := p.Verify([]int64{50, 50}); ok {
+		t.Error("Be2e violation not caught")
+	}
+	if ok, _ := p.Verify([]int64{31}); ok {
+		t.Error("wrong arity not caught")
+	}
+}
+
+func TestPropagationTightensProblem(t *testing.T) {
+	// Two segments missing at complementary activations: independently
+	// each satisfies (1,4), but with propagation the second segment sees
+	// both misses in one window.
+	p := Problem{
+		Segments: []SegmentInput{
+			{Name: "s0", Latencies: []int64{50, 10, 10, 10, 50, 10, 10, 10}, Propagation: 1},
+			{Name: "s1", Latencies: []int64{10, 10, 50, 10, 10, 10, 50, 10}, Propagation: 1},
+		},
+		Be2e:       1000,
+		Constraint: weaklyhard.Constraint{M: 1, K: 4},
+	}
+	// Independent minima: d0=10 (misses at 0,4 — windows of 4: [0..3] has
+	// 1, [1..4] has 1 → ok), d1=10 (misses at 2,6 → ok).
+	ind := SolveIndependent(p)
+	if !ind.Feasible || ind.Deadlines[0] != 10 || ind.Deadlines[1] != 10 {
+		t.Fatalf("independent = %v", ind)
+	}
+	// With propagation, segment 1's windows see misses at 0,2,4,6 → any
+	// window of 4 contains 2 > 1 → the combined assignment is invalid.
+	if ok, _ := p.Verify(ind.Deadlines); ok {
+		t.Fatal("Verify must reject the independent solution under propagation")
+	}
+	// Exact and greedy must find feasible assignments (e.g. d0=50 removes
+	// segment 0's misses entirely).
+	ex := SolveExact(p, 0)
+	if !ex.Feasible {
+		t.Fatalf("exact infeasible: %s", ex.Reason)
+	}
+	if ok, why := p.Verify(ex.Deadlines); !ok {
+		t.Fatalf("exact solution fails verification: %s", why)
+	}
+	gr := SolveGreedy(p)
+	if !gr.Feasible {
+		t.Fatalf("greedy infeasible: %s", gr.Reason)
+	}
+	if ok, why := p.Verify(gr.Deadlines); !ok {
+		t.Fatalf("greedy solution fails verification: %s", why)
+	}
+	if gr.Sum < ex.Sum {
+		t.Errorf("greedy sum %d below exact optimum %d — exact is not optimal", gr.Sum, ex.Sum)
+	}
+}
+
+func TestExactOptimalOnKnownInstance(t *testing.T) {
+	p := Problem{
+		Segments: []SegmentInput{
+			{Name: "s0", Latencies: []int64{50, 10, 10, 10, 50, 10, 10, 10}, Propagation: 1},
+			{Name: "s1", Latencies: []int64{10, 10, 50, 10, 10, 10, 50, 10}, Propagation: 1},
+		},
+		Be2e:       1000,
+		Constraint: weaklyhard.Constraint{M: 1, K: 4},
+	}
+	a := SolveExact(p, 0)
+	if !a.Feasible {
+		t.Fatal(a.Reason)
+	}
+	// Optimum: one segment takes 50 (no misses), the other stays at 10
+	// (its own misses then fit (1,4)) → sum 60.
+	if a.Sum != 60 {
+		t.Errorf("exact sum = %d (%v), want 60", a.Sum, a.Deadlines)
+	}
+}
+
+func TestExactPrunesWithBe2e(t *testing.T) {
+	p := simpleProblem()
+	a := SolveExact(p, 0)
+	if a.Feasible {
+		t.Fatalf("expected infeasible at Be2e=80 (minimum sum 87), got %v", a)
+	}
+	if a.Reason == "" {
+		t.Error("missing infeasibility reason")
+	}
+	p.Be2e = 90
+	a = SolveExact(p, 0)
+	if !a.Feasible || a.Sum != 87 {
+		t.Fatalf("want sum 87, got %v", a)
+	}
+}
+
+func TestExactAgainstBruteForce(t *testing.T) {
+	// Randomized cross-check of SolveExact against exhaustive enumeration
+	// on tiny instances.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ns := 2 + rng.Intn(2)
+		n := 6 + rng.Intn(4)
+		p := Problem{
+			Be2e:       int64(100 + rng.Intn(100)),
+			Constraint: weaklyhard.Constraint{M: rng.Intn(2), K: 2 + rng.Intn(3)},
+		}
+		for i := 0; i < ns; i++ {
+			lat := make([]int64, n)
+			for j := range lat {
+				lat[j] = int64(5 + rng.Intn(40))
+			}
+			p.Segments = append(p.Segments, SegmentInput{
+				Name: "s", Latencies: lat, Propagation: rng.Intn(2),
+			})
+		}
+		got := SolveExact(p, 0)
+		want := bruteForce(p)
+		if got.Feasible != want.Feasible {
+			t.Fatalf("trial %d: exact feasible=%v, brute=%v (%+v)", trial, got.Feasible, want.Feasible, p)
+		}
+		if got.Feasible && got.Sum != want.Sum {
+			t.Fatalf("trial %d: exact sum=%d, brute=%d", trial, got.Sum, want.Sum)
+		}
+	}
+}
+
+// bruteForce enumerates all candidate combinations.
+func bruteForce(p Problem) Assignment {
+	ns := len(p.Segments)
+	cands := make([][]int64, ns)
+	for i := range cands {
+		cands[i] = p.candidateSet(i, 0)
+	}
+	best := Assignment{}
+	bestSum := int64(1 << 62)
+	idx := make([]int, ns)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == ns {
+			ds := make([]int64, ns)
+			var sum int64
+			for j := range ds {
+				ds[j] = cands[j][idx[j]]
+				sum += ds[j]
+			}
+			if ok, _ := p.Verify(ds); ok && sum < bestSum {
+				best = Assignment{Feasible: true, Deadlines: ds, Sum: sum}
+				bestSum = sum
+			}
+			return
+		}
+		for j := range cands[i] {
+			idx[i] = j
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestGreedyFeasibleWheneverExactIs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	agree := 0
+	for trial := 0; trial < 30; trial++ {
+		p := Problem{
+			Be2e:       int64(150 + rng.Intn(100)),
+			Constraint: weaklyhard.Constraint{M: 1, K: 3},
+		}
+		for i := 0; i < 3; i++ {
+			lat := make([]int64, 12)
+			for j := range lat {
+				lat[j] = int64(5 + rng.Intn(40))
+			}
+			p.Segments = append(p.Segments, SegmentInput{Name: "s", Latencies: lat, Propagation: 1})
+		}
+		ex := SolveExact(p, 0)
+		gr := SolveGreedy(p)
+		if gr.Feasible {
+			if ok, why := p.Verify(gr.Deadlines); !ok {
+				t.Fatalf("greedy produced invalid assignment: %s", why)
+			}
+			if !ex.Feasible {
+				t.Fatalf("greedy feasible but exact infeasible — exact has a bug")
+			}
+		}
+		if ex.Feasible == gr.Feasible {
+			agree++
+		}
+	}
+	if agree < 25 {
+		t.Errorf("greedy disagreed with exact on %d/30 instances", 30-agree)
+	}
+}
+
+func TestSchedulableDispatch(t *testing.T) {
+	p := simpleProblem()
+	p.Be2e = 90
+	ok, a := Schedulable(p)
+	if !ok || a.Sum != 87 {
+		t.Fatalf("schedulable = %v %v", ok, a)
+	}
+	p.Segments[0].Propagation = 1
+	ok, a = Schedulable(p)
+	if !ok {
+		t.Fatalf("propagating variant should still be schedulable: %s", a.Reason)
+	}
+	if valid, why := p.Verify(a.Deadlines); !valid {
+		t.Fatalf("schedulable returned invalid assignment: %s", why)
+	}
+}
+
+func TestCandidateSetReduction(t *testing.T) {
+	p := Problem{
+		Segments:   []SegmentInput{{Name: "s", Latencies: seq(1, 1000)}},
+		Be2e:       1 << 40,
+		Constraint: weaklyhard.Constraint{M: 0, K: 1},
+	}
+	full := p.candidateSet(0, 0)
+	if len(full) != 1000 {
+		t.Fatalf("full candidates = %d", len(full))
+	}
+	red := p.candidateSet(0, 32)
+	if len(red) > 32 || len(red) < 2 {
+		t.Fatalf("reduced candidates = %d", len(red))
+	}
+	if red[0] != full[0] || red[len(red)-1] != full[len(full)-1] {
+		t.Error("reduction must keep extremes")
+	}
+}
+
+func TestCandidateSetBsegClipping(t *testing.T) {
+	p := Problem{
+		Segments:   []SegmentInput{{Name: "s", Latencies: []int64{10, 20, 90, 95}}},
+		Be2e:       1000,
+		Bseg:       50,
+		Constraint: weaklyhard.Constraint{M: 2, K: 4},
+	}
+	c := p.candidateSet(0, 0)
+	for _, v := range c {
+		if v > 50 {
+			t.Fatalf("candidate %d exceeds Bseg", v)
+		}
+	}
+	// Bseg itself is added so that "accept all misses above" is available.
+	if c[len(c)-1] != 50 {
+		t.Errorf("candidates = %v, want trailing 50", c)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	if (Assignment{Reason: "x"}).String() != "infeasible: x" {
+		t.Error("infeasible string wrong")
+	}
+	s := (Assignment{Feasible: true, Deadlines: []int64{1, 2}, Sum: 3}).String()
+	if s != "sum=3 [1 2]" {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func seq(lo, hi int64) []int64 {
+	out := make([]int64, 0, hi-lo+1)
+	for v := lo; v <= hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package budget
+
+import (
+	"fmt"
+	"math"
+
+	"chainmon/internal/weaklyhard"
+)
+
+// This file provides the OR-semantics variant of the window constraint.
+//
+// The paper defines a violation of the n-th chain execution as "an
+// unrecoverable deadline miss of ANY of its corresponding n-th segment
+// activations" — a disjunction — while its Eq. 7 accumulates propagated
+// misses additively, counting an execution twice when two segments miss it.
+// The additive form is conservative (it can reject assignments whose chain
+// executions actually satisfy the (m,k) constraint); this variant
+// implements the disjunctive reading exactly: activation n is violated when
+// any propagating segment (or the final segment) misses it, and the
+// violation indicator sequence must satisfy the chain's (m,k) constraint.
+
+// VerifyOR checks an assignment under OR semantics: Eqs. 3 and 4 as in
+// Verify, and the (m,k) constraint on the per-execution violation
+// indicator.
+func (p *Problem) VerifyOR(deadlines []int64) (bool, string) {
+	if err := p.validate(); err != nil {
+		return false, err.Error()
+	}
+	if len(deadlines) != len(p.Segments) {
+		return false, fmt.Sprintf("assignment has %d deadlines, want %d", len(deadlines), len(p.Segments))
+	}
+	var sum int64
+	for i, d := range deadlines {
+		sum += d
+		if p.Bseg > 0 && d > p.Bseg {
+			return false, fmt.Sprintf("segment %d deadline %d exceeds B_seg %d (Eq. 4)", i, d, p.Bseg)
+		}
+	}
+	if sum > p.Be2e {
+		return false, fmt.Sprintf("deadline sum %d exceeds B_e2e %d (Eq. 3)", sum, p.Be2e)
+	}
+	violated := p.violationIndicator(deadlines)
+	if maxw := weaklyhard.MaxMissesInAnyWindow(violated, p.Constraint.K); maxw > p.Constraint.M {
+		return false, fmt.Sprintf("%d chain violations in a %d-window, limit %d (OR semantics)",
+			maxw, p.Constraint.K, p.Constraint.M)
+	}
+	return true, ""
+}
+
+// violationIndicator marks each activation that any propagating segment (or
+// the final segment, whose miss always means no timely chain output) missed.
+func (p *Problem) violationIndicator(deadlines []int64) []bool {
+	n := len(p.Segments[0].Latencies)
+	violated := make([]bool, n)
+	for i := range p.Segments {
+		counts := p.Segments[i].Propagation == 1 || i == len(p.Segments)-1
+		if !counts {
+			continue
+		}
+		ext := p.Extended(i)
+		for j, l := range ext {
+			if l > deadlines[i] {
+				violated[j] = true
+			}
+		}
+	}
+	return violated
+}
+
+// SolveExactOR finds the minimum-sum assignment under OR semantics by
+// branch-and-bound, mirroring SolveExact. Because a violated execution
+// cannot be "re-violated", OR semantics admits assignments the additive
+// Eq. 7 rejects — the solver's optimum is never worse.
+func SolveExactOR(p Problem, maxCandidates int) Assignment {
+	if err := p.validate(); err != nil {
+		return Assignment{Reason: err.Error()}
+	}
+	ns := len(p.Segments)
+	n := len(p.Segments[0].Latencies)
+
+	cands := make([][]int64, ns)
+	exts := make([][]int64, ns)
+	for i := 0; i < ns; i++ {
+		cands[i] = p.candidateSet(i, maxCandidates)
+		exts[i] = p.Extended(i)
+	}
+	suffixMin := make([]int64, ns+1)
+	for i := ns - 1; i >= 0; i-- {
+		suffixMin[i] = suffixMin[i+1] + cands[i][0]
+	}
+
+	best := Assignment{Reason: "no assignment satisfies the OR-window constraint"}
+	bestSum := int64(math.MaxInt64)
+	cur := make([]int64, ns)
+	carried := make([][]bool, ns+1)
+	carried[0] = make([]bool, n)
+	nodes := 0
+
+	counts := func(i int) bool { return p.Segments[i].Propagation == 1 || i == ns-1 }
+
+	var search func(i int, sum int64)
+	search = func(i int, sum int64) {
+		nodes++
+		if sum+suffixMin[i] > p.Be2e || sum+suffixMin[i] >= bestSum {
+			return
+		}
+		if i == ns {
+			best = Assignment{Feasible: true, Deadlines: append([]int64(nil), cur...), Sum: sum}
+			bestSum = sum
+			return
+		}
+		for _, d := range cands[i] {
+			indicator := make([]bool, n)
+			miss := false
+			for j, l := range exts[i] {
+				own := l > d
+				if own {
+					miss = true
+				}
+				indicator[j] = carried[i][j] || (own && counts(i))
+			}
+			if weaklyhard.MaxMissesInAnyWindow(indicator, p.Constraint.K) > p.Constraint.M {
+				continue
+			}
+			cur[i] = d
+			carried[i+1] = indicator
+			search(i+1, sum+d)
+			if !miss {
+				break
+			}
+			if !counts(i) {
+				// A non-propagating interior segment never affects the
+				// indicator; only its cheapest candidate can be optimal.
+				break
+			}
+		}
+	}
+	search(0, 0)
+	best.Nodes = nodes
+	return best
+}

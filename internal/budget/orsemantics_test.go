@@ -1,0 +1,188 @@
+package budget
+
+import (
+	"math/rand"
+	"testing"
+
+	"chainmon/internal/weaklyhard"
+)
+
+func TestVerifyORAcceptsWhatEq7Rejects(t *testing.T) {
+	// Both segments miss the SAME activations: under OR semantics that is
+	// one violation per activation; Eq. 7 counts two.
+	p := Problem{
+		Segments: []SegmentInput{
+			{Name: "s0", Latencies: []int64{50, 10, 10, 10, 10, 10}, Propagation: 1},
+			{Name: "s1", Latencies: []int64{50, 10, 10, 10, 10, 10}, Propagation: 1},
+		},
+		Be2e:       1000,
+		Constraint: weaklyhard.Constraint{M: 1, K: 4},
+	}
+	deadlines := []int64{10, 10}
+	if ok, _ := p.Verify(deadlines); ok {
+		t.Fatal("Eq. 7 should reject the double-counted miss")
+	}
+	if ok, why := p.VerifyOR(deadlines); !ok {
+		t.Fatalf("OR semantics should accept a single per-activation violation: %s", why)
+	}
+}
+
+func TestVerifyORStillRejectsRealViolations(t *testing.T) {
+	p := Problem{
+		Segments: []SegmentInput{
+			{Name: "s0", Latencies: []int64{50, 50, 10, 10}, Propagation: 1},
+		},
+		Be2e:       1000,
+		Constraint: weaklyhard.Constraint{M: 1, K: 4},
+	}
+	if ok, _ := p.VerifyOR([]int64{10}); ok {
+		t.Fatal("two violations in one window must fail (1,4)")
+	}
+	if ok, _ := p.VerifyOR([]int64{50}); !ok {
+		t.Fatal("deadline covering all latencies must pass")
+	}
+}
+
+func TestVerifyOREqs3And4(t *testing.T) {
+	p := Problem{
+		Segments: []SegmentInput{
+			{Name: "s0", Latencies: []int64{10}, Propagation: 1},
+			{Name: "s1", Latencies: []int64{10}, Propagation: 1},
+		},
+		Be2e:       15,
+		Bseg:       12,
+		Constraint: weaklyhard.Constraint{M: 0, K: 1},
+	}
+	if ok, _ := p.VerifyOR([]int64{10, 10}); ok {
+		t.Error("sum 20 > B_e2e 15 must fail")
+	}
+	p.Be2e = 30
+	if ok, _ := p.VerifyOR([]int64{13, 10}); ok {
+		t.Error("deadline above B_seg must fail")
+	}
+	if ok, _ := p.VerifyOR([]int64{10}); ok {
+		t.Error("wrong arity must fail")
+	}
+}
+
+func TestNonPropagatingInteriorSegmentIgnoredByOR(t *testing.T) {
+	// The middle segment recovers perfectly (p=0): its misses do not
+	// violate chain executions; only the final segment's do.
+	p := Problem{
+		Segments: []SegmentInput{
+			{Name: "mid", Latencies: []int64{50, 50, 50, 50}, Propagation: 0},
+			{Name: "last", Latencies: []int64{10, 10, 10, 10}, Propagation: 0},
+		},
+		Be2e:       1000,
+		Constraint: weaklyhard.Constraint{M: 0, K: 2},
+	}
+	// mid misses everything at d=10 but recovers; last never misses.
+	if ok, why := p.VerifyOR([]int64{10, 10}); !ok {
+		t.Fatalf("recovered interior misses must not violate: %s", why)
+	}
+	// The final segment's misses always count, even with p=0.
+	p2 := Problem{
+		Segments: []SegmentInput{
+			{Name: "last", Latencies: []int64{50, 50}, Propagation: 0},
+		},
+		Be2e:       1000,
+		Constraint: weaklyhard.Constraint{M: 0, K: 2},
+	}
+	if ok, _ := p2.VerifyOR([]int64{10}); ok {
+		t.Fatal("final-segment misses must count even with p=0")
+	}
+}
+
+func TestSolveExactORNeverWorseThanEq7(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		p := Problem{
+			Be2e:       int64(120 + rng.Intn(120)),
+			Constraint: weaklyhard.Constraint{M: 1, K: 3},
+		}
+		for i := 0; i < 2+rng.Intn(2); i++ {
+			lat := make([]int64, 10)
+			for j := range lat {
+				lat[j] = int64(5 + rng.Intn(40))
+			}
+			p.Segments = append(p.Segments, SegmentInput{Name: "s", Latencies: lat, Propagation: 1})
+		}
+		eq7 := SolveExact(p, 0)
+		or := SolveExactOR(p, 0)
+		if eq7.Feasible {
+			// Everything Eq. 7 accepts, OR accepts too (Eq. 7 weights
+			// dominate the indicator), so OR's optimum is ≤ Eq. 7's.
+			if !or.Feasible {
+				t.Fatalf("trial %d: Eq.7 feasible (%v) but OR infeasible", trial, eq7)
+			}
+			if or.Sum > eq7.Sum {
+				t.Fatalf("trial %d: OR optimum %d worse than Eq.7 %d", trial, or.Sum, eq7.Sum)
+			}
+		}
+		if or.Feasible {
+			if ok, why := p.VerifyOR(or.Deadlines); !ok {
+				t.Fatalf("trial %d: OR solution fails VerifyOR: %s", trial, why)
+			}
+		}
+	}
+}
+
+func TestSolveExactORAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		p := Problem{
+			Be2e:       int64(100 + rng.Intn(100)),
+			Constraint: weaklyhard.Constraint{M: rng.Intn(2), K: 2 + rng.Intn(3)},
+		}
+		for i := 0; i < 2; i++ {
+			lat := make([]int64, 8)
+			for j := range lat {
+				lat[j] = int64(5 + rng.Intn(40))
+			}
+			p.Segments = append(p.Segments, SegmentInput{
+				Name: "s", Latencies: lat, Propagation: rng.Intn(2),
+			})
+		}
+		got := SolveExactOR(p, 0)
+		want := bruteForceOR(p)
+		if got.Feasible != want.Feasible {
+			t.Fatalf("trial %d: feasible=%v, brute=%v", trial, got.Feasible, want.Feasible)
+		}
+		if got.Feasible && got.Sum != want.Sum {
+			t.Fatalf("trial %d: sum=%d, brute=%d", trial, got.Sum, want.Sum)
+		}
+	}
+}
+
+func bruteForceOR(p Problem) Assignment {
+	ns := len(p.Segments)
+	cands := make([][]int64, ns)
+	for i := range cands {
+		cands[i] = p.candidateSet(i, 0)
+	}
+	best := Assignment{}
+	bestSum := int64(1 << 62)
+	idx := make([]int, ns)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == ns {
+			ds := make([]int64, ns)
+			var sum int64
+			for j := range ds {
+				ds[j] = cands[j][idx[j]]
+				sum += ds[j]
+			}
+			if ok, _ := p.VerifyOR(ds); ok && sum < bestSum {
+				best = Assignment{Feasible: true, Deadlines: ds, Sum: sum}
+				bestSum = sum
+			}
+			return
+		}
+		for j := range cands[i] {
+			idx[i] = j
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}

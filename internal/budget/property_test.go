@@ -1,0 +1,105 @@
+package budget
+
+import (
+	"math/rand"
+	"testing"
+
+	"chainmon/internal/weaklyhard"
+)
+
+// randomProblem builds a small random propagating instance.
+func randomProblem(rng *rand.Rand) Problem {
+	p := Problem{
+		Be2e:       int64(200 + rng.Intn(200)),
+		Constraint: weaklyhard.Constraint{M: rng.Intn(2) + 1, K: 3 + rng.Intn(3)},
+	}
+	ns := 2 + rng.Intn(2)
+	n := 10 + rng.Intn(10)
+	for i := 0; i < ns; i++ {
+		lat := make([]int64, n)
+		for j := range lat {
+			lat[j] = int64(5 + rng.Intn(50))
+		}
+		p.Segments = append(p.Segments, SegmentInput{
+			Name: "s", Latencies: lat, Propagation: rng.Intn(2),
+		})
+	}
+	return p
+}
+
+// Property: satisfaction of Eqs. 5–7 is monotone in every deadline —
+// raising any single deadline of a verified assignment (while budgets
+// allow) never breaks verification. This is what makes the candidate-set
+// search of the solvers sound.
+func TestVerifyMonotoneInDeadlines(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		p := randomProblem(rng)
+		a := SolveExact(p, 0)
+		if !a.Feasible {
+			continue
+		}
+		for i := range a.Deadlines {
+			raised := append([]int64(nil), a.Deadlines...)
+			raised[i] += int64(1 + rng.Intn(10))
+			var sum int64
+			for _, d := range raised {
+				sum += d
+			}
+			if sum > p.Be2e {
+				continue // Eq. 3 legitimately fails; not the property
+			}
+			if ok, why := p.Verify(raised); !ok {
+				t.Fatalf("trial %d: raising deadline %d broke verification: %s", trial, i, why)
+			}
+			if ok, why := p.VerifyOR(raised); !ok {
+				t.Fatalf("trial %d: raising deadline %d broke OR verification: %s", trial, i, why)
+			}
+		}
+	}
+}
+
+// Property: the exact solver's optimum is monotone in the constraint —
+// relaxing (m,k) to (m+1,k) never increases the minimum sum.
+func TestExactMonotoneInM(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 60; trial++ {
+		p := randomProblem(rng)
+		if p.Constraint.M+1 > p.Constraint.K {
+			continue
+		}
+		a := SolveExact(p, 0)
+		relaxed := p
+		relaxed.Constraint.M++
+		b := SolveExact(relaxed, 0)
+		if a.Feasible && !b.Feasible {
+			t.Fatalf("trial %d: relaxing m lost feasibility", trial)
+		}
+		if a.Feasible && b.Feasible && b.Sum > a.Sum {
+			t.Fatalf("trial %d: relaxing m raised the optimum %d → %d", trial, a.Sum, b.Sum)
+		}
+	}
+}
+
+// Property: candidate-set reduction yields feasible (possibly suboptimal)
+// results whenever the full search is feasible and the reduced search
+// succeeds; its sum never beats the true optimum.
+func TestCandidateReductionSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 60; trial++ {
+		p := randomProblem(rng)
+		full := SolveExact(p, 0)
+		reduced := SolveExact(p, 8)
+		if reduced.Feasible {
+			if ok, why := p.Verify(reduced.Deadlines); !ok {
+				t.Fatalf("trial %d: reduced solution invalid: %s", trial, why)
+			}
+			if !full.Feasible {
+				t.Fatalf("trial %d: reduced feasible but full search infeasible", trial)
+			}
+			if reduced.Sum < full.Sum {
+				t.Fatalf("trial %d: reduced sum %d beats optimum %d", trial, reduced.Sum, full.Sum)
+			}
+		}
+	}
+}

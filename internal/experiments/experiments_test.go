@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"chainmon/internal/sim"
+	"chainmon/internal/stats"
+)
+
+func TestFig9ShapeHolds(t *testing.T) {
+	r := RunFig9(400, 1)
+
+	// Claim 1: without monitoring, latencies show a heavy tail well above
+	// the deadline (paper: up to ~600 ms at a 100 ms deadline).
+	_, _, maxUnmon := quantiles(r.ObjectsUnmon)
+	if maxUnmon < 150*sim.Millisecond {
+		t.Errorf("unmonitored objects max %v — tail too light", maxUnmon)
+	}
+	// Claim 2: with monitoring, every activation is bounded by the
+	// deadline plus bounded exception handling.
+	for _, s := range []struct {
+		name string
+		max  sim.Duration
+	}{
+		{"objects", sim.Duration(r.ObjectsMon.Max())},
+		{"ground", sim.Duration(r.GroundMon.Max())},
+	} {
+		if s.max > r.Deadline+5*sim.Millisecond {
+			t.Errorf("monitored %s max %v exceeds deadline bound", s.name, s.max)
+		}
+	}
+	// Claim 3: the ground segment raises more exceptions than objects
+	// (paper: 1699 vs 934, a factor of ~1.8).
+	if r.GroundExcCount <= r.ObjectsExcCount {
+		t.Errorf("ground exceptions %d should exceed objects %d", r.GroundExcCount, r.ObjectsExcCount)
+	}
+	ratio := float64(r.GroundExcCount) / float64(r.ObjectsExcCount)
+	if ratio < 1.1 || ratio > 4.0 {
+		t.Errorf("ground/objects exception ratio %.2f far from the paper's ~1.8", ratio)
+	}
+
+	var buf bytes.Buffer
+	r.Report(&buf)
+	r.ReportFig10(&buf)
+	if !strings.Contains(buf.String(), "Figure 9") || !strings.Contains(buf.String(), "Figure 10") {
+		t.Error("report missing sections")
+	}
+}
+
+func TestFig10ExceptionLatenciesBounded(t *testing.T) {
+	r := RunFig9(400, 2)
+	if r.ObjectsExc.Len() == 0 || r.GroundExc.Len() == 0 {
+		t.Fatal("no exception cases")
+	}
+	// Exception-case latencies sit just past the deadline: detection and
+	// handler entry take at most a few hundred microseconds (paper).
+	for _, s := range []struct {
+		name string
+		max  sim.Duration
+	}{
+		{"objects", sim.Duration(r.ObjectsExc.Max())},
+		{"ground", sim.Duration(r.GroundExc.Max())},
+	} {
+		if s.max < r.Deadline {
+			t.Errorf("%s exception latency below deadline", s.name)
+		}
+		if s.max > r.Deadline+2*sim.Millisecond {
+			t.Errorf("%s exception latency %v too far past deadline", s.name, s.max)
+		}
+	}
+	// Detection latency is sub-millisecond.
+	if d := sim.Duration(r.ObjectsDetect.Max()); d > sim.Millisecond {
+		t.Errorf("objects detection latency %v too large", d)
+	}
+	// The ground segment is processed after the objects segment by the
+	// same monitor thread: whenever both segments raise an exception for
+	// the same activation, the ground handler enters strictly after the
+	// objects handler (Fig. 10's asymmetry).
+	if r.JointEntryGap.Len() == 0 {
+		t.Fatal("no joint-exception activations")
+	}
+	if r.JointEntryGap.Min() <= 0 {
+		t.Errorf("ground handler entered before objects on a joint exception (gap %v)",
+			sim.Duration(r.JointEntryGap.Min()))
+	}
+}
+
+func TestFig11RealOverheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment")
+	}
+	r := RunFig11(300, 200*time.Microsecond)
+	if r.StartPost.Len() < 600 || r.MonLatency.Len() < 500 {
+		t.Fatalf("samples: start=%d monlat=%d", r.StartPost.Len(), r.MonLatency.Len())
+	}
+	// Posting must be sub-10µs median (paper: tens of µs on 2012 hardware).
+	if m := time.Duration(r.StartPost.Median()); m > 50*time.Microsecond {
+		t.Errorf("start-event posting median %v too slow", m)
+	}
+	// Monitor latency median should be well under a millisecond.
+	if m := time.Duration(r.MonLatency.Median()); m > time.Millisecond {
+		t.Errorf("monitor latency median %v too slow", m)
+	}
+	if r.Exceptions == 0 || r.OK == 0 {
+		t.Errorf("need both paths: ok=%d exc=%d", r.OK, r.Exceptions)
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "Figure 11") {
+		t.Error("missing report section")
+	}
+}
+
+func TestFig12VariantOrdering(t *testing.T) {
+	r := RunFig12(240, 3, []float64{0, 0.5, 0.9})
+	ddsLow := r.Entries["dds-context @ 0% load"]
+	ddsHigh := r.Entries["dds-context @ 90% load"]
+	monHigh := r.Entries["monitor-thread @ 90% load"]
+	if ddsLow.Len() == 0 || ddsHigh.Len() == 0 || monHigh.Len() == 0 {
+		t.Fatal("missing samples")
+	}
+	max := func(s *stats.Sample) sim.Duration { return sim.Duration(s.Max()) }
+	// Claim: load worsens the DDS-context entry latency...
+	if max(ddsHigh) <= max(ddsLow) {
+		t.Errorf("dds-context max under load %v should exceed no-load %v", max(ddsHigh), max(ddsLow))
+	}
+	// ...while the monitor-thread variant stays small and bounded.
+	if max(monHigh) >= max(ddsHigh) {
+		t.Errorf("monitor-thread max %v should undercut dds-context %v under load",
+			max(monHigh), max(ddsHigh))
+	}
+	if max(monHigh) > 500*sim.Microsecond {
+		t.Errorf("monitor-thread entry %v not bounded tightly", max(monHigh))
+	}
+	// Paper magnitude check: dds-context outliers reach the millisecond
+	// range under load.
+	if max(ddsHigh) < 300*sim.Microsecond {
+		t.Errorf("dds-context max %v under load suspiciously small", max(ddsHigh))
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "Figure 12") {
+		t.Error("missing report section")
+	}
+}
+
+func TestFig6Claims(t *testing.T) {
+	rows := RunFig6(120, 4)
+	byName := map[string]Fig6Row{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	onTime := byName["on-time"]
+	if onTime.SyncFalsePos != 0 || onTime.IADetections != 0 {
+		t.Errorf("on-time scenario produced false alarms: %+v", onTime)
+	}
+	acc := byName["accumulating lateness"]
+	if acc.TrueViolations == 0 {
+		t.Fatal("accumulating scenario produced no violations")
+	}
+	// The decisive claim: inter-arrival sees nothing, sync sees all.
+	if acc.IADetections != 0 {
+		t.Errorf("inter-arrival detected %d accumulating-lateness violations; should be blind", acc.IADetections)
+	}
+	if acc.SyncMissed != 0 {
+		t.Errorf("sync-based missed %d true violations", acc.SyncMissed)
+	}
+	burst := byName["burst loss"]
+	if burst.SyncMissed != 0 {
+		t.Errorf("sync-based missed %d burst losses", burst.SyncMissed)
+	}
+	if burst.SyncDetected != burst.TrueViolations {
+		t.Errorf("sync detected %d of %d burst losses", burst.SyncDetected, burst.TrueViolations)
+	}
+	var buf bytes.Buffer
+	ReportFig6(&buf, rows)
+	if !strings.Contains(buf.String(), "inter-arrival") {
+		t.Error("missing report content")
+	}
+}
+
+func TestBudgetingSchedulabilityFrontier(t *testing.T) {
+	r := RunBudgeting(300, 5)
+	if r.TraceLen < 250 {
+		t.Fatalf("aligned trace too short: %d", r.TraceLen)
+	}
+	// Monotonicity: relaxing the constraint (larger m) or the budget can
+	// only keep or gain schedulability; the minimum sum shrinks with m.
+	type key struct {
+		m    int
+		be2e sim.Duration
+	}
+	cells := map[key]BudgetCell{}
+	for _, c := range r.Cells {
+		cells[key{c.Constraint.M, c.Be2e}] = c
+	}
+	for _, c := range r.Cells {
+		if up, ok := cells[key{c.Constraint.M + 1, c.Be2e}]; ok {
+			if c.Schedulable && !up.Schedulable {
+				t.Errorf("larger m lost schedulability: %v vs %v", c, up)
+			}
+			if c.Schedulable && up.Schedulable && up.Sum > c.Sum {
+				t.Errorf("larger m increased minimum sum: m=%d Σ=%v vs m=%d Σ=%v",
+					c.Constraint.M, c.Sum, up.Constraint.M, up.Sum)
+			}
+		}
+	}
+	// At a generous budget the chain must be schedulable even for m=0.
+	if c := cells[key{0, 800 * sim.Millisecond}]; !c.Schedulable {
+		t.Error("m=0 with 800 ms budget should be schedulable")
+	}
+	// There must be at least one infeasible cell (the frontier exists).
+	foundInfeasible := false
+	for _, c := range r.Cells {
+		if !c.Schedulable {
+			foundInfeasible = true
+		}
+	}
+	if !foundInfeasible {
+		t.Error("no infeasible cells — budgets too generous to show a frontier")
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "schedulable") {
+		t.Error("missing report content")
+	}
+}
+
+func TestFig3Narrative(t *testing.T) {
+	r := RunFig3(6)
+	if !r.RearRecovered {
+		t.Error("rear fusion segment did not recover with the front-only cloud")
+	}
+	if !r.FusedPropagated {
+		t.Error("fused remote segment did not propagate")
+	}
+	if !r.FinalHandlerDirect {
+		t.Error("final segment did not enter its handler via propagation")
+	}
+	if !r.FrontOnlyDelivered {
+		t.Error("front-only recovery data never produced")
+	}
+	if r.ChainViolations == 0 {
+		t.Error("the propagated error must count as a chain violation")
+	}
+	if len(r.Events) == 0 {
+		t.Error("no narrative events collected")
+	}
+	var buf bytes.Buffer
+	r.Report(&buf)
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Error("missing report section")
+	}
+}

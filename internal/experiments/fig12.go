@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/monitor"
+	"chainmon/internal/netsim"
+	"chainmon/internal/sim"
+	"chainmon/internal/stats"
+	"chainmon/internal/vclock"
+	"chainmon/internal/weaklyhard"
+)
+
+// Fig12Result compares the exception entry latency (deadline expiry →
+// timeout routine entry) of the remote monitor when the timer lives in the
+// DDS middleware context versus when it is forwarded to the high-priority
+// monitor thread, across background load levels.
+type Fig12Result struct {
+	Loads   []float64 // CPU utilization of the interfering load
+	Entries map[string]*stats.Sample
+	order   []string
+}
+
+// RunFig12 reproduces Fig. 12: a periodic remote stream where every eighth
+// sample is lost; the timeout routine's entry latency is measured under
+// increasing interfering load for both placement variants. The paper
+// measures only the DDS-context variant (~100 µs median, outliers near
+// 2 ms under light load) and proposes the monitor-thread variant.
+func RunFig12(samples int, seed int64, loads []float64) Fig12Result {
+	res := Fig12Result{Loads: loads, Entries: make(map[string]*stats.Sample)}
+	for _, variant := range []monitor.RemoteVariant{monitor.VariantDDSContext, monitor.VariantMonitorThread} {
+		for _, load := range loads {
+			key := fmt.Sprintf("%s @ %.0f%% load", variant, load*100)
+			res.order = append(res.order, key)
+			res.Entries[key] = runFig12Once(samples, seed, variant, load)
+		}
+	}
+	return res
+}
+
+func runFig12Once(samples int, seed int64, variant monitor.RemoteVariant, load float64) *stats.Sample {
+	k := sim.NewKernel()
+	d := dds.NewDomain(k, sim.NewRNG(seed))
+	d.InterECU = netsim.Config{
+		BCRT:   300 * sim.Microsecond,
+		Jitter: sim.LogNormalDist{Median: 150 * sim.Microsecond, Sigma: 0.6, Max: 5 * sim.Millisecond},
+	}
+	ecu1 := d.NewECU("sender-ecu", 2, vclock.Config{Epsilon: 50 * sim.Microsecond})
+	ecu2 := d.NewECU("receiver-ecu", 2, vclock.Config{Epsilon: 50 * sim.Microsecond})
+	sender := ecu1.NewNode("sender", dds.PrioExecBase)
+	receiver := ecu2.NewNode("receiver", dds.PrioExecBase)
+	_ = sender
+
+	pub := sender.NewPublisher("data")
+	sub := receiver.Subscribe("data", nil, nil)
+	lm := monitor.NewLocalMonitor(ecu2)
+	period := 100 * sim.Millisecond
+	rm := monitor.NewRemoteMonitor(sub, monitor.SegmentConfig{
+		Name: "remote", DMon: 10 * sim.Millisecond, Period: period,
+		Constraint: weaklyhard.Constraint{M: 8, K: 8},
+	}, variant, lm)
+	rm.SetLastActivation(uint64(samples - 1))
+
+	// Interfering services: periodic work between the executor and
+	// middleware priorities on every core of the receiver ECU.
+	if load > 0 {
+		loadPeriod := 2 * sim.Millisecond
+		cost := sim.Duration(float64(loadPeriod) * load)
+		for c := 0; c < ecu2.Proc.Cores; c++ {
+			th := ecu2.Proc.NewThread(fmt.Sprintf("interference-%d", c), dds.PrioMiddle+10)
+			ecu2.Proc.PeriodicLoad(th, "busy", sim.Time(c)*sim.Time(sim.Millisecond), loadPeriod,
+				sim.LogNormalDist{Median: cost, Sigma: 0.2, Max: loadPeriod})
+		}
+	}
+
+	for i := 0; i < samples; i++ {
+		act := uint64(i)
+		if act%8 == 7 {
+			continue // lost → timeout → exception entry measured
+		}
+		k.At(sim.Time(i)*sim.Time(period), func() { pub.Publish(act, nil, 256) })
+	}
+	horizon := sim.Time(samples)*sim.Time(period) + sim.Time(200*sim.Millisecond)
+	k.At(horizon, rm.Stop)
+	k.RunUntil(horizon.Add(sim.Second))
+
+	return rm.Stats().DetectionLatencies()
+}
+
+// Report prints the entry-latency rows per variant and load.
+func (r Fig12Result) Report(w io.Writer) {
+	section(w, "Figure 12 — Exception entry latency of remote monitoring",
+		"Deadline expiry → timeout routine entry, per timer placement and load.\n"+
+			"Paper (DDS context, low load): ~100 µs typical with outliers to ~2 ms;\n"+
+			"more load worsens it. Forwarding to the high-priority monitor thread\n"+
+			"keeps the entry latency small and bounded.")
+	for _, key := range r.order {
+		row(w, key, r.Entries[key])
+	}
+	fmt.Fprintln(w)
+	boxes := make([]stats.Boxplot, len(r.order))
+	for i, key := range r.order {
+		boxes[i] = r.Entries[key].Tukey()
+	}
+	fmt.Fprint(w, stats.RenderBoxplots(r.order, boxes, 70))
+}

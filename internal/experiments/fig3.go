@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/lidar"
+	"chainmon/internal/monitor"
+	"chainmon/internal/perception"
+	"chainmon/internal/sim"
+)
+
+// Fig3Event is one line of the error-case narrative.
+type Fig3Event struct {
+	Activation uint64
+	Segment    string
+	Status     monitor.Status
+	Propagated bool
+	At         sim.Time
+}
+
+// Fig3Result is the scripted reproduction of the paper's Fig. 3 chain
+// execution in an error case.
+type Fig3Result struct {
+	Events []Fig3Event
+	// RearRecovered: the fusion's rear segment missed and recovered with
+	// the front-only point cloud.
+	RearRecovered bool
+	// FusedPropagated: the following remote segment missed without
+	// recovery, propagating explicitly.
+	FusedPropagated bool
+	// FinalHandlerDirect: the last local segment entered error handling
+	// through the propagation event (no own timeout).
+	FinalHandlerDirect bool
+	// FrontOnlyDelivered: the classifier received the front-only recovery
+	// cloud for the perturbed activation.
+	FrontOnlyDelivered bool
+	ChainViolations    uint64
+}
+
+// RunFig3 reproduces the Fig. 3 error case on the full monitored chain:
+//
+//   - the front lidar's remote segment s0 finishes within its budget;
+//   - the rear lidar is delayed past the fusion segment's deadline; the
+//     application handler recovers by publishing the current point cloud
+//     with only the front lidar's data;
+//   - the fused publication for a later activation is lost, so the remote
+//     segment s2 times out and — with recovery impossible — propagates the
+//     error explicitly to s3, which goes directly into error handling.
+func RunFig3(seed int64) Fig3Result {
+	cfg := perception.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Frames = 40
+	cfg.FullChain = true
+
+	const rearLateAct = 10  // rear lidar delayed past the fusion deadline
+	const fusedLostAct = 20 // fused publication lost on the wire
+
+	var res Fig3Result
+	var frontOnly *perception.FrameData
+
+	cfg.Handlers = map[string]monitor.Handler{
+		// Fusion rear segment: recover by sending the point cloud with
+		// only the front lidar's data (Fig. 3's recovery case).
+		perception.SegFusionRear: func(ctx *monitor.ExceptionContext) *monitor.Recovery {
+			fd := &perception.FrameData{
+				Meta:      lidar.FrameMeta{Activation: ctx.Activation, GroundPoints: 6000, ObjectPoints: 5000},
+				Points:    11000,
+				FrontOnly: true,
+			}
+			frontOnly = fd
+			return &monitor.Recovery{Data: fd, Size: 16 * fd.Points}
+		},
+		// The objects segment reacts fast to the propagated error but
+		// cannot recover (no usable data): it alerts the application.
+		perception.SegObjectsLocal: func(ctx *monitor.ExceptionContext) *monitor.Recovery {
+			return nil
+		},
+	}
+
+	s := perception.Build(cfg)
+	// Delay the rear lidar's frame past the fusion segment deadline
+	// (deadline is LocalDeadline/2 = 50 ms).
+	s.RearLidar.Perturb = func(n uint64) (bool, sim.Duration) {
+		if n == rearLateAct {
+			return false, 70 * sim.Millisecond
+		}
+		return false, 0
+	}
+	// Lose the fused publication of a later activation on the wire: the
+	// publication event happens (the fusion segments end normally), the
+	// transmission does not, and the subscriber-side remote monitor
+	// detects the loss by timeout.
+	s.FusedPub.DropOnWire = append(s.FusedPub.DropOnWire, func(smp *dds.Sample) bool {
+		return smp.Activation == fusedLostAct && !smp.Recovered
+	})
+
+	s.Run()
+
+	collect := func(name string, segs map[string]*monitor.SegmentStats) {
+		for _, r := range segs[name].Resolutions() {
+			if r.Activation == rearLateAct || r.Activation == fusedLostAct {
+				res.Events = append(res.Events, Fig3Event{
+					Activation: r.Activation, Segment: name, Status: r.Status, At: r.End,
+				})
+			}
+		}
+	}
+	segs := map[string]*monitor.SegmentStats{
+		perception.SegFrontRemote:  s.RemFront.Stats(),
+		perception.SegRearRemote:   s.RemRear.Stats(),
+		perception.SegFusionFront:  s.FusionFront.Stats(),
+		perception.SegFusionRear:   s.FusionRear.Stats(),
+		perception.SegFusedRemote:  s.RemFused.Stats(),
+		perception.SegObjectsLocal: s.SegObjects.Stats(),
+	}
+	for name := range segs {
+		collect(name, segs)
+	}
+	sort.Slice(res.Events, func(i, j int) bool {
+		if res.Events[i].Activation != res.Events[j].Activation {
+			return res.Events[i].Activation < res.Events[j].Activation
+		}
+		return res.Events[i].At < res.Events[j].At
+	})
+
+	for _, r := range s.FusionRear.Stats().Resolutions() {
+		if r.Activation == rearLateAct && r.Status == monitor.StatusRecovered {
+			res.RearRecovered = true
+		}
+	}
+	for _, r := range s.RemFused.Stats().Resolutions() {
+		if r.Activation == fusedLostAct && r.Status == monitor.StatusMissed {
+			res.FusedPropagated = true
+		}
+	}
+	for _, r := range s.SegObjects.Stats().Resolutions() {
+		if r.Activation == fusedLostAct && r.Exception && r.Start == 0 {
+			res.FinalHandlerDirect = true
+		}
+	}
+	res.FrontOnlyDelivered = frontOnly != nil
+	_, _, res.ChainViolations = s.ChainFront.Totals()
+	return res
+}
+
+// Report prints the narrative.
+func (r Fig3Result) Report(w io.Writer) {
+	section(w, "Figure 3 — Chain execution in an error case",
+		"Scripted faults: the rear lidar frame of one activation is 70 ms late\n"+
+			"(fusion recovers with the front-only cloud); the fused publication of a\n"+
+			"later activation is lost (the remote segment propagates explicitly and\n"+
+			"the final segment enters error handling directly).")
+	for _, e := range r.Events {
+		marker := ""
+		if e.Status != monitor.StatusOK {
+			marker = "  <--"
+		}
+		fmt.Fprintf(w, "  act %2d  %-22s %-10s @ %v%s\n", e.Activation, e.Segment, e.Status, e.At, marker)
+	}
+	fmt.Fprintf(w, "\nrear segment recovered with front-only cloud: %v\n", r.RearRecovered)
+	fmt.Fprintf(w, "fused remote segment propagated explicitly:   %v\n", r.FusedPropagated)
+	fmt.Fprintf(w, "final segment entered handler via propagation: %v\n", r.FinalHandlerDirect)
+	fmt.Fprintf(w, "chain violations in the run:                   %d\n", r.ChainViolations)
+}

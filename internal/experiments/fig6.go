@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/monitor"
+	"chainmon/internal/netsim"
+	"chainmon/internal/sim"
+	"chainmon/internal/vclock"
+	"chainmon/internal/weaklyhard"
+)
+
+// scriptedJitter is a sim.Dist that returns a scripted per-message network
+// delay (indexed by send order), used to inject deterministic fault
+// patterns into a link.
+type scriptedJitter struct {
+	fn func(i int) sim.Duration
+	i  int
+}
+
+func (s *scriptedJitter) Sample(*sim.RNG) sim.Duration {
+	d := s.fn(s.i)
+	s.i++
+	return d
+}
+
+func (s *scriptedJitter) Bounds() (sim.Duration, sim.Duration) { return 0, 0 }
+func (s *scriptedJitter) String() string                       { return "scripted" }
+
+// Fig6Scenario is one fault pattern applied to a periodic remote stream.
+// The sender publishes exactly on time; NetDelay is the network response
+// time added to message i, and Drop loses it entirely.
+type Fig6Scenario struct {
+	Name     string
+	NetDelay func(n uint64) sim.Duration
+	Drop     func(n uint64) bool
+}
+
+// Fig6Row is the comparison result for one scenario.
+type Fig6Row struct {
+	Scenario string
+	// TrueViolations is the ground truth: activations that arrived later
+	// than d_mon after their publication (or never).
+	TrueViolations int
+	// SyncDetected/SyncFalsePos: violations flagged by the
+	// synchronization-based monitor, split by ground truth.
+	SyncDetected int
+	SyncFalsePos int
+	// SyncMissed: true violations the sync monitor did not flag.
+	SyncMissed int
+	// IADetections is the number of inter-arrival timer expiries. The
+	// mechanism has no notion of which activation violated, so the count
+	// is reported as-is.
+	IADetections int
+	Activations  int
+}
+
+// RunFig6 reproduces the Section III-B / Fig. 6 comparison of inter-arrival
+// monitoring against synchronization-based monitoring on three network
+// fault patterns: on-time delivery (false-positive check), accumulating
+// network lateness (each arrival within t_max of the previous one while the
+// absolute latency grows without bound — provably invisible to
+// inter-arrival supervision), and bursty loss.
+func RunFig6(activations int, seed int64) []Fig6Row {
+	period := 100 * sim.Millisecond
+	dmon := 20 * sim.Millisecond
+	scenarios := []Fig6Scenario{
+		{
+			Name:     "on-time",
+			NetDelay: func(uint64) sim.Duration { return 0 },
+		},
+		{
+			// Message n is delivered 8·n ms late: consecutive arrivals
+			// stay 108 ms apart (< t_max = 120 ms) forever.
+			Name:     "accumulating lateness",
+			NetDelay: func(n uint64) sim.Duration { return sim.Duration(n) * 8 * sim.Millisecond },
+		},
+		{
+			Name:     "burst loss",
+			NetDelay: func(uint64) sim.Duration { return 0 },
+			Drop:     func(n uint64) bool { return n%16 >= 12 }, // 4 consecutive lost per 16
+		},
+	}
+	var rows []Fig6Row
+	for _, sc := range scenarios {
+		rows = append(rows, runFig6Scenario(sc, activations, seed, period, dmon))
+	}
+	return rows
+}
+
+func runFig6Scenario(sc Fig6Scenario, activations int, seed int64, period, dmon sim.Duration) Fig6Row {
+	const bcrt = 300 * sim.Microsecond
+
+	build := func() (*sim.Kernel, *dds.Publisher, *dds.Subscription, *monitor.LocalMonitor) {
+		k := sim.NewKernel()
+		d := dds.NewDomain(k, sim.NewRNG(seed))
+		d.KsoftirqCost = sim.Constant(2 * sim.Microsecond)
+		d.DeliverCost = sim.Constant(5 * sim.Microsecond)
+		// Deterministic, scripted network: delay per message index.
+		d.SetLink("tx", "rx", netsim.Config{
+			BCRT: bcrt,
+			Jitter: &scriptedJitter{fn: func(i int) sim.Duration {
+				return delayOfMessage(sc, i)
+			}},
+		})
+		e1 := d.NewECU("tx", 2, vclock.Config{Epsilon: 50 * sim.Microsecond})
+		e2 := d.NewECU("rx", 2, vclock.Config{Epsilon: 50 * sim.Microsecond})
+		sender := e1.NewNode("sender", dds.PrioExecBase)
+		receiver := e2.NewNode("receiver", dds.PrioExecBase)
+		pub := sender.NewPublisher("data")
+		sub := receiver.Subscribe("data", nil, nil)
+		return k, pub, sub, monitor.NewLocalMonitor(e2)
+	}
+	drive := func(k *sim.Kernel, pub *dds.Publisher) (map[uint64]bool, sim.Time) {
+		trueLate := make(map[uint64]bool)
+		var lastSend sim.Time
+		for i := 0; i < activations; i++ {
+			act := uint64(i)
+			if sc.Drop != nil && sc.Drop(act) {
+				trueLate[act] = true // never arrives
+				continue
+			}
+			if sc.NetDelay(act)+bcrt > dmon {
+				trueLate[act] = true
+			}
+			at := sim.Time(act) * sim.Time(period)
+			if at > lastSend {
+				lastSend = at
+			}
+			k.At(at, func() { pub.Publish(act, nil, 128) })
+		}
+		return trueLate, lastSend
+	}
+
+	// Synchronization-based monitor run.
+	k, pub, sub, lm := build()
+	rm := monitor.NewRemoteMonitor(sub, monitor.SegmentConfig{
+		Name: "remote", DMon: dmon, Period: period,
+		Constraint: weaklyhard.Constraint{M: 1, K: 1},
+	}, monitor.VariantMonitorThread, lm)
+	rm.SetLastActivation(uint64(activations - 1))
+	trueLate, _ := drive(k, pub)
+	horizon := sim.Time(activations)*sim.Time(period) + sim.Time(activations)*sim.Time(10*sim.Millisecond) + sim.Time(sim.Second)
+	k.At(horizon, rm.Stop)
+	k.RunUntil(horizon.Add(sim.Second))
+
+	syncDet, syncFP := 0, 0
+	flagged := make(map[uint64]bool)
+	for _, res := range rm.Stats().Resolutions() {
+		if res.Status == monitor.StatusMissed {
+			flagged[res.Activation] = true
+			if trueLate[res.Activation] {
+				syncDet++
+			} else {
+				syncFP++
+			}
+		}
+	}
+	missed := 0
+	for act := range trueLate {
+		if !flagged[act] {
+			missed++
+		}
+	}
+
+	// Inter-arrival monitor run on an identical system, with the standard
+	// t_max = period + d_mon.
+	k2, pub2, sub2, _ := build()
+	ia := monitor.NewInterArrivalMonitor(sub2, period+dmon)
+	_, lastSend := drive(k2, pub2)
+	k2.At(horizon, ia.Stop)
+	k2.RunUntil(horizon.Add(sim.Second))
+
+	// Count only detections during the active stream; expiries after the
+	// final message are end-of-stream artifacts, not monitoring verdicts.
+	iaDetections := 0
+	for _, at := range ia.Detections() {
+		if at <= lastSend.Add(sc.NetDelay(uint64(activations-1))+bcrt) {
+			iaDetections++
+		}
+	}
+
+	return Fig6Row{
+		Scenario:       sc.Name,
+		TrueViolations: len(trueLate),
+		SyncDetected:   syncDet,
+		SyncFalsePos:   syncFP,
+		SyncMissed:     missed,
+		IADetections:   iaDetections,
+		Activations:    activations,
+	}
+}
+
+// delayOfMessage maps the i-th actually sent message to its scripted
+// network delay (drops shift the send index).
+func delayOfMessage(sc Fig6Scenario, sendIdx int) sim.Duration {
+	if sc.Drop == nil {
+		return sc.NetDelay(uint64(sendIdx))
+	}
+	// Recover the activation of the sendIdx-th non-dropped message.
+	idx := 0
+	for act := uint64(0); ; act++ {
+		if sc.Drop(act) {
+			continue
+		}
+		if idx == sendIdx {
+			return sc.NetDelay(act)
+		}
+		idx++
+	}
+}
+
+// ReportFig6 prints the comparison table.
+func ReportFig6(w io.Writer, rows []Fig6Row) {
+	section(w, "Figure 6 / §III-B — Inter-arrival vs synchronization-based remote monitoring",
+		"Ground truth = activations delivered later than d_mon after publication\n"+
+			"(or lost). The paper's argument: inter-arrival timers cannot detect\n"+
+			"consecutive or accumulating lateness (only usable for m = 0), whereas\n"+
+			"interpreting the transmitted timestamps detects every violation with\n"+
+			"pessimism bounded by J^a + ε. Inter-arrival detections cannot be\n"+
+			"attributed to activations at all.")
+	fmt.Fprintf(w, "%-24s %10s %10s %10s %10s %14s\n",
+		"scenario", "true", "sync-det", "sync-fp", "sync-miss", "inter-arrival")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %10d %10d %10d %10d %14d\n",
+			r.Scenario, r.TrueViolations, r.SyncDetected, r.SyncFalsePos, r.SyncMissed, r.IADetections)
+	}
+}

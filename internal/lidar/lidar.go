@@ -1,0 +1,452 @@
+// Package lidar provides the environment-perception workload of the
+// Autoware.Auto use case: point clouds, a seeded synthetic scene generator
+// (the substitute for the project's recorded pcap data), and the perception
+// algorithms the services in Fig. 1 run — fusion, ground classification and
+// euclidean clustering into bounding boxes.
+//
+// The algorithms are real and runnable; for long virtual-time experiments a
+// CostModel maps per-frame workload to virtual execution times so that
+// thousands of frames can be simulated without executing the geometry.
+package lidar
+
+import (
+	"fmt"
+	"math"
+
+	"chainmon/internal/sim"
+)
+
+// Point is one lidar return in vehicle coordinates (meters).
+type Point struct {
+	X, Y, Z float32
+}
+
+// PointCloud is one lidar frame.
+type PointCloud struct {
+	Frame  string // originating sensor ("front", "rear", "fused", ...)
+	Stamp  sim.Time
+	Points []Point
+}
+
+// Size returns the wire size of the cloud in bytes (16 bytes per point as
+// in the ROS2 PointCloud2 x/y/z/intensity layout).
+func (pc *PointCloud) Size() int { return 16 * len(pc.Points) }
+
+func (pc *PointCloud) String() string {
+	return fmt.Sprintf("cloud(%s, %d pts)", pc.Frame, len(pc.Points))
+}
+
+// SceneConfig parameterizes the synthetic environment.
+type SceneConfig struct {
+	// GroundPoints is the number of ground-plane returns per frame.
+	GroundPoints int
+	// MaxObjects bounds the number of obstacles in view.
+	MaxObjects int
+	// PointsPerObject is the mean number of returns per obstacle.
+	PointsPerObject int
+	// Extent is the half-width of the field of view in meters.
+	Extent float32
+	// NoiseStd is the measurement noise standard deviation in meters.
+	NoiseStd float32
+}
+
+// DefaultScene matches a mid-range automotive lidar.
+func DefaultScene() SceneConfig {
+	return SceneConfig{
+		GroundPoints:    6000,
+		MaxObjects:      12,
+		PointsPerObject: 900,
+		Extent:          40,
+		NoiseStd:        0.02,
+	}
+}
+
+// SceneGenerator produces a deterministic sequence of frames. The number of
+// visible objects follows a bounded random walk, so workload per frame is
+// bursty — the source of the heavy-tailed compute times in the evaluation.
+// Materialized frames (NextFrame) keep persistent objects that move with
+// constant velocity between frames, so downstream tracking is meaningful.
+type SceneGenerator struct {
+	cfg     SceneConfig
+	rng     *sim.RNG
+	objects int
+	objs    []sceneObject
+}
+
+// sceneObject is one persistent obstacle of the materialized scene.
+type sceneObject struct {
+	cx, cy float32 // center
+	vx, vy float32 // per-frame displacement (m/frame)
+	w, h   float32 // half-width and height
+}
+
+// NewSceneGenerator creates a generator with its own random stream.
+func NewSceneGenerator(cfg SceneConfig, rng *sim.RNG) *SceneGenerator {
+	return &SceneGenerator{cfg: cfg, rng: rng.Derive("scene"), objects: cfg.MaxObjects / 2}
+}
+
+// step advances the object-count random walk.
+func (g *SceneGenerator) step() {
+	g.objects += g.rng.Intn(3) - 1
+	if g.objects < 0 {
+		g.objects = 0
+	}
+	if g.objects > g.cfg.MaxObjects {
+		g.objects = g.cfg.MaxObjects
+	}
+}
+
+// FrameMeta describes a frame's workload without materializing geometry.
+type FrameMeta struct {
+	Activation   uint64
+	Objects      int
+	GroundPoints int
+	ObjectPoints int
+}
+
+// TotalPoints returns the point count of the frame.
+func (f FrameMeta) TotalPoints() int { return f.GroundPoints + f.ObjectPoints }
+
+// NextMeta produces the next frame's workload description only (cheap; used
+// by long virtual-time runs).
+func (g *SceneGenerator) NextMeta(activation uint64) FrameMeta {
+	g.step()
+	obj := 0
+	for i := 0; i < g.objects; i++ {
+		obj += g.cfg.PointsPerObject/2 + g.rng.Intn(g.cfg.PointsPerObject)
+	}
+	return FrameMeta{
+		Activation:   activation,
+		Objects:      g.objects,
+		GroundPoints: g.cfg.GroundPoints,
+		ObjectPoints: obj,
+	}
+}
+
+// NextFrame materializes the next frame's geometry (used by examples and
+// algorithm tests). Obstacles persist across frames and move with constant
+// velocity, bouncing at the field-of-view boundary.
+func (g *SceneGenerator) NextFrame(activation uint64, frame string, stamp sim.Time) *PointCloud {
+	meta := g.NextMeta(activation)
+	e := float64(g.cfg.Extent)
+
+	// Synchronize the persistent object set with the walked count.
+	for len(g.objs) < meta.Objects {
+		g.objs = append(g.objs, sceneObject{
+			cx: float32(g.rng.Uniform(-e*0.8, e*0.8)),
+			cy: float32(g.rng.Uniform(-e*0.8, e*0.8)),
+			// Up to ±1.5 m per frame (≈15 m/s at 10 FPS).
+			vx: float32(g.rng.Uniform(-1.5, 1.5)),
+			vy: float32(g.rng.Uniform(-1.5, 1.5)),
+			w:  float32(g.rng.Uniform(0.5, 2.5)),
+			h:  float32(g.rng.Uniform(0.8, 2.2)),
+		})
+	}
+	if len(g.objs) > meta.Objects {
+		g.objs = g.objs[:meta.Objects]
+	}
+	// Move objects; bounce at the boundary.
+	bound := float32(e * 0.9)
+	for i := range g.objs {
+		o := &g.objs[i]
+		o.cx += o.vx
+		o.cy += o.vy
+		if o.cx > bound || o.cx < -bound {
+			o.vx = -o.vx
+		}
+		if o.cy > bound || o.cy < -bound {
+			o.vy = -o.vy
+		}
+	}
+
+	pc := &PointCloud{Frame: frame, Stamp: stamp}
+	pc.Points = make([]Point, 0, meta.TotalPoints())
+	// Ground plane with slight tilt and noise.
+	for i := 0; i < meta.GroundPoints; i++ {
+		x := float32(g.rng.Uniform(-e, e))
+		y := float32(g.rng.Uniform(-e, e))
+		z := 0.01*x + float32(g.rng.Normal(0, float64(g.cfg.NoiseStd)))
+		pc.Points = append(pc.Points, Point{x, y, z})
+	}
+	// Obstacles: boxes of points above the ground.
+	remaining := meta.ObjectPoints
+	for o := 0; o < len(g.objs) && remaining > 0; o++ {
+		n := remaining / (len(g.objs) - o)
+		obj := g.objs[o]
+		for i := 0; i < n; i++ {
+			pc.Points = append(pc.Points, Point{
+				obj.cx + float32(g.rng.Uniform(-float64(obj.w), float64(obj.w))),
+				obj.cy + float32(g.rng.Uniform(-float64(obj.w), float64(obj.w))),
+				float32(g.rng.Uniform(0.3, float64(obj.h))),
+			})
+		}
+		remaining -= n
+	}
+	return pc
+}
+
+// Fuse joins two clouds into one, as the fusion service does with the front
+// and rear lidar frames (matched by their timestamps upstream).
+func Fuse(a, b *PointCloud) *PointCloud {
+	out := &PointCloud{Frame: "fused", Stamp: maxTime(a.Stamp, b.Stamp)}
+	out.Points = make([]Point, 0, len(a.Points)+len(b.Points))
+	out.Points = append(out.Points, a.Points...)
+	out.Points = append(out.Points, b.Points...)
+	return out
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ClassifyGround splits a cloud into ground and non-ground points: a plane
+// z = ax + by + c is fitted by least squares to the lowest-z half of the
+// cloud, and points within tol of the plane are classified as ground.
+func ClassifyGround(pc *PointCloud, tol float32) (ground, nonGround *PointCloud) {
+	ground = &PointCloud{Frame: "ground", Stamp: pc.Stamp}
+	nonGround = &PointCloud{Frame: "nonground", Stamp: pc.Stamp}
+	if len(pc.Points) == 0 {
+		return ground, nonGround
+	}
+	a, b, c := fitPlane(pc.Points)
+	for _, p := range pc.Points {
+		if float32(math.Abs(float64(p.Z-(a*p.X+b*p.Y+c)))) <= tol {
+			ground.Points = append(ground.Points, p)
+		} else {
+			nonGround.Points = append(nonGround.Points, p)
+		}
+	}
+	return ground, nonGround
+}
+
+// fitPlane least-squares fits z = ax + by + c to the low-z portion of the
+// cloud (robustness against obstacle points, which sit above ground).
+func fitPlane(pts []Point) (a, b, c float32) {
+	// Cut at roughly the 40th z-percentile (ground returns dominate the
+	// low end), estimated from a coarse histogram to stay O(n).
+	minZ, maxZ := pts[0].Z, pts[0].Z
+	for _, p := range pts {
+		if p.Z < minZ {
+			minZ = p.Z
+		}
+		if p.Z > maxZ {
+			maxZ = p.Z
+		}
+	}
+	cut := maxZ
+	if maxZ > minZ {
+		const bins = 64
+		var hist [bins]int
+		scale := float32(bins-1) / (maxZ - minZ)
+		for _, p := range pts {
+			hist[int((p.Z-minZ)*scale)]++
+		}
+		target := len(pts) * 40 / 100
+		acc := 0
+		for i, h := range hist {
+			acc += h
+			if acc >= target {
+				cut = minZ + float32(i+1)/scale
+				break
+			}
+		}
+	}
+	var sx, sy, sz, sxx, syy, sxy, sxz, syz float64
+	var n float64
+	for _, p := range pts {
+		if p.Z > cut {
+			continue
+		}
+		x, y, z := float64(p.X), float64(p.Y), float64(p.Z)
+		sx += x
+		sy += y
+		sz += z
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+		sxz += x * z
+		syz += y * z
+		n++
+	}
+	if n < 3 {
+		return 0, 0, 0
+	}
+	// Solve the 3x3 normal equations with Cramer's rule.
+	m := [3][3]float64{
+		{sxx, sxy, sx},
+		{sxy, syy, sy},
+		{sx, sy, n},
+	}
+	rhs := [3]float64{sxz, syz, sz}
+	det := det3(m)
+	if math.Abs(det) < 1e-9 {
+		return 0, 0, float32(sz / n)
+	}
+	var sol [3]float64
+	for i := 0; i < 3; i++ {
+		mi := m
+		for r := 0; r < 3; r++ {
+			mi[r][i] = rhs[r]
+		}
+		sol[i] = det3(mi) / det
+	}
+	return float32(sol[0]), float32(sol[1]), float32(sol[2])
+}
+
+func det3(m [3][3]float64) float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+// BoundingBox is one detected obstacle.
+type BoundingBox struct {
+	Min, Max Point
+	Count    int
+}
+
+// Center returns the box center.
+func (b BoundingBox) Center() Point {
+	return Point{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2, (b.Min.Z + b.Max.Z) / 2}
+}
+
+// Cluster groups non-ground points into obstacles by grid-based euclidean
+// clustering (the object-detection service): points are hashed into cells
+// of cellSize and connected cells (8-neighborhood in x/y) form clusters;
+// clusters with fewer than minPts points are discarded as noise.
+func Cluster(pc *PointCloud, cellSize float32, minPts int) []BoundingBox {
+	if len(pc.Points) == 0 {
+		return nil
+	}
+	type cell struct{ x, y int32 }
+	grid := make(map[cell][]int)
+	for i, p := range pc.Points {
+		c := cell{int32(math.Floor(float64(p.X / cellSize))), int32(math.Floor(float64(p.Y / cellSize)))}
+		grid[c] = append(grid[c], i)
+	}
+	visited := make(map[cell]bool)
+	var boxes []BoundingBox
+	for start := range grid {
+		if visited[start] {
+			continue
+		}
+		// BFS over connected cells.
+		queue := []cell{start}
+		visited[start] = true
+		var members []int
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			members = append(members, grid[c]...)
+			for dx := int32(-1); dx <= 1; dx++ {
+				for dy := int32(-1); dy <= 1; dy++ {
+					n := cell{c.x + dx, c.y + dy}
+					if _, ok := grid[n]; ok && !visited[n] {
+						visited[n] = true
+						queue = append(queue, n)
+					}
+				}
+			}
+		}
+		if len(members) < minPts {
+			continue
+		}
+		box := BoundingBox{Min: pc.Points[members[0]], Max: pc.Points[members[0]], Count: len(members)}
+		for _, i := range members[1:] {
+			p := pc.Points[i]
+			box.Min.X = min32(box.Min.X, p.X)
+			box.Min.Y = min32(box.Min.Y, p.Y)
+			box.Min.Z = min32(box.Min.Z, p.Z)
+			box.Max.X = max32(box.Max.X, p.X)
+			box.Max.Y = max32(box.Max.Y, p.Y)
+			box.Max.Z = max32(box.Max.Z, p.Z)
+		}
+		boxes = append(boxes, box)
+	}
+	return boxes
+}
+
+func min32(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CostModel maps per-frame workload to virtual execution times for the
+// discrete-event simulation. Per-point costs are calibrated so that the
+// segment latency distributions have the same shape as the evaluation's
+// (medians of tens of milliseconds, tails to several hundred).
+type CostModel struct {
+	FusePerPoint     sim.Duration
+	ClassifyPerPoint sim.Duration
+	ClusterPerPoint  sim.Duration
+	PlanPerObject    sim.Duration
+	// RenderPerPoint is the cost of taking and rendering one point of a
+	// large cloud in the visualization service (rviz2). It dominates the
+	// ground topic's reception and is why the evaluation's ground segment
+	// misses its deadline more often than the objects segment despite the
+	// shorter path.
+	RenderPerPoint sim.Duration
+	BaseCost       sim.Duration
+	// JitterSigma is the log-normal multiplicative jitter applied to each
+	// cost sample (cache effects, frequency scaling, migrations).
+	JitterSigma float64
+}
+
+// DefaultCostModel is calibrated for the Fig. 9 shape on the default scene.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		FusePerPoint:     300 * sim.Nanosecond,
+		ClassifyPerPoint: 1600 * sim.Nanosecond,
+		ClusterPerPoint:  2300 * sim.Nanosecond,
+		PlanPerObject:    200 * sim.Microsecond,
+		RenderPerPoint:   3400 * sim.Nanosecond,
+		BaseCost:         500 * sim.Microsecond,
+		JitterSigma:      0.5,
+	}
+}
+
+func (c CostModel) jitter(d sim.Duration, rng *sim.RNG) sim.Duration {
+	if c.JitterSigma <= 0 {
+		return d
+	}
+	return sim.Duration(float64(d) * math.Exp(c.JitterSigma*rng.Normal(0, 1)))
+}
+
+// FuseCost returns the virtual execution time of fusing n points.
+func (c CostModel) FuseCost(points int, rng *sim.RNG) sim.Duration {
+	return c.jitter(c.BaseCost+sim.Duration(points)*c.FusePerPoint, rng)
+}
+
+// ClassifyCost returns the virtual execution time of ground classification.
+func (c CostModel) ClassifyCost(points int, rng *sim.RNG) sim.Duration {
+	return c.jitter(c.BaseCost+sim.Duration(points)*c.ClassifyPerPoint, rng)
+}
+
+// ClusterCost returns the virtual execution time of clustering n non-ground
+// points.
+func (c CostModel) ClusterCost(points int, rng *sim.RNG) sim.Duration {
+	return c.jitter(c.BaseCost+sim.Duration(points)*c.ClusterPerPoint, rng)
+}
+
+// PlanCost returns the virtual execution time of consuming n objects.
+func (c CostModel) PlanCost(objects int, rng *sim.RNG) sim.Duration {
+	return c.jitter(c.BaseCost+sim.Duration(objects)*c.PlanPerObject, rng)
+}
+
+// RenderCost returns the virtual cost of taking and rendering an n-point
+// cloud in the visualization service.
+func (c CostModel) RenderCost(points int, rng *sim.RNG) sim.Duration {
+	return c.jitter(c.BaseCost+sim.Duration(points)*c.RenderPerPoint, rng)
+}

@@ -1,0 +1,222 @@
+package lidar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chainmon/internal/sim"
+)
+
+func gen() *SceneGenerator {
+	return NewSceneGenerator(DefaultScene(), sim.NewRNG(42))
+}
+
+func TestSceneGeneratorDeterministic(t *testing.T) {
+	a := gen().NextFrame(0, "front", 0)
+	b := gen().NextFrame(0, "front", 0)
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("same seed produced different frames")
+		}
+	}
+}
+
+func TestSceneMetaMatchesConfig(t *testing.T) {
+	g := gen()
+	for i := uint64(0); i < 50; i++ {
+		m := g.NextMeta(i)
+		if m.GroundPoints != DefaultScene().GroundPoints {
+			t.Fatalf("ground points = %d", m.GroundPoints)
+		}
+		if m.Objects < 0 || m.Objects > DefaultScene().MaxObjects {
+			t.Fatalf("objects = %d out of range", m.Objects)
+		}
+		if m.Activation != i {
+			t.Fatalf("activation = %d", m.Activation)
+		}
+	}
+}
+
+func TestObjectCountWalkVaries(t *testing.T) {
+	g := gen()
+	counts := map[int]bool{}
+	for i := uint64(0); i < 200; i++ {
+		counts[g.NextMeta(i).Objects] = true
+	}
+	if len(counts) < 3 {
+		t.Errorf("object counts barely vary: %v", counts)
+	}
+}
+
+func TestFuseConcatenatesAndStamps(t *testing.T) {
+	a := &PointCloud{Frame: "front", Stamp: 10, Points: []Point{{1, 0, 0}}}
+	b := &PointCloud{Frame: "rear", Stamp: 20, Points: []Point{{2, 0, 0}, {3, 0, 0}}}
+	f := Fuse(a, b)
+	if len(f.Points) != 3 {
+		t.Fatalf("fused points = %d", len(f.Points))
+	}
+	if f.Stamp != 20 {
+		t.Errorf("stamp = %v, want max(10,20)", f.Stamp)
+	}
+	if f.Frame != "fused" {
+		t.Errorf("frame = %s", f.Frame)
+	}
+}
+
+func TestClassifyGroundSeparatesPlane(t *testing.T) {
+	g := gen()
+	pc := g.NextFrame(0, "front", 0)
+	ground, nonGround := ClassifyGround(pc, 0.15)
+	if len(ground.Points)+len(nonGround.Points) != len(pc.Points) {
+		t.Fatal("classification lost points")
+	}
+	// Ground points dominate the ground set, object points the other.
+	if len(ground.Points) < DefaultScene().GroundPoints*8/10 {
+		t.Errorf("ground = %d, expected most of the %d plane points",
+			len(ground.Points), DefaultScene().GroundPoints)
+	}
+	// All obstacle points sit at z ≥ 0.3, so non-ground should be mostly
+	// above the plane.
+	above := 0
+	for _, p := range nonGround.Points {
+		if p.Z > 0.2 {
+			above++
+		}
+	}
+	if above < len(nonGround.Points)*9/10 {
+		t.Errorf("non-ground contains %d/%d low points", len(nonGround.Points)-above, len(nonGround.Points))
+	}
+}
+
+func TestClassifyGroundEmptyCloud(t *testing.T) {
+	g, n := ClassifyGround(&PointCloud{}, 0.1)
+	if len(g.Points) != 0 || len(n.Points) != 0 {
+		t.Error("empty cloud should classify to empty sets")
+	}
+}
+
+func TestFitPlaneRecoversKnownPlane(t *testing.T) {
+	pts := make([]Point, 0, 400)
+	for x := -10; x < 10; x++ {
+		for y := -10; y < 10; y++ {
+			z := 0.05*float32(x) - 0.02*float32(y) + 1.0
+			pts = append(pts, Point{float32(x), float32(y), z})
+		}
+	}
+	a, b, c := fitPlane(pts)
+	if math.Abs(float64(a-0.05)) > 0.01 || math.Abs(float64(b+0.02)) > 0.01 || math.Abs(float64(c-1.0)) > 0.05 {
+		t.Errorf("plane = %f,%f,%f, want 0.05,-0.02,1.0", a, b, c)
+	}
+}
+
+func TestClusterFindsSeparatedObjects(t *testing.T) {
+	pc := &PointCloud{}
+	// Two dense clusters far apart plus isolated noise.
+	for i := 0; i < 50; i++ {
+		d := float32(i) * 0.01
+		pc.Points = append(pc.Points, Point{10 + d, 10 + d, 1})
+		pc.Points = append(pc.Points, Point{-10 - d, -10 - d, 1})
+	}
+	pc.Points = append(pc.Points, Point{30, 30, 1}) // noise
+	boxes := Cluster(pc, 1.0, 5)
+	if len(boxes) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(boxes))
+	}
+	for _, b := range boxes {
+		if b.Count != 50 {
+			t.Errorf("cluster size = %d, want 50", b.Count)
+		}
+	}
+}
+
+func TestClusterOnGeneratedScene(t *testing.T) {
+	g := gen()
+	var found bool
+	for i := uint64(0); i < 10 && !found; i++ {
+		pc := g.NextFrame(i, "front", 0)
+		_, nonGround := ClassifyGround(pc, 0.15)
+		boxes := Cluster(nonGround, 1.5, 30)
+		if len(boxes) > 0 {
+			found = true
+			for _, b := range boxes {
+				if b.Max.X < b.Min.X || b.Max.Y < b.Min.Y || b.Max.Z < b.Min.Z {
+					t.Fatal("degenerate box")
+				}
+				c := b.Center()
+				if c.X < b.Min.X || c.X > b.Max.X {
+					t.Fatal("center outside box")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no obstacle detected in 10 generated frames")
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	if Cluster(&PointCloud{}, 1, 1) != nil {
+		t.Error("empty cloud should yield no boxes")
+	}
+}
+
+func TestCloudSize(t *testing.T) {
+	pc := &PointCloud{Points: make([]Point, 10)}
+	if pc.Size() != 160 {
+		t.Errorf("size = %d, want 160", pc.Size())
+	}
+	if pc.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCostModelScalesWithPoints(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.JitterSigma = 0 // deterministic
+	rng := sim.NewRNG(1)
+	small := cm.ClassifyCost(1000, rng)
+	large := cm.ClassifyCost(100000, rng)
+	if large <= small {
+		t.Error("cost does not scale with points")
+	}
+	if small < cm.BaseCost {
+		t.Error("cost below base cost")
+	}
+}
+
+// Property: costs are always positive and monotone in workload when jitter
+// is disabled.
+func TestCostMonotoneProperty(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.JitterSigma = 0
+	rng := sim.NewRNG(2)
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return cm.FuseCost(x, rng) <= cm.FuseCost(y, rng) &&
+			cm.ClusterCost(x, rng) <= cm.ClusterCost(y, rng) &&
+			cm.PlanCost(x, rng) <= cm.PlanCost(y, rng) &&
+			cm.ClassifyCost(x, rng) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostJitterSpreads(t *testing.T) {
+	cm := DefaultCostModel()
+	rng := sim.NewRNG(3)
+	seen := map[sim.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[cm.ClassifyCost(10000, rng)] = true
+	}
+	if len(seen) < 40 {
+		t.Errorf("jittered costs barely vary: %d distinct", len(seen))
+	}
+}

@@ -1,0 +1,147 @@
+package lidar
+
+import (
+	"math"
+
+	"chainmon/internal/sim"
+)
+
+// Track is one object hypothesis maintained across frames by the Tracker.
+type Track struct {
+	ID int
+	// Center is the last associated detection's center.
+	Center Point
+	// Velocity is the estimated planar velocity in m/s.
+	Velocity Point
+	// Age is the number of frames since the track was created.
+	Age int
+	// Misses is the number of consecutive frames without an association.
+	Misses int
+	// Hits is the total number of associated detections.
+	Hits int
+	// LastSeen is the timestamp of the last associated detection.
+	LastSeen sim.Time
+}
+
+// Predict extrapolates the track center to the given time.
+func (t *Track) Predict(at sim.Time) Point {
+	dt := float32(at.Sub(t.LastSeen)) / float32(sim.Second)
+	return Point{
+		X: t.Center.X + t.Velocity.X*dt,
+		Y: t.Center.Y + t.Velocity.Y*dt,
+		Z: t.Center.Z,
+	}
+}
+
+// Tracker associates bounding-box detections across frames by
+// nearest-neighbor gating, maintaining stable IDs and simple constant-
+// velocity estimates — the consumer-side processing of the plan service.
+type Tracker struct {
+	// Gate is the maximum association distance in meters.
+	Gate float32
+	// MaxMisses is how many frames a track coasts before being dropped.
+	MaxMisses int
+	// MinHits is how many associations a track needs before being
+	// reported as confirmed.
+	MinHits int
+
+	tracks []*Track
+	nextID int
+}
+
+// NewTracker returns a tracker with sensible automotive defaults.
+func NewTracker() *Tracker {
+	return &Tracker{Gate: 3.0, MaxMisses: 3, MinHits: 2}
+}
+
+// Update associates a frame of detections and returns the confirmed tracks.
+func (tr *Tracker) Update(boxes []BoundingBox, at sim.Time) []*Track {
+	type cand struct {
+		track *Track
+		box   int
+		dist  float32
+	}
+	// Predicted positions for gating.
+	var cands []cand
+	for _, t := range tr.tracks {
+		p := t.Predict(at)
+		for i, b := range boxes {
+			d := planarDist(p, b.Center())
+			if d <= tr.Gate {
+				cands = append(cands, cand{t, i, d})
+			}
+		}
+	}
+	// Greedy nearest-neighbor assignment (sufficient for sparse traffic).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].dist < cands[j-1].dist; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	usedTrack := make(map[*Track]bool)
+	usedBox := make(map[int]bool)
+	for _, c := range cands {
+		if usedTrack[c.track] || usedBox[c.box] {
+			continue
+		}
+		usedTrack[c.track] = true
+		usedBox[c.box] = true
+		tr.associate(c.track, boxes[c.box], at)
+	}
+	// Unmatched tracks coast; expired ones drop.
+	kept := tr.tracks[:0]
+	for _, t := range tr.tracks {
+		if !usedTrack[t] {
+			t.Misses++
+			t.Age++
+		}
+		if t.Misses <= tr.MaxMisses {
+			kept = append(kept, t)
+		}
+	}
+	tr.tracks = kept
+	// Unmatched detections spawn tracks.
+	for i, b := range boxes {
+		if !usedBox[i] {
+			tr.nextID++
+			tr.tracks = append(tr.tracks, &Track{
+				ID: tr.nextID, Center: b.Center(), LastSeen: at, Hits: 1, Age: 1,
+			})
+		}
+	}
+	// Report confirmed tracks.
+	var confirmed []*Track
+	for _, t := range tr.tracks {
+		if t.Hits >= tr.MinHits {
+			confirmed = append(confirmed, t)
+		}
+	}
+	return confirmed
+}
+
+func (tr *Tracker) associate(t *Track, b BoundingBox, at sim.Time) {
+	c := b.Center()
+	dt := float32(at.Sub(t.LastSeen)) / float32(sim.Second)
+	if dt > 0 {
+		// Exponentially smoothed constant-velocity estimate.
+		const alpha = 0.5
+		vx := (c.X - t.Center.X) / dt
+		vy := (c.Y - t.Center.Y) / dt
+		t.Velocity.X = alpha*vx + (1-alpha)*t.Velocity.X
+		t.Velocity.Y = alpha*vy + (1-alpha)*t.Velocity.Y
+	}
+	t.Center = c
+	t.LastSeen = at
+	t.Hits++
+	t.Age++
+	t.Misses = 0
+}
+
+// Tracks returns all live tracks (confirmed or tentative).
+func (tr *Tracker) Tracks() []*Track { return tr.tracks }
+
+func planarDist(a, b Point) float32 {
+	dx := float64(a.X - b.X)
+	dy := float64(a.Y - b.Y)
+	return float32(math.Sqrt(dx*dx + dy*dy))
+}

@@ -1,0 +1,140 @@
+package lidar
+
+import (
+	"testing"
+
+	"chainmon/internal/sim"
+)
+
+func boxAt(x, y float32) BoundingBox {
+	return BoundingBox{Min: Point{x - 1, y - 1, 0}, Max: Point{x + 1, y + 1, 2}, Count: 50}
+}
+
+func frameTime(i int) sim.Time { return sim.Time(i) * sim.Time(100*sim.Millisecond) }
+
+func TestTrackerMaintainsStableIDs(t *testing.T) {
+	tr := NewTracker()
+	// One object moving +1 m per frame in x.
+	var id int
+	for i := 0; i < 5; i++ {
+		confirmed := tr.Update([]BoundingBox{boxAt(float32(i), 0)}, frameTime(i))
+		if i >= tr.MinHits-1 {
+			if len(confirmed) != 1 {
+				t.Fatalf("frame %d: confirmed = %d", i, len(confirmed))
+			}
+			if id == 0 {
+				id = confirmed[0].ID
+			} else if confirmed[0].ID != id {
+				t.Fatalf("frame %d: ID changed %d → %d", i, id, confirmed[0].ID)
+			}
+		}
+	}
+}
+
+func TestTrackerEstimatesVelocity(t *testing.T) {
+	tr := NewTracker()
+	// 2 m per 100 ms = 20 m/s in x.
+	var last []*Track
+	for i := 0; i < 6; i++ {
+		last = tr.Update([]BoundingBox{boxAt(float32(2*i), 0)}, frameTime(i))
+	}
+	if len(last) != 1 {
+		t.Fatalf("confirmed = %d", len(last))
+	}
+	v := last[0].Velocity.X
+	if v < 15 || v > 25 {
+		t.Errorf("velocity = %f m/s, want ≈20", v)
+	}
+	// Prediction extrapolates ahead.
+	p := last[0].Predict(frameTime(6))
+	if p.X < last[0].Center.X {
+		t.Error("prediction went backwards")
+	}
+}
+
+func TestTrackerSeparatesTwoObjects(t *testing.T) {
+	tr := NewTracker()
+	var ids map[int]bool
+	for i := 0; i < 5; i++ {
+		confirmed := tr.Update([]BoundingBox{
+			boxAt(float32(i), 10),
+			boxAt(float32(-i), -10),
+		}, frameTime(i))
+		ids = map[int]bool{}
+		for _, c := range confirmed {
+			ids[c.ID] = true
+		}
+	}
+	if len(ids) != 2 {
+		t.Errorf("distinct confirmed IDs = %d, want 2", len(ids))
+	}
+}
+
+func TestTrackerCoastsAndDrops(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 3; i++ {
+		tr.Update([]BoundingBox{boxAt(0, 0)}, frameTime(i))
+	}
+	if len(tr.Tracks()) != 1 {
+		t.Fatal("track not established")
+	}
+	// The object disappears: the track coasts MaxMisses frames, then drops.
+	for i := 3; i < 3+tr.MaxMisses; i++ {
+		tr.Update(nil, frameTime(i))
+		if len(tr.Tracks()) != 1 {
+			t.Fatalf("frame %d: track dropped too early", i)
+		}
+	}
+	tr.Update(nil, frameTime(3+tr.MaxMisses))
+	if len(tr.Tracks()) != 0 {
+		t.Error("track not dropped after MaxMisses")
+	}
+}
+
+func TestTrackerReassociatesAfterGap(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 3; i++ {
+		tr.Update([]BoundingBox{boxAt(float32(i), 0)}, frameTime(i))
+	}
+	id := tr.Tracks()[0].ID
+	// One missed frame, then the object reappears where predicted.
+	tr.Update(nil, frameTime(3))
+	confirmed := tr.Update([]BoundingBox{boxAt(4, 0)}, frameTime(4))
+	if len(confirmed) != 1 || confirmed[0].ID != id {
+		t.Errorf("track not reassociated after gap (confirmed=%v)", confirmed)
+	}
+}
+
+func TestTrackerGateRejectsFarDetections(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 3; i++ {
+		tr.Update([]BoundingBox{boxAt(0, 0)}, frameTime(i))
+	}
+	// A detection far outside the gate spawns a new track instead of
+	// teleporting the old one.
+	tr.Update([]BoundingBox{boxAt(50, 50)}, frameTime(3))
+	if len(tr.Tracks()) != 2 {
+		t.Errorf("tracks = %d, want 2 (old coasting + new)", len(tr.Tracks()))
+	}
+}
+
+func TestTrackerOnGeneratedScenes(t *testing.T) {
+	g := gen()
+	tr := NewTracker()
+	for i := 0; i < 8; i++ {
+		pc := g.NextFrame(uint64(i), "front", frameTime(i))
+		_, nonGround := ClassifyGround(pc, 0.15)
+		boxes := Cluster(nonGround, 1.5, 30)
+		tr.Update(boxes, frameTime(i))
+	}
+	// Static scene objects should yield confirmed, slow tracks.
+	confirmed := 0
+	for _, t := range tr.Tracks() {
+		if t.Hits >= tr.MinHits {
+			confirmed++
+		}
+	}
+	if confirmed == 0 {
+		t.Error("no confirmed tracks on generated scenes")
+	}
+}

@@ -1,0 +1,196 @@
+package monitor
+
+import (
+	"fmt"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/sim"
+	"chainmon/internal/weaklyhard"
+)
+
+// SegmentKind distinguishes the two segment types of the system model.
+type SegmentKind int
+
+// Segment kinds.
+const (
+	// KindLocal: starts with a receive event and ends with a publication
+	// (or a reception, for chain-terminal sinks) on the same ECU.
+	KindLocal SegmentKind = iota
+	// KindRemote: starts with a publication and ends with a reception on
+	// another ECU.
+	KindRemote
+)
+
+func (k SegmentKind) String() string {
+	if k == KindRemote {
+		return "remote"
+	}
+	return "local"
+}
+
+// SegmentSpec declares one segment of a chain for the builder.
+type SegmentSpec struct {
+	Name string
+	Kind SegmentKind
+	// DMon/DEx/Handler/HandlerCost as in SegmentConfig; Period and
+	// Constraint are inherited from the chain.
+	DMon        sim.Duration
+	DEx         sim.Duration
+	Handler     Handler
+	HandlerCost sim.Dist
+
+	// Local segments: StartSub is the reception that starts the segment;
+	// exactly one of EndPub (publication end, with skip propagation) or
+	// EndSub (reception end, chain-terminal) must be set.
+	StartSub *dds.Subscription
+	EndPub   *dds.Publisher
+	EndSub   *dds.Subscription
+
+	// Remote segments: Sub is the monitored subscription at the receiver;
+	// Variant selects the timeout-routine placement.
+	Sub     *dds.Subscription
+	Variant RemoteVariant
+}
+
+// ChainSpec declares a full event chain: an alternating sequence of remote
+// and local segments with the chain-level requirements.
+type ChainSpec struct {
+	Name       string
+	Be2e       sim.Duration
+	Bseg       sim.Duration
+	Period     sim.Duration
+	Constraint weaklyhard.Constraint
+	Segments   []SegmentSpec
+}
+
+// BuiltChain is the wired result of BuildChain.
+type BuiltChain struct {
+	Chain *Chain
+	// Locals and Remotes hold the created monitors by segment name.
+	Locals  map[string]*LocalSegment
+	Remotes map[string]*RemoteMonitor
+	// Monitors holds the per-ECU local monitor threads that were used or
+	// created.
+	Monitors map[*dds.ECU]*LocalMonitor
+}
+
+// BuildChain validates a chain specification and wires everything the paper
+// requires: per-ECU monitor threads, local segments with their event hooks
+// and skip-propagation, synchronization-based remote monitors, explicit
+// remote→local error propagation, and the chain-level (m,k) accounting.
+//
+// Validation enforces the system model: segments alternate between remote
+// and local so there are no unmonitored gaps, each local segment's start
+// subscription lives on the same ECU as its end, the budget Eq. 1 holds
+// (Σ(d_mon+d_ex) ≤ B_e2e), and every deadline respects B_seg (Eq. 4).
+//
+// Existing monitors can be passed in; ECUs without one get a fresh monitor
+// thread.
+func BuildChain(spec ChainSpec, monitors map[*dds.ECU]*LocalMonitor) (*BuiltChain, error) {
+	if len(spec.Segments) == 0 {
+		return nil, fmt.Errorf("monitor: chain %q has no segments", spec.Name)
+	}
+	if !spec.Constraint.Valid() {
+		return nil, fmt.Errorf("monitor: chain %q has invalid constraint %v", spec.Name, spec.Constraint)
+	}
+	if spec.Period <= 0 {
+		return nil, fmt.Errorf("monitor: chain %q needs a positive period", spec.Name)
+	}
+	var sum sim.Duration
+	for i, s := range spec.Segments {
+		if s.DMon <= 0 {
+			return nil, fmt.Errorf("monitor: segment %q needs a positive DMon", s.Name)
+		}
+		if i > 0 && s.Kind == spec.Segments[i-1].Kind {
+			return nil, fmt.Errorf("monitor: segments %q and %q are both %v — the chain must alternate (no unmonitored gaps)",
+				spec.Segments[i-1].Name, s.Name, s.Kind)
+		}
+		d := s.DMon + s.DEx
+		sum += d
+		if spec.Bseg > 0 && d > spec.Bseg {
+			return nil, fmt.Errorf("monitor: segment %q deadline %v exceeds B_seg %v (Eq. 4)", s.Name, d, spec.Bseg)
+		}
+		switch s.Kind {
+		case KindLocal:
+			if s.StartSub == nil {
+				return nil, fmt.Errorf("monitor: local segment %q needs StartSub", s.Name)
+			}
+			if (s.EndPub == nil) == (s.EndSub == nil) {
+				return nil, fmt.Errorf("monitor: local segment %q needs exactly one of EndPub or EndSub", s.Name)
+			}
+			if s.EndSub != nil && s.EndSub.Node().ECU != s.StartSub.Node().ECU {
+				return nil, fmt.Errorf("monitor: local segment %q spans ECUs %s and %s",
+					s.Name, s.StartSub.Node().ECU.Name, s.EndSub.Node().ECU.Name)
+			}
+			if s.EndSub != nil && i != len(spec.Segments)-1 {
+				return nil, fmt.Errorf("monitor: local segment %q ends at a reception but is not chain-terminal", s.Name)
+			}
+		case KindRemote:
+			if s.Sub == nil {
+				return nil, fmt.Errorf("monitor: remote segment %q needs Sub", s.Name)
+			}
+		default:
+			return nil, fmt.Errorf("monitor: segment %q has unknown kind %d", s.Name, s.Kind)
+		}
+	}
+	if spec.Be2e > 0 && sum > spec.Be2e {
+		return nil, fmt.Errorf("monitor: chain %q deadline sum %v exceeds B_e2e %v (Eq. 1)", spec.Name, sum, spec.Be2e)
+	}
+
+	if monitors == nil {
+		monitors = make(map[*dds.ECU]*LocalMonitor)
+	}
+	lmFor := func(ecu *dds.ECU) *LocalMonitor {
+		if lm, ok := monitors[ecu]; ok {
+			return lm
+		}
+		lm := NewLocalMonitor(ecu)
+		monitors[ecu] = lm
+		return lm
+	}
+
+	built := &BuiltChain{
+		Chain:    NewChain(spec.Name, spec.Be2e, spec.Bseg, spec.Constraint),
+		Locals:   make(map[string]*LocalSegment),
+		Remotes:  make(map[string]*RemoteMonitor),
+		Monitors: monitors,
+	}
+	segs := make([]MonitoredSegment, len(spec.Segments))
+	for i, s := range spec.Segments {
+		cfg := SegmentConfig{
+			Name: s.Name, DMon: s.DMon, DEx: s.DEx,
+			Period: spec.Period, Constraint: spec.Constraint,
+			Handler: s.Handler, HandlerCost: s.HandlerCost,
+		}
+		switch s.Kind {
+		case KindLocal:
+			lm := lmFor(s.StartSub.Node().ECU)
+			seg := lm.AddSegment(cfg)
+			seg.StartOnDeliver(s.StartSub)
+			if s.EndPub != nil {
+				seg.EndOnPublish(s.EndPub)
+			} else {
+				seg.EndOnDeliver(s.EndSub)
+			}
+			built.Locals[s.Name] = seg
+			segs[i] = seg
+		case KindRemote:
+			lm := lmFor(s.Sub.Node().ECU)
+			rm := NewRemoteMonitor(s.Sub, cfg, s.Variant, lm)
+			built.Remotes[s.Name] = rm
+			segs[i] = rm
+		}
+	}
+	// Wire explicit remote→local propagation; local→remote propagation is
+	// implicit through the omitted publication.
+	for i, s := range spec.Segments {
+		if s.Kind == KindRemote && i+1 < len(spec.Segments) {
+			built.Remotes[s.Name].PropagateTo(built.Locals[spec.Segments[i+1].Name])
+		}
+	}
+	for _, seg := range segs {
+		built.Chain.Append(seg)
+	}
+	built.Chain.Seal()
+	return built, nil
+}

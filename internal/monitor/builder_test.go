@@ -1,0 +1,146 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/sim"
+	"chainmon/internal/weaklyhard"
+)
+
+// makeSpec builds a remote→local chain spec on a fresh remoteRig: the
+// receiver republishes every sample on "out".
+func makeSpec(r *remoteRig) ChainSpec {
+	outPub := r.receiver.NewPublisher("out")
+	r.sub.Callback = func(s *dds.Sample) { outPub.Publish(s.Activation, s.Data, 0) }
+	r.sub.Cost = func(*dds.Sample) sim.Duration { return 2 * sim.Millisecond }
+	return ChainSpec{
+		Name: "built", Be2e: 50 * sim.Millisecond, Bseg: rigPeriod,
+		Period: rigPeriod, Constraint: weaklyhard.Constraint{M: 1, K: 5},
+		Segments: []SegmentSpec{
+			{Name: "r0", Kind: KindRemote, DMon: 10 * sim.Millisecond, DEx: sim.Millisecond, Sub: r.sub},
+			{Name: "l1", Kind: KindLocal, DMon: 20 * sim.Millisecond, DEx: sim.Millisecond,
+				StartSub: r.sub, EndPub: outPub},
+		},
+	}
+}
+
+func TestBuildChainWiresEverything(t *testing.T) {
+	r := newRemoteRig()
+	spec := makeSpec(r)
+	built, err := BuildChain(spec, map[*dds.ECU]*LocalMonitor{r.ecu2: r.lm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := built.Remotes["r0"]
+	rm.SetLastActivation(9)
+	for a := uint64(0); a < 10; a++ {
+		if a == 4 {
+			continue // lost
+		}
+		r.send(a, 0)
+	}
+	r.k.RunUntil(sim.Time(1100 * sim.Millisecond))
+
+	exec, _, viol := built.Chain.Totals()
+	if exec != 10 || viol != 1 {
+		t.Fatalf("chain totals = %d,%d, want 10,1", exec, viol)
+	}
+	// The loss propagated explicitly into the local segment.
+	_, _, localMiss := built.Locals["l1"].Stats().Counts()
+	if localMiss != 1 {
+		t.Errorf("local misses = %d, want 1 (propagated)", localMiss)
+	}
+	// Clean activations completed the whole chain.
+	ok, _, _ := built.Locals["l1"].Stats().Counts()
+	if ok != 9 {
+		t.Errorf("local ok = %d, want 9", ok)
+	}
+	// The existing monitor was reused, not replaced.
+	if built.Monitors[r.ecu2] != r.lm {
+		t.Error("existing LocalMonitor not reused")
+	}
+}
+
+func TestBuildChainValidation(t *testing.T) {
+	cases := []struct {
+		mutate func(*ChainSpec)
+		want   string
+	}{
+		{func(s *ChainSpec) { s.Segments = nil }, "no segments"},
+		{func(s *ChainSpec) { s.Constraint = weaklyhard.Constraint{M: 9, K: 2} }, "invalid constraint"},
+		{func(s *ChainSpec) { s.Period = 0 }, "positive period"},
+		{func(s *ChainSpec) { s.Segments[0].DMon = 0 }, "positive DMon"},
+		{func(s *ChainSpec) { s.Segments[1].Kind = KindRemote }, "alternate"},
+		{func(s *ChainSpec) { s.Segments[1].StartSub = nil }, "needs StartSub"},
+		{func(s *ChainSpec) { s.Segments[1].EndPub = nil }, "exactly one of"},
+		{func(s *ChainSpec) { s.Segments[0].Sub = nil }, "needs Sub"},
+		{func(s *ChainSpec) { s.Be2e = 5 * sim.Millisecond }, "exceeds B_e2e"},
+		{func(s *ChainSpec) { s.Bseg = 5 * sim.Millisecond }, "exceeds B_seg"},
+	}
+	for i, c := range cases {
+		spec := makeSpec(newRemoteRig())
+		c.mutate(&spec)
+		_, err := BuildChain(spec, nil)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: err = %v, want substring %q", i, err, c.want)
+		}
+	}
+}
+
+func TestBuildChainTerminalReceptionEnd(t *testing.T) {
+	// A chain whose final local segment ends at a reception (the rviz
+	// case): remote → local(pub end) → remote-like is impossible here, so
+	// use remote → local with EndSub on the same ECU.
+	r := newRemoteRig()
+	sinkNode := r.ecu2.NewNode("sink", dds.PrioExecBase)
+	sinkSub := sinkNode.Subscribe("out", nil, nil)
+	outPub := r.receiver.NewPublisher("out")
+	r.sub.Callback = func(s *dds.Sample) { outPub.Publish(s.Activation, s.Data, 0) }
+
+	spec := ChainSpec{
+		Name: "terminal", Be2e: 60 * sim.Millisecond, Period: rigPeriod,
+		Constraint: weaklyhard.Constraint{M: 1, K: 5},
+		Segments: []SegmentSpec{
+			{Name: "r0", Kind: KindRemote, DMon: 10 * sim.Millisecond, Sub: r.sub},
+			{Name: "l1", Kind: KindLocal, DMon: 30 * sim.Millisecond,
+				StartSub: r.sub, EndSub: sinkSub},
+		},
+	}
+	built, err := BuildChain(spec, map[*dds.ECU]*LocalMonitor{r.ecu2: r.lm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.Remotes["r0"].SetLastActivation(4)
+	for a := uint64(0); a < 5; a++ {
+		r.send(a, 0)
+	}
+	r.k.RunUntil(sim.Time(600 * sim.Millisecond))
+	exec, _, viol := built.Chain.Totals()
+	if exec != 5 || viol != 0 {
+		t.Fatalf("chain totals = %d,%d, want 5,0", exec, viol)
+	}
+}
+
+func TestBuildChainNonTerminalReceptionEndRejected(t *testing.T) {
+	r := newRemoteRig()
+	sinkNode := r.ecu2.NewNode("sink", dds.PrioExecBase)
+	sinkSub := sinkNode.Subscribe("out", nil, nil)
+	spec := ChainSpec{
+		Name: "bad", Period: rigPeriod, Constraint: weaklyhard.Constraint{M: 0, K: 1},
+		Segments: []SegmentSpec{
+			{Name: "l0", Kind: KindLocal, DMon: sim.Millisecond, StartSub: r.sub, EndSub: sinkSub},
+			{Name: "r1", Kind: KindRemote, DMon: sim.Millisecond, Sub: sinkSub},
+		},
+	}
+	if _, err := BuildChain(spec, nil); err == nil || !strings.Contains(err.Error(), "chain-terminal") {
+		t.Errorf("err = %v, want chain-terminal rejection", err)
+	}
+}
+
+func TestSegmentKindString(t *testing.T) {
+	if KindLocal.String() != "local" || KindRemote.String() != "remote" {
+		t.Error("kind strings wrong")
+	}
+}

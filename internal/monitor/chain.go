@@ -1,0 +1,155 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"chainmon/internal/sim"
+	"chainmon/internal/weaklyhard"
+)
+
+// MonitoredSegment is the common interface of local and remote segment
+// monitors, used for chain composition and reporting.
+type MonitoredSegment interface {
+	Config() SegmentConfig
+	Stats() *SegmentStats
+	Counter() *weaklyhard.Counter
+	OnResolve(fn ResolveFunc)
+}
+
+var (
+	_ MonitoredSegment = (*LocalSegment)(nil)
+	_ MonitoredSegment = (*RemoteMonitor)(nil)
+)
+
+// Chain tracks the end-to-end state of one event chain: the ordered list of
+// monitored segments and the chain-level weakly-hard accounting. Because
+// unrecoverable violations propagate along the chain (explicitly for remote
+// segments, by omitted publications for local segments), an execution of the
+// chain is violated exactly when its final segment resolves as missed.
+type Chain struct {
+	Name string
+	// Be2e is the end-to-end latency budget B^c_e2e.
+	Be2e sim.Duration
+	// Bseg is the per-segment throughput cap B^c_seg.
+	Bseg sim.Duration
+	// Constraint is the chain's weakly-hard (m,k) constraint.
+	Constraint weaklyhard.Constraint
+
+	segments []MonitoredSegment
+	counter  *weaklyhard.Counter
+	sealed   bool
+
+	executions  uint64
+	violations  uint64
+	recovered   uint64
+	onExecution []ResolveFunc
+}
+
+// NewChain creates a chain tracker.
+func NewChain(name string, be2e, bseg sim.Duration, c weaklyhard.Constraint) *Chain {
+	if !c.Valid() {
+		panic(fmt.Sprintf("monitor: invalid chain constraint %v", c))
+	}
+	return &Chain{
+		Name:       name,
+		Be2e:       be2e,
+		Bseg:       bseg,
+		Constraint: c,
+		counter:    weaklyhard.NewCounter(c),
+	}
+}
+
+// Append adds the next segment of the chain, in order.
+func (c *Chain) Append(seg MonitoredSegment) *Chain {
+	if c.sealed {
+		panic("monitor: Append after Seal")
+	}
+	c.segments = append(c.segments, seg)
+	return c
+}
+
+// Seal finishes the wiring: the final segment's resolutions drive the
+// chain-level (m,k) accounting from now on. Seal must be called exactly
+// once, after all segments were appended.
+func (c *Chain) Seal() {
+	if c.sealed {
+		panic("monitor: Seal called twice")
+	}
+	if len(c.segments) == 0 {
+		panic("monitor: Seal on empty chain")
+	}
+	c.sealed = true
+	c.segments[len(c.segments)-1].OnResolve(c.onFinalResolve)
+}
+
+// onFinalResolve records one chain execution per resolution of the final
+// segment: StatusMissed means the violation propagated through the whole
+// chain without recovery.
+func (c *Chain) onFinalResolve(r Resolution) {
+	c.executions++
+	switch r.Status {
+	case StatusMissed:
+		c.violations++
+		c.counter.Record(true)
+	case StatusRecovered:
+		c.recovered++
+		c.counter.Record(false)
+	default:
+		c.counter.Record(false)
+	}
+	for _, fn := range c.onExecution {
+		fn(r)
+	}
+}
+
+// OnExecution registers an observer invoked after every chain execution is
+// accounted (in activation order). System-level supervisors attach here.
+func (c *Chain) OnExecution(fn ResolveFunc) {
+	c.onExecution = append(c.onExecution, fn)
+}
+
+// Segments returns the chain's segments in order.
+func (c *Chain) Segments() []MonitoredSegment { return c.segments }
+
+// Counter returns the chain-level (m,k) window counter.
+func (c *Chain) Counter() *weaklyhard.Counter { return c.counter }
+
+// Totals returns chain executions, recovered executions and violations.
+func (c *Chain) Totals() (executions, recovered, violations uint64) {
+	return c.executions, c.recovered, c.violations
+}
+
+// BudgetSatisfied verifies Eq. 1/3: the sum of configured segment deadlines
+// (d = DMon + DEx) must not exceed the end-to-end budget.
+func (c *Chain) BudgetSatisfied() bool {
+	var sum sim.Duration
+	for _, s := range c.segments {
+		cfg := s.Config()
+		sum += cfg.DMon + cfg.DEx
+	}
+	return sum <= c.Be2e
+}
+
+// ThroughputSatisfied verifies Eq. 4 for every segment: d ≤ B_seg.
+func (c *Chain) ThroughputSatisfied() bool {
+	for _, s := range c.segments {
+		cfg := s.Config()
+		if cfg.DMon+cfg.DEx > c.Bseg {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders a multi-line chain report.
+func (c *Chain) Summary() string {
+	var sb strings.Builder
+	exec, rec, viol := c.Totals()
+	fmt.Fprintf(&sb, "chain %s %v B_e2e=%v: executions=%d recovered=%d violations=%d\n",
+		c.Name, c.Constraint, c.Be2e, exec, rec, viol)
+	for _, s := range c.segments {
+		fmt.Fprintf(&sb, "  %s\n", s.Stats().Summary())
+	}
+	return sb.String()
+}

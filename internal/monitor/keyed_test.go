@@ -1,0 +1,145 @@
+package monitor
+
+import (
+	"testing"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/netsim"
+	"chainmon/internal/sim"
+	"chainmon/internal/vclock"
+	"chainmon/internal/weaklyhard"
+)
+
+// keyedRig: two senders on different ECUs publish the same topic to one
+// receiver — the multiple-communication-partners case of §IV-B.2.
+type keyedRig struct {
+	k        *sim.Kernel
+	pubA     *dds.Publisher
+	pubB     *dds.Publisher
+	sub      *dds.Subscription
+	lm       *LocalMonitor
+	received []string
+}
+
+func newKeyedRig() *keyedRig {
+	k := sim.NewKernel()
+	d := dds.NewDomain(k, sim.NewRNG(5))
+	d.KsoftirqCost = sim.Constant(0)
+	d.DeliverCost = sim.Constant(0)
+	d.InterECU = netsim.Config{BCRT: 1 * sim.Millisecond}
+	ea := d.NewECU("ecu-a", 2, vclock.Config{})
+	eb := d.NewECU("ecu-b", 2, vclock.Config{})
+	rx := d.NewECU("ecu-rx", 2, vclock.Config{})
+	for _, e := range []*dds.ECU{ea, eb, rx} {
+		e.Proc.CtxSwitch = sim.Constant(0)
+		e.Proc.Wakeup = sim.Constant(0)
+	}
+	r := &keyedRig{k: k}
+	na := ea.NewNode("sender-a", dds.PrioExecBase)
+	nb := eb.NewNode("sender-b", dds.PrioExecBase)
+	nr := rx.NewNode("receiver", dds.PrioExecBase)
+	r.pubA = na.NewPublisher("status")
+	r.pubB = nb.NewPublisher("status")
+	r.sub = nr.Subscribe("status", nil, func(s *dds.Sample) {
+		r.received = append(r.received, s.Writer)
+	})
+	r.lm = NewLocalMonitor(rx)
+	return r
+}
+
+func keyedCfg() SegmentConfig {
+	return SegmentConfig{
+		Name: "status-link", DMon: 10 * sim.Millisecond, Period: 100 * sim.Millisecond,
+		Constraint:  weaklyhard.Constraint{M: 1, K: 5},
+		HandlerCost: sim.Constant(5 * sim.Microsecond),
+	}
+}
+
+func TestKeyedMonitorInstantiatesPerWriter(t *testing.T) {
+	r := newKeyedRig()
+	km := NewKeyedRemoteMonitor(r.sub, keyedCfg(), VariantMonitorThread, r.lm, nil)
+	for i := 0; i < 5; i++ {
+		act := uint64(i)
+		r.k.At(sim.Time(i)*sim.Time(100*sim.Millisecond), func() {
+			r.pubA.Publish(act, nil, 0)
+			r.pubB.Publish(act, nil, 0)
+		})
+	}
+	r.k.At(sim.Time(500*sim.Millisecond), km.Stop)
+	r.k.RunUntil(sim.Time(sim.Second))
+
+	writers := km.Writers()
+	if len(writers) != 2 {
+		t.Fatalf("writers = %v, want 2", writers)
+	}
+	for _, w := range writers {
+		m := km.Monitor(w)
+		if m == nil {
+			t.Fatalf("no monitor for %s", w)
+		}
+		ok, _, miss := m.Stats().Counts()
+		if ok != 5 || miss != 0 {
+			t.Errorf("%s: counts ok=%d miss=%d, want 5,0", w, ok, miss)
+		}
+	}
+	if km.Monitor("nonexistent") != nil {
+		t.Error("unknown writer should be nil")
+	}
+}
+
+func TestKeyedMonitorTracksWritersIndependently(t *testing.T) {
+	r := newKeyedRig()
+	created := map[string]bool{}
+	km := NewKeyedRemoteMonitor(r.sub, keyedCfg(), VariantMonitorThread, r.lm,
+		func(writer string, m *RemoteMonitor) {
+			created[writer] = true
+			m.SetLastActivation(5)
+		})
+	// Sender A loses activation 2; sender B is clean.
+	for i := 0; i <= 5; i++ {
+		act := uint64(i)
+		r.k.At(sim.Time(i)*sim.Time(100*sim.Millisecond), func() {
+			if act != 2 {
+				r.pubA.Publish(act, nil, 0)
+			}
+			r.pubB.Publish(act, nil, 0)
+		})
+	}
+	r.k.At(sim.Time(800*sim.Millisecond), km.Stop)
+	r.k.RunUntil(sim.Time(sim.Second))
+
+	if len(created) != 2 {
+		t.Fatalf("onCreate calls = %d", len(created))
+	}
+	var a, b *RemoteMonitor
+	for _, w := range km.Writers() {
+		if created[w] {
+			if km.Monitor(w).Stats().Exceptions() > 0 {
+				a = km.Monitor(w)
+			} else {
+				b = km.Monitor(w)
+			}
+		}
+	}
+	if a == nil || b == nil {
+		t.Fatalf("expected one faulty and one clean writer; writers=%v", km.Writers())
+	}
+	_, _, missA := a.Stats().Counts()
+	if missA != 1 {
+		t.Errorf("faulty writer misses = %d, want 1", missA)
+	}
+	_, _, missB := b.Stats().Counts()
+	if missB != 0 {
+		t.Errorf("clean writer misses = %d, want 0", missB)
+	}
+}
+
+func TestKeyedMonitorValidation(t *testing.T) {
+	r := newKeyedRig()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewKeyedRemoteMonitor(r.sub, SegmentConfig{Name: "bad"}, VariantMonitorThread, r.lm, nil)
+}

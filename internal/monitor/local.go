@@ -1,0 +1,439 @@
+package monitor
+
+import (
+	"fmt"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/sim"
+	"chainmon/internal/weaklyhard"
+)
+
+// LocalMonitor supervises the local segments of one ECU. It models the
+// paper's implementation (Fig. 4): the instrumented DDS subscriber and
+// publisher code posts start and end events into per-segment wait-free ring
+// buffers in shared memory; a single monitor thread per ECU, running at the
+// highest scheduling priority, is woken through a semaphore on start events,
+// drains the buffers in a fixed order, maintains a timeout queue, and raises
+// temporal exceptions whose handlers execute on the monitor thread.
+type LocalMonitor struct {
+	ECU    *dds.ECU
+	Thread *sim.Thread
+
+	rng      *sim.RNG
+	segments []*LocalSegment
+
+	// PostCost is the overhead of posting one event into a ring buffer
+	// (start-event / end-event overhead in Fig. 11).
+	PostCost sim.Dist
+	// ScanCost is the execution time of one monitor-thread drain pass.
+	ScanCost sim.Dist
+
+	scanQueued bool
+	overheads  *OverheadStats
+	skipTables map[*dds.Publisher]map[uint64]bool
+}
+
+// NewLocalMonitor creates the monitor thread of an ECU at the highest
+// scheduling priority.
+func NewLocalMonitor(ecu *dds.ECU) *LocalMonitor {
+	return &LocalMonitor{
+		ECU:    ecu,
+		Thread: ecu.Proc.NewThread(ecu.Name+"/monitor", dds.PrioMonitor),
+		rng:    ecu.Proc.RNG().Derive("localmon"),
+		PostCost: sim.LogNormalDist{
+			Median: 15 * sim.Microsecond, Sigma: 0.5,
+			Shift: 3 * sim.Microsecond, Max: 100 * sim.Microsecond,
+		},
+		ScanCost: sim.LogNormalDist{
+			Median: 20 * sim.Microsecond, Sigma: 0.4,
+			Shift: 5 * sim.Microsecond, Max: 150 * sim.Microsecond,
+		},
+		overheads:  NewOverheadStats(),
+		skipTables: make(map[*dds.Publisher]map[uint64]bool),
+	}
+}
+
+// Overheads returns the Fig. 11 overhead collectors of this monitor.
+func (m *LocalMonitor) Overheads() *OverheadStats { return m.overheads }
+
+// Segments returns the registered segments in their fixed processing order.
+func (m *LocalMonitor) Segments() []*LocalSegment { return m.segments }
+
+// ringEvent is one posted start or end event.
+type ringEvent struct {
+	act    uint64
+	ts     sim.Time // event time (global)
+	posted sim.Time // when it was placed into the ring
+}
+
+// armedTimeout tracks one outstanding segment activation.
+type armedTimeout struct {
+	act      uint64
+	start    sim.Time
+	deadline sim.Time
+	timer    *sim.Event
+}
+
+// LocalSegment is one monitored local segment: it starts with a receive
+// event and ends with a publication event — or, as in the evaluation's rviz
+// setup, with a reception — on the same ECU. A segment may span several
+// processes.
+type LocalSegment struct {
+	cfg SegmentConfig
+	mon *LocalMonitor
+
+	startRing []ringEvent
+	endRing   []ringEvent
+	pending   map[uint64]*armedTimeout
+	excepted  map[uint64]bool
+	resolved  map[uint64]bool
+
+	counter *weaklyhard.Counter
+	reorder *reorderBuf
+	stats   *SegmentStats
+
+	// endPub is the publisher whose publication is this segment's end
+	// event; used for recovery publication and skip-next propagation.
+	// Nil when the segment ends at a reception.
+	endPub *dds.Publisher
+	// endSub is the subscription used by remote recovery handlers; set
+	// when the segment starts at this subscription.
+	propagateTo Propagator
+	onResolve   []ResolveFunc
+}
+
+// AddSegment registers a local segment. Registration order is the fixed
+// order in which the monitor thread processes the per-segment buffers — the
+// source of the Fig. 10 asymmetry between the objects and ground segments.
+func (m *LocalMonitor) AddSegment(cfg SegmentConfig) *LocalSegment {
+	if cfg.DMon <= 0 {
+		panic(fmt.Sprintf("monitor: segment %q needs a positive DMon", cfg.Name))
+	}
+	if !cfg.Constraint.Valid() {
+		cfg.Constraint = weaklyhard.Constraint{M: 0, K: 1}
+	}
+	s := &LocalSegment{
+		cfg:      cfg,
+		mon:      m,
+		pending:  make(map[uint64]*armedTimeout),
+		excepted: make(map[uint64]bool),
+		resolved: make(map[uint64]bool),
+		counter:  weaklyhard.NewCounter(cfg.Constraint),
+		stats:    NewSegmentStats(cfg.Name),
+	}
+	s.reorder = newReorderBuf(func(r Resolution) {
+		s.counter.Record(r.Status == StatusMissed)
+		s.stats.record(r)
+		for _, fn := range s.onResolve {
+			fn(r)
+		}
+	})
+	m.segments = append(m.segments, s)
+	return s
+}
+
+// Config returns the segment configuration.
+func (s *LocalSegment) Config() SegmentConfig { return s.cfg }
+
+// Stats returns the segment's measurement collectors.
+func (s *LocalSegment) Stats() *SegmentStats { return s.stats }
+
+// Counter returns the segment's (m,k) window counter.
+func (s *LocalSegment) Counter() *weaklyhard.Counter { return s.counter }
+
+// OnResolve registers an observer of in-order activation resolutions.
+func (s *LocalSegment) OnResolve(fn ResolveFunc) { s.onResolve = append(s.onResolve, fn) }
+
+// PropagateTo sets an explicit onward propagation target invoked for
+// unrecovered misses (used when the segment's end event is a reception and
+// omission-based propagation is unavailable).
+func (s *LocalSegment) PropagateTo(p Propagator) { s.propagateTo = p }
+
+// StartOnDeliver makes receptions of the subscription this segment's start
+// events: the instrumented DDS subscriber posts the timestamp into the ring
+// buffer and raises the monitor's semaphore.
+func (s *LocalSegment) StartOnDeliver(sub *dds.Subscription) {
+	sub.OnDeliver = append(sub.OnDeliver, func(smp *dds.Sample) bool {
+		s.postStart(smp.Activation)
+		return true
+	})
+}
+
+// StartInjected posts a start event directly (used by recovery paths that
+// issue substitute receive events).
+func (s *LocalSegment) StartInjected(act uint64) { s.postStart(act) }
+
+// EndOnPublish makes publications of the publisher this segment's end
+// events, and installs the skip-next-publication veto used for propagation.
+func (s *LocalSegment) EndOnPublish(pub *dds.Publisher) {
+	s.endPub = pub
+	s.mon.ensureSkipVeto(pub)
+	pub.OnPublish = append(pub.OnPublish, func(smp *dds.Sample) {
+		s.postEnd(smp.Activation)
+	})
+}
+
+// EndOnDeliver makes receptions at the subscription this segment's end
+// events (the evaluation's segments end at receptions inside rviz, which
+// publishes nothing).
+func (s *LocalSegment) EndOnDeliver(sub *dds.Subscription) {
+	sub.OnDeliver = append(sub.OnDeliver, func(smp *dds.Sample) bool {
+		if s.excepted[smp.Activation] {
+			// The exception already resolved this activation; the late
+			// end event and its receive action are discarded.
+			return false
+		}
+		s.postEnd(smp.Activation)
+		return true
+	})
+}
+
+// ensureSkipVeto installs the publisher-side evaluation of the shared skip
+// counter exactly once per publisher (several segments may share an end
+// publication).
+func (m *LocalMonitor) ensureSkipVeto(pub *dds.Publisher) {
+	if _, ok := m.skipTables[pub]; ok {
+		return
+	}
+	table := make(map[uint64]bool)
+	m.skipTables[pub] = table
+	pub.PrePublish = append(pub.PrePublish, func(smp *dds.Sample) bool {
+		if table[smp.Activation] {
+			delete(table, smp.Activation)
+			return false
+		}
+		return true
+	})
+}
+
+// markSkip arranges for the (late) publication of the activation to be
+// omitted.
+func (m *LocalMonitor) markSkip(pub *dds.Publisher, act uint64) {
+	if pub == nil {
+		return
+	}
+	m.skipTables[pub][act] = true
+}
+
+// postStart models the instrumented subscriber: post into the start ring,
+// record the posting overhead, and raise the monitor semaphore.
+func (s *LocalSegment) postStart(act uint64) {
+	now := s.mon.ECU.Proc.Kernel().Now()
+	s.mon.overheads.StartPost.AddDuration(s.mon.PostCost.Sample(s.mon.rng))
+	s.startRing = append(s.startRing, ringEvent{act: act, ts: now, posted: now})
+	s.mon.wake()
+}
+
+// postEnd models the instrumented publisher: post into the end ring without
+// waking the monitor (processing end events is not time critical, saving a
+// context switch).
+func (s *LocalSegment) postEnd(act uint64) {
+	now := s.mon.ECU.Proc.Kernel().Now()
+	s.mon.overheads.EndPost.AddDuration(s.mon.PostCost.Sample(s.mon.rng))
+	s.endRing = append(s.endRing, ringEvent{act: act, ts: now, posted: now})
+}
+
+// wake raises the monitor semaphore: one scan pass is queued on the monitor
+// thread unless one is already outstanding.
+func (m *LocalMonitor) wake() {
+	if m.scanQueued {
+		return
+	}
+	m.scanQueued = true
+	m.queueScan()
+}
+
+// forceWake queues a scan unconditionally; timeout timers use it so that a
+// scan that is already queued but might run before the deadline cannot
+// swallow the timeout.
+func (m *LocalMonitor) forceWake() {
+	m.scanQueued = true
+	m.queueScan()
+}
+
+func (m *LocalMonitor) queueScan() {
+	cost := m.ScanCost.Sample(m.rng)
+	m.overheads.MonExec.AddDuration(cost)
+	m.Thread.Enqueue("monitor/scan", cost, m.scan)
+}
+
+// scan is one monitor-thread pass: drain all rings in the fixed segment
+// order, arm timeouts for new start events, resolve completed activations,
+// and fire due temporal exceptions.
+func (m *LocalMonitor) scan() {
+	m.scanQueued = false
+	now := m.ECU.Proc.Kernel().Now()
+	for _, s := range m.segments {
+		s.drain(now)
+	}
+	for _, s := range m.segments {
+		s.fireDue(now)
+	}
+}
+
+func (s *LocalSegment) drain(now sim.Time) {
+	k := s.mon.ECU.Proc.Kernel()
+	for _, ev := range s.startRing {
+		s.mon.overheads.MonLatency.AddDuration(now.Sub(ev.posted))
+		if s.resolved[ev.act] || s.excepted[ev.act] {
+			continue // propagated-in activation that was already handled
+		}
+		a := &armedTimeout{act: ev.act, start: ev.ts, deadline: ev.ts.Add(s.cfg.DMon)}
+		s.pending[ev.act] = a
+		if a.deadline > now {
+			a.timer = k.AtPriority(a.deadline, dds.PrioMonitor, s.mon.forceWake)
+		}
+		// Deadlines already in the past are picked up by fireDue below.
+	}
+	s.startRing = s.startRing[:0]
+	for _, ev := range s.endRing {
+		if a, ok := s.pending[ev.act]; ok {
+			if a.timer != nil {
+				k.Cancel(a.timer)
+			}
+			delete(s.pending, ev.act)
+			s.resolve(Resolution{
+				Activation: ev.act,
+				Status:     StatusOK,
+				Start:      a.start,
+				End:        ev.ts,
+				Latency:    ev.ts.Sub(a.start),
+			})
+		}
+		// End events for excepted activations are discarded; end events
+		// without a start cannot occur (causality).
+	}
+	s.endRing = s.endRing[:0]
+}
+
+// fireDue raises temporal exceptions for all armed activations whose
+// monitored deadline has passed without an end event.
+func (s *LocalSegment) fireDue(now sim.Time) {
+	var due []*armedTimeout
+	for _, a := range s.pending {
+		if a.deadline <= now {
+			due = append(due, a)
+		}
+	}
+	// Deterministic order by activation.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j].act < due[j-1].act; j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	for _, a := range due {
+		delete(s.pending, a.act)
+		s.excepted[a.act] = true
+		s.raiseException(a.act, a.start, a.deadline, false)
+	}
+}
+
+// raiseException queues the exception handling on the monitor thread
+// (highest priority, bounded cost) and performs the Algorithm 2 decision at
+// handler completion.
+func (s *LocalSegment) raiseException(act uint64, start, deadline sim.Time, propagated bool) {
+	k := s.mon.ECU.Proc.Kernel()
+	raisedAt := k.Now()
+	cost := s.cfg.handlerCost(s.mon.rng)
+	// The monitor thread dispatches the handler to itself (no wakeup):
+	// handlers of simultaneous exceptions run back to back in the fixed
+	// segment order.
+	var w *sim.WorkItem
+	w = s.mon.Thread.EnqueueDirect("exc/"+s.cfg.Name, cost, func() {
+		now := k.Now()
+		ctx := &ExceptionContext{
+			Segment:    s.cfg.Name,
+			Activation: act,
+			Misses:     s.counter.Misses(),
+			Budget:     s.counter.Budget(),
+			Propagated: propagated,
+			RaisedAt:   raisedAt,
+		}
+		var rec *Recovery
+		if s.cfg.Handler != nil {
+			rec = s.cfg.Handler(ctx)
+		}
+		r := Resolution{
+			Activation:   act,
+			Start:        start,
+			End:          now,
+			Exception:    true,
+			HandlerEntry: w.Started(),
+			HandlerDone:  now,
+		}
+		if start != 0 {
+			r.Latency = now.Sub(start)
+		}
+		if !propagated {
+			r.DetectionLatency = w.Started().Sub(deadline)
+		}
+		if rec != nil {
+			// Recovery (Algorithm 2, line 4): publish the recovered data
+			// as a regular middleware message; the late regular
+			// publication is skipped.
+			r.Status = StatusRecovered
+			if s.endPub != nil {
+				s.endPub.PublishBypass(act, rec.Data, rec.Size)
+				if !propagated {
+					s.mon.markSkip(s.endPub, act)
+				}
+			}
+		} else {
+			// Propagation (Algorithm 2, line 7): omit the late
+			// publication; the subsequent remote segment detects the
+			// missing publication by timeout.
+			r.Status = StatusMissed
+			if !propagated {
+				s.mon.markSkip(s.endPub, act)
+			}
+			if s.propagateTo != nil {
+				s.propagateTo.PropagateInto(act)
+			}
+		}
+		s.resolve(r)
+	})
+}
+
+// PropagateInto implements Propagator: an unrecoverable violation of the
+// preceding (remote) segment arrives as an error propagation event instead
+// of a start event. The exception handling is invoked directly.
+func (s *LocalSegment) PropagateInto(act uint64) {
+	if s.resolved[act] || s.excepted[act] {
+		return
+	}
+	s.excepted[act] = true
+	s.raiseException(act, 0, 0, true)
+}
+
+func (s *LocalSegment) resolve(r Resolution) {
+	if s.resolved[r.Activation] {
+		return
+	}
+	// The excepted marker is kept after resolution so that late end events
+	// (and their receive actions, for EndOnDeliver segments) are discarded.
+	s.resolved[r.Activation] = true
+	s.reorder.add(r)
+	if r.Activation%256 == 0 {
+		s.gc(r.Activation)
+	}
+}
+
+// gc bounds the bookkeeping maps: activations far in the past can no longer
+// receive events.
+func (s *LocalSegment) gc(act uint64) {
+	const horizon = 4096
+	if act < horizon {
+		return
+	}
+	old := act - horizon
+	for a := range s.resolved {
+		if a < old {
+			delete(s.resolved, a)
+		}
+	}
+	for a := range s.excepted {
+		if a < old {
+			delete(s.excepted, a)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/netsim"
+	"chainmon/internal/sim"
+	"chainmon/internal/vclock"
+	"chainmon/internal/weaklyhard"
+)
+
+// Soundness of local monitoring: for randomized workloads, every activation
+// whose true segment latency exceeds the monitored deadline (beyond the
+// bounded detection window) raises a temporal exception, and no activation
+// within the deadline does. This is the core guarantee the paper's Fig. 9
+// rests on ("we can guarantee a reaction within 100 ms").
+func TestLocalMonitorSoundnessProperty(t *testing.T) {
+	const (
+		period    = 100 * sim.Millisecond
+		dmon      = 30 * sim.Millisecond
+		frames    = 120
+		tolerance = 2 * sim.Millisecond // detection + handling window
+	)
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 100))
+
+		k := sim.NewKernel()
+		d := dds.NewDomain(k, sim.NewRNG(int64(trial)+200))
+		d.Loopback = netsim.Config{BCRT: 20 * sim.Microsecond}
+		ecu := d.NewECU("ecu", 2, vclock.Config{})
+		producer := ecu.NewNode("producer", dds.PrioExecBase+2)
+		worker := ecu.NewNode("worker", dds.PrioExecBase+1)
+
+		// Random per-activation costs straddling the deadline.
+		costs := make([]sim.Duration, frames)
+		for i := range costs {
+			costs[i] = sim.Duration(rng.Int63n(int64(60 * sim.Millisecond)))
+		}
+		outPub := worker.NewPublisher("out")
+		sub := worker.Subscribe("in",
+			func(s *dds.Sample) sim.Duration { return costs[s.Activation] },
+			func(s *dds.Sample) { outPub.Publish(s.Activation, nil, 0) })
+
+		lm := NewLocalMonitor(ecu)
+		seg := lm.AddSegment(SegmentConfig{
+			Name: "w", DMon: dmon, Period: period,
+			Constraint:  weaklyhard.Constraint{M: frames, K: frames},
+			HandlerCost: sim.Constant(10 * sim.Microsecond),
+		})
+		seg.StartOnDeliver(sub)
+		seg.EndOnPublish(outPub)
+
+		// Ground truth: actual start (reception) and end (publication).
+		truth := make(map[uint64]sim.Duration)
+		starts := make(map[uint64]sim.Time)
+		sub.OnDeliver = append(sub.OnDeliver, func(s *dds.Sample) bool {
+			starts[s.Activation] = k.Now()
+			return true
+		})
+		outPub.OnPublish = append(outPub.OnPublish, func(s *dds.Sample) {
+			if st, ok := starts[s.Activation]; ok {
+				if _, done := truth[s.Activation]; !done {
+					truth[s.Activation] = k.Now().Sub(st)
+				}
+			}
+		})
+
+		inPub := producer.NewPublisher("in")
+		for i := 0; i < frames; i++ {
+			act := uint64(i)
+			k.At(sim.Time(i)*sim.Time(period), func() { inPub.Publish(act, nil, 0) })
+		}
+		k.Run()
+
+		byAct := make(map[uint64]Resolution)
+		for _, r := range seg.Stats().Resolutions() {
+			byAct[r.Activation] = r
+		}
+		if len(byAct) != frames {
+			t.Fatalf("trial %d: resolved %d of %d activations", trial, len(byAct), frames)
+		}
+		for act := uint64(0); act < frames; act++ {
+			r := byAct[act]
+			trueLat, haveTruth := truth[act]
+			if !haveTruth {
+				// The publication was skipped (propagation after an
+				// exception) — the exception must have been raised.
+				if !r.Exception {
+					t.Fatalf("trial %d act %d: no publication and no exception", trial, act)
+				}
+				continue
+			}
+			switch {
+			case trueLat <= dmon:
+				if r.Exception {
+					t.Errorf("trial %d act %d: false exception (true latency %v ≤ %v)",
+						trial, act, trueLat, dmon)
+				}
+			case trueLat > dmon+tolerance:
+				if !r.Exception {
+					t.Errorf("trial %d act %d: undetected violation (true latency %v > %v)",
+						trial, act, trueLat, dmon)
+				}
+			}
+			// Monitored latency is always bounded.
+			if r.Latency > dmon+tolerance {
+				t.Errorf("trial %d act %d: monitored latency %v exceeds bound", trial, act, r.Latency)
+			}
+		}
+	}
+}
+
+// Soundness of remote monitoring against random losses: every dropped
+// sample raises exactly one exception, every delivered sample resolves OK,
+// and activation accounting never drifts.
+func TestRemoteMonitorSoundnessUnderRandomLoss(t *testing.T) {
+	const frames = 200
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 300))
+		dropped := make(map[uint64]bool)
+		for i := 0; i < frames; i++ {
+			if rng.Float64() < 0.15 {
+				dropped[uint64(i)] = true
+			}
+		}
+
+		r := newRemoteRig()
+		m := r.monitor(10*sim.Millisecond, weaklyhard.Constraint{M: frames, K: frames},
+			nil, VariantMonitorThread)
+		m.SetLastActivation(frames - 1)
+		for i := 0; i < frames; i++ {
+			if !dropped[uint64(i)] {
+				r.send(uint64(i), 0)
+			}
+		}
+		horizon := sim.Time(frames+2) * sim.Time(rigPeriod)
+		r.k.At(horizon, m.Stop)
+		r.k.RunUntil(horizon.Add(sim.Second))
+
+		byAct := make(map[uint64]Resolution)
+		for _, res := range m.Stats().Resolutions() {
+			byAct[res.Activation] = res
+		}
+		// Activation 0 dropped means monitoring starts at the first
+		// received sample; exclude leading drops from the check.
+		first := uint64(0)
+		for dropped[first] {
+			first++
+		}
+		for act := first; act < frames; act++ {
+			res, ok := byAct[act]
+			if !ok {
+				t.Fatalf("trial %d act %d: unresolved", trial, act)
+			}
+			if dropped[act] && res.Status != StatusMissed {
+				t.Errorf("trial %d act %d: dropped but resolved %v", trial, act, res.Status)
+			}
+			if !dropped[act] && res.Status != StatusOK {
+				t.Errorf("trial %d act %d: delivered but resolved %v", trial, act, res.Status)
+			}
+		}
+	}
+}

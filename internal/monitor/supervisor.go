@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"fmt"
+
+	"chainmon/internal/sim"
+)
+
+// SystemMode is the operating mode decided by the Supervisor.
+type SystemMode int
+
+// Modes, from healthy to safed.
+const (
+	// ModeNominal: every supervised chain's (m,k) window is intact.
+	ModeNominal SystemMode = iota
+	// ModeDegraded: at least one chain's window constraint is currently
+	// violated; the application should fall back to conservative behavior
+	// (e.g. reduced speed).
+	ModeDegraded
+	// ModeSafeStop: violations persisted beyond the configured tolerance;
+	// the vehicle must transition to a safe state. SafeStop latches.
+	ModeSafeStop
+)
+
+func (m SystemMode) String() string {
+	switch m {
+	case ModeNominal:
+		return "nominal"
+	case ModeDegraded:
+		return "degraded"
+	case ModeSafeStop:
+		return "safe-stop"
+	default:
+		return fmt.Sprintf("SystemMode(%d)", int(m))
+	}
+}
+
+// ModeChange records one supervisor transition.
+type ModeChange struct {
+	At     sim.Time
+	From   SystemMode
+	To     SystemMode
+	Chain  string
+	Reason string
+}
+
+// Supervisor is the paper's "system-level entity" that temporal exceptions
+// escalate to when application handlers cannot contain them: it watches the
+// chain-level weakly-hard counters and derives an operating mode. The
+// exception handlers remain responsible for per-activation recovery; the
+// supervisor decides when accumulated violations require a system reaction.
+type Supervisor struct {
+	k      *sim.Kernel
+	chains []*Chain
+	mode   SystemMode
+
+	// SafeStopAfter is how many consecutive chain executions with a
+	// violated window are tolerated before latching ModeSafeStop.
+	SafeStopAfter int
+
+	violatedStreak map[*Chain]int
+	changes        []ModeChange
+	onChange       []func(ModeChange)
+}
+
+// NewSupervisor creates a supervisor with the given safe-stop tolerance.
+func NewSupervisor(k *sim.Kernel, safeStopAfter int) *Supervisor {
+	if safeStopAfter < 1 {
+		safeStopAfter = 1
+	}
+	return &Supervisor{
+		k:              k,
+		SafeStopAfter:  safeStopAfter,
+		violatedStreak: make(map[*Chain]int),
+	}
+}
+
+// Watch registers a sealed chain with the supervisor.
+func (s *Supervisor) Watch(c *Chain) {
+	s.chains = append(s.chains, c)
+	c.OnExecution(func(Resolution) { s.evaluate(c) })
+}
+
+// OnModeChange registers a transition observer.
+func (s *Supervisor) OnModeChange(fn func(ModeChange)) {
+	s.onChange = append(s.onChange, fn)
+}
+
+// Mode returns the current system mode.
+func (s *Supervisor) Mode() SystemMode { return s.mode }
+
+// Changes returns the recorded transitions in order.
+func (s *Supervisor) Changes() []ModeChange { return s.changes }
+
+// evaluate recomputes the mode after a chain execution.
+func (s *Supervisor) evaluate(c *Chain) {
+	if s.mode == ModeSafeStop {
+		return // latched
+	}
+	if c.Counter().Violated() {
+		s.violatedStreak[c]++
+		if s.violatedStreak[c] >= s.SafeStopAfter {
+			s.transition(ModeSafeStop, c, fmt.Sprintf(
+				"window violated for %d consecutive executions", s.violatedStreak[c]))
+			return
+		}
+		if s.mode == ModeNominal {
+			s.transition(ModeDegraded, c, fmt.Sprintf(
+				"(m,k) window violated: %d misses in the last %d",
+				c.Counter().Misses(), c.Constraint.K))
+		}
+		return
+	}
+	s.violatedStreak[c] = 0
+	if s.mode == ModeDegraded && s.allClean() {
+		s.transition(ModeNominal, c, "all chain windows recovered")
+	}
+}
+
+func (s *Supervisor) allClean() bool {
+	for _, c := range s.chains {
+		if c.Counter().Violated() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Supervisor) transition(to SystemMode, c *Chain, reason string) {
+	ch := ModeChange{At: s.k.Now(), From: s.mode, To: to, Chain: c.Name, Reason: reason}
+	s.mode = to
+	s.changes = append(s.changes, ch)
+	for _, fn := range s.onChange {
+		fn(ch)
+	}
+}

@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"testing"
+
+	"chainmon/internal/sim"
+	"chainmon/internal/weaklyhard"
+)
+
+// supervisedChain builds a remote→local chain under a supervisor and
+// returns the rig plus the supervisor.
+func supervisedChain(safeStopAfter int) (*remoteRig, *RemoteMonitor, *Chain, *Supervisor) {
+	r := newRemoteRig()
+	rm := r.monitor(10*sim.Millisecond, weaklyhard.Constraint{M: 1, K: 5}, nil, VariantMonitorThread)
+	ch := NewChain("c", 50*sim.Millisecond, rigPeriod, weaklyhard.Constraint{M: 1, K: 5})
+	ch.Append(rm)
+	ch.Seal()
+	sup := NewSupervisor(r.k, safeStopAfter)
+	sup.Watch(ch)
+	return r, rm, ch, sup
+}
+
+func TestSupervisorStaysNominalWhenClean(t *testing.T) {
+	r, rm, _, sup := supervisedChain(3)
+	rm.SetLastActivation(9)
+	for a := uint64(0); a < 10; a++ {
+		r.send(a, 0)
+	}
+	r.k.RunUntil(sim.Time(1100 * sim.Millisecond))
+	if sup.Mode() != ModeNominal {
+		t.Errorf("mode = %v, want nominal", sup.Mode())
+	}
+	if len(sup.Changes()) != 0 {
+		t.Errorf("changes = %v", sup.Changes())
+	}
+}
+
+func TestSupervisorDegradesAndRecovers(t *testing.T) {
+	r, rm, _, sup := supervisedChain(100) // never safe-stop
+	rm.SetLastActivation(19)
+	for a := uint64(0); a < 20; a++ {
+		if a == 4 || a == 5 {
+			continue // two adjacent losses violate (1,5)
+		}
+		r.send(a, 0)
+	}
+	r.k.RunUntil(sim.Time(2100 * sim.Millisecond))
+
+	changes := sup.Changes()
+	if len(changes) < 2 {
+		t.Fatalf("changes = %v, want degrade + recover", changes)
+	}
+	if changes[0].To != ModeDegraded {
+		t.Errorf("first transition to %v, want degraded", changes[0].To)
+	}
+	last := changes[len(changes)-1]
+	if last.To != ModeNominal {
+		t.Errorf("final mode %v, want nominal after window recovery", last.To)
+	}
+	if sup.Mode() != ModeNominal {
+		t.Errorf("mode = %v", sup.Mode())
+	}
+	if changes[0].Reason == "" || changes[0].Chain != "c" {
+		t.Errorf("change metadata missing: %+v", changes[0])
+	}
+}
+
+func TestSupervisorLatchesSafeStop(t *testing.T) {
+	r, rm, _, sup := supervisedChain(2)
+	rm.SetLastActivation(19)
+	notified := 0
+	sup.OnModeChange(func(ModeChange) { notified++ })
+	for a := uint64(0); a < 20; a++ {
+		if a >= 4 && a <= 8 {
+			continue // five consecutive losses: sustained violation
+		}
+		r.send(a, 0)
+	}
+	r.k.RunUntil(sim.Time(2100 * sim.Millisecond))
+
+	if sup.Mode() != ModeSafeStop {
+		t.Fatalf("mode = %v, want safe-stop", sup.Mode())
+	}
+	// Latched: later clean executions must not lift it.
+	last := sup.Changes()[len(sup.Changes())-1]
+	if last.To != ModeSafeStop {
+		t.Errorf("last transition %v", last)
+	}
+	if notified != len(sup.Changes()) {
+		t.Errorf("observer calls = %d, changes = %d", notified, len(sup.Changes()))
+	}
+}
+
+func TestSupervisorMultipleChains(t *testing.T) {
+	// Two chains; only one degrades — mode returns to nominal only when
+	// all windows are clean (trivially true once the bad chain recovers).
+	r := newRemoteRig()
+	rm := r.monitor(10*sim.Millisecond, weaklyhard.Constraint{M: 1, K: 5}, nil, VariantMonitorThread)
+	rm.SetLastActivation(19)
+
+	chA := NewChain("a", 50*sim.Millisecond, rigPeriod, weaklyhard.Constraint{M: 1, K: 5})
+	chA.Append(rm)
+	chA.Seal()
+
+	sup := NewSupervisor(r.k, 100)
+	sup.Watch(chA)
+
+	for a := uint64(0); a < 20; a++ {
+		if a == 7 || a == 8 {
+			continue
+		}
+		r.send(a, 0)
+	}
+	r.k.RunUntil(sim.Time(2100 * sim.Millisecond))
+	if sup.Mode() != ModeNominal {
+		t.Errorf("mode = %v after recovery", sup.Mode())
+	}
+	if len(sup.Changes()) == 0 {
+		t.Error("no transitions recorded")
+	}
+}
+
+func TestSystemModeString(t *testing.T) {
+	if ModeNominal.String() != "nominal" || ModeDegraded.String() != "degraded" ||
+		ModeSafeStop.String() != "safe-stop" || SystemMode(9).String() == "" {
+		t.Error("mode strings wrong")
+	}
+}

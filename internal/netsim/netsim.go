@@ -1,0 +1,153 @@
+// Package netsim models the communication fabric between ECUs: per-link
+// best-case response time, response-time jitter, bandwidth and message loss.
+// Delivery on a link is FIFO (in-order), matching the middleware assumption
+// in the paper's system model; losses are the paper's "lossy transmission
+// channel" that remote-segment monitoring is built around.
+package netsim
+
+import (
+	"fmt"
+
+	"chainmon/internal/sim"
+)
+
+// Link is a unidirectional communication path between two resources.
+type Link struct {
+	Name string
+
+	k   *sim.Kernel
+	rng *sim.RNG
+
+	// BCRT is the best-case response time of the link (propagation plus
+	// minimal stack traversal).
+	BCRT sim.Duration
+	// Jitter is the additional response time above BCRT (J^R in the paper).
+	Jitter sim.Dist
+	// BytesPerSecond is the serialization bandwidth; 0 means infinite.
+	BytesPerSecond int64
+	// LossProb is the probability that a message is dropped entirely.
+	LossProb float64
+	// RetransmitDelay models reliable DDS QoS: when set, a lost message is
+	// not dropped but delivered after an additional NACK/retransmission
+	// delay on top of its nominal response time. The paper notes the
+	// synchronization-based monitor is transparent to such retransmissions
+	// — a retransmitted sample that still misses its deadline is discarded
+	// like any late sample.
+	RetransmitDelay sim.Dist
+
+	lastDelivery sim.Time
+	sent         uint64
+	lost         uint64
+	retransmits  uint64
+}
+
+// Config parameterizes a link.
+type Config struct {
+	BCRT           sim.Duration
+	Jitter         sim.Dist
+	BytesPerSecond int64
+	LossProb       float64
+	// RetransmitDelay enables reliable QoS: lost messages are delivered
+	// after this extra delay instead of dropped. Nil = best effort.
+	RetransmitDelay sim.Dist
+}
+
+// NewLink creates a link on the kernel.
+func NewLink(k *sim.Kernel, rng *sim.RNG, name string, cfg Config) *Link {
+	if cfg.Jitter == nil {
+		cfg.Jitter = sim.Constant(0)
+	}
+	return &Link{
+		Name:            name,
+		k:               k,
+		rng:             rng.Derive("link/" + name),
+		BCRT:            cfg.BCRT,
+		Jitter:          cfg.Jitter,
+		BytesPerSecond:  cfg.BytesPerSecond,
+		LossProb:        cfg.LossProb,
+		RetransmitDelay: cfg.RetransmitDelay,
+	}
+}
+
+// Stats returns how many messages were sent and how many of those were lost.
+func (l *Link) Stats() (sent, lost uint64) { return l.sent, l.lost }
+
+// Retransmits returns how many messages were recovered by the reliable QoS.
+func (l *Link) Retransmits() uint64 { return l.retransmits }
+
+// ResponseBounds returns the best-case response time and a practical
+// worst-case (BCRT + jitter upper bound) for a message of the given size.
+// These are the BCRT and BCRT+J^R terms the synchronization-based monitor's
+// d_mon is assembled from.
+func (l *Link) ResponseBounds(size int) (bcrt, wcrt sim.Duration) {
+	tx := l.transmissionTime(size)
+	_, jhi := l.Jitter.Bounds()
+	return l.BCRT + tx, l.BCRT + tx + jhi
+}
+
+func (l *Link) transmissionTime(size int) sim.Duration {
+	if l.BytesPerSecond <= 0 || size <= 0 {
+		return 0
+	}
+	return sim.Duration(int64(size) * int64(sim.Second) / l.BytesPerSecond)
+}
+
+// Send transmits a message of the given size. If the message is not lost,
+// deliver runs at the receiver after BCRT + transmission + jitter, no
+// earlier than any previously sent message (FIFO). It returns the scheduled
+// delivery time and false if the message was dropped.
+func (l *Link) Send(size int, deliver func()) (sim.Time, bool) {
+	l.sent++
+	resp := l.BCRT + l.transmissionTime(size) + l.Jitter.Sample(l.rng)
+	if l.rng.Bool(l.LossProb) {
+		if l.RetransmitDelay == nil {
+			l.lost++
+			return 0, false
+		}
+		// Reliable QoS: the receiver NACKs and the writer retransmits;
+		// the sample arrives late instead of never.
+		l.retransmits++
+		resp += l.RetransmitDelay.Sample(l.rng)
+	}
+	at := l.k.Now().Add(resp)
+	if at < l.lastDelivery {
+		at = l.lastDelivery // FIFO: no overtaking on a link
+	}
+	l.lastDelivery = at
+	if deliver != nil {
+		l.k.At(at, deliver)
+	}
+	return at, true
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link(%s, bcrt=%v, jitter=%v, loss=%.3f)", l.Name, l.BCRT, l.Jitter, l.LossProb)
+}
+
+// Loopback returns a link configuration suitable for intra-ECU DDS
+// communication: small latency, small jitter, no loss.
+func Loopback() Config {
+	return Config{
+		BCRT: 20 * sim.Microsecond,
+		Jitter: sim.LogNormalDist{
+			Median: 15 * sim.Microsecond,
+			Sigma:  0.6,
+			Max:    2 * sim.Millisecond,
+		},
+	}
+}
+
+// Ethernet returns a link configuration for inter-ECU communication
+// resembling the automotive Ethernet setup of the use case.
+func Ethernet() Config {
+	return Config{
+		BCRT: 300 * sim.Microsecond,
+		Jitter: sim.LogNormalDist{
+			Median: 200 * sim.Microsecond,
+			Sigma:  0.8,
+			Max:    20 * sim.Millisecond,
+		},
+		BytesPerSecond: 125_000_000, // 1 Gbit/s
+		LossProb:       0.001,
+	}
+}

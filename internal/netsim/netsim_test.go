@@ -1,0 +1,187 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chainmon/internal/sim"
+)
+
+func TestSendDeliversAfterBCRT(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, sim.NewRNG(1), "l", Config{BCRT: 100 * sim.Microsecond})
+	var delivered sim.Time
+	at, ok := l.Send(0, func() { delivered = k.Now() })
+	if !ok {
+		t.Fatal("message lost on loss-free link")
+	}
+	k.Run()
+	if delivered != sim.Time(100*sim.Microsecond) || at != delivered {
+		t.Errorf("delivered at %v (scheduled %v), want 100µs", delivered, at)
+	}
+}
+
+func TestTransmissionTimeScalesWithSize(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, sim.NewRNG(1), "l", Config{BytesPerSecond: 1_000_000})
+	var delivered sim.Time
+	l.Send(1000, func() { delivered = k.Now() }) // 1000 B at 1 MB/s = 1 ms
+	k.Run()
+	if delivered != sim.Time(sim.Millisecond) {
+		t.Errorf("delivered at %v, want 1ms", delivered)
+	}
+}
+
+func TestFIFONoOvertaking(t *testing.T) {
+	f := func(seed int64) bool {
+		k := sim.NewKernel()
+		l := NewLink(k, sim.NewRNG(seed), "l", Config{
+			BCRT:   10 * sim.Microsecond,
+			Jitter: sim.LogNormalDist{Median: 100 * sim.Microsecond, Sigma: 1.5},
+		})
+		var order []int
+		send := func(i int) { l.Send(0, func() { order = append(order, i) }) }
+		// Send 20 messages back to back at slightly different times.
+		for i := 0; i < 20; i++ {
+			i := i
+			k.At(sim.Time(i)*10, func() { send(i) })
+		}
+		k.Run()
+		if len(order) != 20 {
+			return false
+		}
+		for i := range order {
+			if order[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossProbability(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, sim.NewRNG(2), "l", Config{LossProb: 0.25})
+	delivered := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		l.Send(0, func() { delivered++ })
+	}
+	k.Run()
+	sent, lost := l.Stats()
+	if sent != n {
+		t.Errorf("sent = %d", sent)
+	}
+	frac := float64(lost) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("loss fraction = %f, want ≈0.25", frac)
+	}
+	if delivered != int(sent-lost) {
+		t.Errorf("delivered %d, want %d", delivered, sent-lost)
+	}
+}
+
+func TestSendReportsLoss(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, sim.NewRNG(3), "l", Config{LossProb: 1.0})
+	_, ok := l.Send(0, func() { t.Error("lost message delivered") })
+	if ok {
+		t.Error("Send reported delivery on certain loss")
+	}
+	k.Run()
+}
+
+func TestResponseBounds(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, sim.NewRNG(4), "l", Config{
+		BCRT:           100 * sim.Microsecond,
+		Jitter:         sim.UniformDist{Lo: 0, Hi: 50 * sim.Microsecond},
+		BytesPerSecond: 1_000_000,
+	})
+	bcrt, wcrt := l.ResponseBounds(1000)
+	if bcrt != 100*sim.Microsecond+sim.Millisecond {
+		t.Errorf("bcrt = %v", bcrt)
+	}
+	if wcrt != bcrt+50*sim.Microsecond {
+		t.Errorf("wcrt = %v", wcrt)
+	}
+}
+
+func TestDeliveryTimeNeverBeforeBCRT(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, sim.NewRNG(5), "l", Ethernet())
+	for i := 0; i < 500; i++ {
+		sendAt := k.Now()
+		at, ok := l.Send(100, nil)
+		if ok && at.Sub(sendAt) < l.BCRT {
+			t.Fatalf("delivery %v before BCRT %v", at.Sub(sendAt), l.BCRT)
+		}
+		k.RunFor(sim.Millisecond)
+	}
+}
+
+func TestPresetConfigs(t *testing.T) {
+	if Loopback().BCRT <= 0 || Ethernet().BCRT <= 0 {
+		t.Error("preset BCRT not positive")
+	}
+	if Ethernet().LossProb <= 0 {
+		t.Error("ethernet preset should model loss")
+	}
+	k := sim.NewKernel()
+	l := NewLink(k, sim.NewRNG(6), "eth", Ethernet())
+	if l.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestReliableQoSRetransmitsInsteadOfDropping(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, sim.NewRNG(7), "rel", Config{
+		BCRT:            sim.Millisecond,
+		LossProb:        0.3,
+		RetransmitDelay: sim.Constant(20 * sim.Millisecond),
+	})
+	delivered := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if _, ok := l.Send(0, func() { delivered++ }); !ok {
+			t.Fatal("reliable link reported a drop")
+		}
+	}
+	k.Run()
+	if delivered != n {
+		t.Fatalf("delivered %d of %d on a reliable link", delivered, n)
+	}
+	_, lost := l.Stats()
+	if lost != 0 {
+		t.Errorf("lost = %d on reliable link", lost)
+	}
+	if r := l.Retransmits(); r < 250 || r > 350 {
+		t.Errorf("retransmits = %d, want ≈300", r)
+	}
+}
+
+func TestRetransmittedMessagesKeepFIFO(t *testing.T) {
+	k := sim.NewKernel()
+	l := NewLink(k, sim.NewRNG(8), "rel", Config{
+		BCRT:            sim.Millisecond,
+		LossProb:        0.5,
+		RetransmitDelay: sim.Constant(50 * sim.Millisecond),
+	})
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		k.At(sim.Time(i)*sim.Time(10*sim.Millisecond), func() {
+			l.Send(0, func() { order = append(order, i) })
+		})
+	}
+	k.Run()
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("FIFO violated after retransmission: %v", order)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package perception
+
+import (
+	"testing"
+
+	"chainmon/internal/sim"
+)
+
+// TestLongRunStability is a scale test: an hour of simulated operation
+// (36k activations across two lidars) with full-chain monitoring and
+// network loss must keep every invariant: activation accounting never
+// drifts, the monitored latency cap holds for every single activation, and
+// memory bookkeeping (gc'd maps, reorder windows) does not leak executions.
+func TestLongRunStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scale run")
+	}
+	cfg := DefaultConfig()
+	cfg.Frames = 36_000 // one hour at 10 FPS
+	cfg.FullChain = true
+	cfg.Network.LossProb = 0.002
+	s := Build(cfg)
+	s.Run()
+
+	exec, _, viol := s.ChainFront.Totals()
+	if exec < uint64(cfg.Frames)-10 || exec > uint64(cfg.Frames) {
+		t.Fatalf("chain executions = %d, want ≈%d", exec, cfg.Frames)
+	}
+	if viol == 0 {
+		t.Error("no violations in an hour with 0.2% loss — loss path dead")
+	}
+	for _, seg := range []*struct {
+		name string
+		max  float64
+	}{
+		{"objects", s.SegObjects.Stats().Latencies().Max()},
+		{"ground", s.SegGround.Stats().Latencies().Max()},
+	} {
+		if seg.max > float64(cfg.LocalDeadline+5*sim.Millisecond) {
+			t.Errorf("%s: monitored latency cap violated after long run: %v",
+				seg.name, sim.Duration(seg.max))
+		}
+	}
+	// Every activation resolved exactly once at the final segments.
+	res := s.SegObjects.Stats().Resolutions()
+	seen := make(map[uint64]bool, len(res))
+	for _, r := range res {
+		if seen[r.Activation] {
+			t.Fatalf("activation %d resolved twice", r.Activation)
+		}
+		seen[r.Activation] = true
+	}
+	if len(res) < cfg.Frames-10 {
+		t.Errorf("objects resolutions = %d, want ≈%d", len(res), cfg.Frames)
+	}
+}

@@ -1,0 +1,202 @@
+// Package rta provides classic response-time analysis for fixed-priority
+// preemptive scheduling. The paper's budgeting step splits every segment
+// deadline into d = d_mon + d_ex and demands (footnote 1) that d_ex — the
+// worst-case response time of the exception handling — "should be acquired
+// with analytical methods" because the handlers are safety-critical. This
+// package supplies that analysis: the monitor thread's handler set is
+// modelled as sporadic tasks and the standard busy-window recurrence
+//
+//	R = C + B + Σ_{j ∈ hp} ⌈R / T_j⌉ · C_j
+//
+// (Joseph & Pandya / Audsley et al.) yields a conservative d_ex per
+// handler, which feeds budget.Problem.DEx.
+package rta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chainmon/internal/sim"
+)
+
+// Task is one sporadic task under fixed-priority preemptive scheduling.
+type Task struct {
+	Name string
+	// WCET is the worst-case execution time C.
+	WCET sim.Duration
+	// Period is the minimum inter-arrival time T.
+	Period sim.Duration
+	// Priority: higher values preempt lower ones.
+	Priority int
+	// Blocking is the maximum blocking time B from lower-priority critical
+	// sections (e.g. a wait-free post is effectively zero; a semaphore
+	// protected section is its longest hold time).
+	Blocking sim.Duration
+	// Deadline is the task's constrained deadline for the schedulability
+	// verdict; zero means implicit (Deadline = Period).
+	Deadline sim.Duration
+}
+
+func (t Task) deadline() sim.Duration {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+// Result is the analysis outcome for one task.
+type Result struct {
+	Task Task
+	// WCRT is the computed worst-case response time; valid if Schedulable.
+	WCRT sim.Duration
+	// Schedulable reports whether the recurrence converged within the
+	// task's deadline.
+	Schedulable bool
+}
+
+// Analyze computes worst-case response times for all tasks on one
+// processor core under preemptive fixed-priority scheduling. It returns one
+// result per task, in the input order.
+//
+// The analysis is sustainable (larger C or smaller T only increase WCRTs)
+// and assumes constrained deadlines (D ≤ T): only one job per task is
+// pending at a time, so the single-job busy window suffices.
+func Analyze(tasks []Task) ([]Result, error) {
+	for i, t := range tasks {
+		if t.WCET <= 0 {
+			return nil, fmt.Errorf("rta: task %q has non-positive WCET", t.Name)
+		}
+		if t.Period <= 0 {
+			return nil, fmt.Errorf("rta: task %q has non-positive period", t.Name)
+		}
+		if t.deadline() > t.Period {
+			return nil, fmt.Errorf("rta: task %q has deadline %v > period %v (unsupported)",
+				t.Name, t.deadline(), t.Period)
+		}
+		_ = i
+	}
+	// Total utilization must be below 1 for the recurrences to converge.
+	var u float64
+	for _, t := range tasks {
+		u += float64(t.WCET) / float64(t.Period)
+	}
+
+	results := make([]Result, len(tasks))
+	for i, t := range tasks {
+		results[i] = Result{Task: t}
+		hp := higherPriority(tasks, i)
+		r, ok := responseTime(t, hp, u)
+		results[i].WCRT = r
+		results[i].Schedulable = ok && r <= t.deadline()
+	}
+	return results, nil
+}
+
+// higherPriority returns the tasks that can preempt tasks[i]. Equal
+// priorities are treated as interfering (conservative: FIFO among equals
+// means a full job of each equal-priority task can delay us).
+func higherPriority(tasks []Task, i int) []Task {
+	var hp []Task
+	for j, t := range tasks {
+		if j == i {
+			continue
+		}
+		if t.Priority >= tasks[i].Priority {
+			hp = append(hp, t)
+		}
+	}
+	return hp
+}
+
+// responseTime iterates the busy-window recurrence to a fixed point.
+func responseTime(t Task, hp []Task, util float64) (sim.Duration, bool) {
+	r := t.WCET + t.Blocking
+	const maxIter = 10_000
+	for iter := 0; iter < maxIter; iter++ {
+		interference := sim.Duration(0)
+		for _, h := range hp {
+			n := int64(math.Ceil(float64(r) / float64(h.Period)))
+			interference += sim.Duration(n) * h.WCET
+		}
+		next := t.WCET + t.Blocking + interference
+		if next == r {
+			return r, true
+		}
+		if next > t.deadline() && util >= 1 {
+			return next, false
+		}
+		if next > 1000*t.Period {
+			return next, false // diverging
+		}
+		r = next
+	}
+	return r, false
+}
+
+// MonitorHandlerSet builds the task set of a monitor thread's exception
+// handlers plus the interfering higher-priority activity, and returns the
+// d_ex bound for each handler: since all handlers share the single monitor
+// thread at the same (highest) priority, the WCRT of handler i includes one
+// full job of every other handler (FIFO among equals) plus the monitor's
+// scan work, modelled as a task.
+type MonitorHandlerSet struct {
+	// ScanWCET and ScanPeriod model the monitor's drain pass.
+	ScanWCET   sim.Duration
+	ScanPeriod sim.Duration
+	// Handlers are the per-segment exception handler WCETs with the chain
+	// period as minimum inter-arrival.
+	Handlers []Task
+}
+
+// DEx computes a conservative d_ex for every handler in the set, returning
+// the per-handler bounds and the maximum (a safe single d_ex for the whole
+// budgeting problem).
+func (m MonitorHandlerSet) DEx() ([]Result, sim.Duration, error) {
+	tasks := make([]Task, 0, len(m.Handlers)+1)
+	if m.ScanWCET > 0 {
+		if m.ScanPeriod <= 0 {
+			return nil, 0, fmt.Errorf("rta: scan task needs a period")
+		}
+		tasks = append(tasks, Task{
+			Name: "monitor-scan", WCET: m.ScanWCET, Period: m.ScanPeriod, Priority: 1,
+		})
+	}
+	for _, h := range m.Handlers {
+		h.Priority = 1 // all on the monitor thread: same priority
+		tasks = append(tasks, h)
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Drop the scan task from the reported handlers.
+	if m.ScanWCET > 0 {
+		res = res[1:]
+	}
+	var max sim.Duration
+	for _, r := range res {
+		if !r.Schedulable {
+			return res, 0, fmt.Errorf("rta: handler %q not schedulable (WCRT %v)", r.Task.Name, r.WCRT)
+		}
+		if r.WCRT > max {
+			max = r.WCRT
+		}
+	}
+	return res, max, nil
+}
+
+// UtilizationBound reports the Liu & Layland rate-monotonic utilization
+// bound n(2^{1/n}−1) for n tasks — a quick sufficient schedulability check.
+func UtilizationBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// Sort orders tasks by descending priority (stable), the conventional
+// presentation order for analysis tables.
+func Sort(tasks []Task) {
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].Priority > tasks[j].Priority })
+}

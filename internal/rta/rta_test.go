@@ -1,0 +1,183 @@
+package rta
+
+import (
+	"math"
+	"testing"
+
+	"chainmon/internal/sim"
+)
+
+// The classic three-task example from the response-time analysis
+// literature (Audsley et al.): C=(3,3,5), T=(7,12,20), priorities
+// descending — WCRTs 3, 6, 20.
+func TestAnalyzeClassicExample(t *testing.T) {
+	tasks := []Task{
+		{Name: "t1", WCET: 3, Period: 7, Priority: 3},
+		{Name: "t2", WCET: 3, Period: 12, Priority: 2},
+		{Name: "t3", WCET: 5, Period: 20, Priority: 1},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Duration{3, 6, 20}
+	for i, r := range res {
+		if !r.Schedulable {
+			t.Errorf("%s not schedulable (WCRT %v)", r.Task.Name, r.WCRT)
+		}
+		if r.WCRT != want[i] {
+			t.Errorf("%s WCRT = %v, want %v", r.Task.Name, r.WCRT, want[i])
+		}
+	}
+}
+
+func TestAnalyzeUnschedulable(t *testing.T) {
+	tasks := []Task{
+		{Name: "hog", WCET: 9, Period: 10, Priority: 2},
+		{Name: "victim", WCET: 5, Period: 20, Priority: 1},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Schedulable {
+		t.Error("highest-priority task must be schedulable")
+	}
+	if res[1].Schedulable {
+		t.Errorf("victim reported schedulable with WCRT %v (utilization 1.15)", res[1].WCRT)
+	}
+}
+
+func TestAnalyzeBlockingTerm(t *testing.T) {
+	tasks := []Task{
+		{Name: "t", WCET: 2, Period: 10, Priority: 1, Blocking: 3},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].WCRT != 5 {
+		t.Errorf("WCRT = %v, want 5 (C+B)", res[0].WCRT)
+	}
+}
+
+func TestAnalyzeEqualPrioritiesInterfere(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", WCET: 2, Period: 10, Priority: 1},
+		{Name: "b", WCET: 3, Period: 10, Priority: 1},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each includes one job of the other (FIFO among equals,
+	// conservative).
+	if res[0].WCRT != 5 || res[1].WCRT != 5 {
+		t.Errorf("WCRTs = %v,%v, want 5,5", res[0].WCRT, res[1].WCRT)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	bad := [][]Task{
+		{{Name: "x", WCET: 0, Period: 10, Priority: 1}},
+		{{Name: "x", WCET: 1, Period: 0, Priority: 1}},
+		{{Name: "x", WCET: 1, Period: 10, Deadline: 20, Priority: 1}},
+	}
+	for i, tasks := range bad {
+		if _, err := Analyze(tasks); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// Property: WCRT is monotone in WCET (sustainability).
+func TestAnalyzeMonotoneInWCET(t *testing.T) {
+	base := []Task{
+		{Name: "hi", WCET: 2, Period: 10, Priority: 2},
+		{Name: "lo", WCET: 3, Period: 30, Priority: 1},
+	}
+	prev := sim.Duration(0)
+	for c := sim.Duration(1); c <= 6; c++ {
+		tasks := append([]Task(nil), base...)
+		tasks[0].WCET = c
+		res, err := Analyze(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[1].WCRT < prev {
+			t.Fatalf("WCRT decreased from %v to %v as C grew", prev, res[1].WCRT)
+		}
+		prev = res[1].WCRT
+	}
+}
+
+func TestMonitorHandlerSetDEx(t *testing.T) {
+	set := MonitorHandlerSet{
+		ScanWCET:   50 * sim.Microsecond,
+		ScanPeriod: 10 * sim.Millisecond,
+		Handlers: []Task{
+			{Name: "objects", WCET: 200 * sim.Microsecond, Period: 100 * sim.Millisecond},
+			{Name: "ground", WCET: 150 * sim.Microsecond, Period: 100 * sim.Millisecond},
+		},
+	}
+	res, dex, err := set.DEx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	// Each handler's WCRT ≥ own WCET + other's WCET + scan interference.
+	if dex < 350*sim.Microsecond {
+		t.Errorf("d_ex = %v, want ≥ 350µs (both handlers back to back)", dex)
+	}
+	if dex > 2*sim.Millisecond {
+		t.Errorf("d_ex = %v implausibly large", dex)
+	}
+	// The bound must cover every handler's WCRT.
+	for _, r := range res {
+		if r.WCRT > dex {
+			t.Errorf("handler %s WCRT %v exceeds reported d_ex %v", r.Task.Name, r.WCRT, dex)
+		}
+	}
+}
+
+func TestMonitorHandlerSetUnschedulable(t *testing.T) {
+	set := MonitorHandlerSet{
+		Handlers: []Task{
+			{Name: "hog", WCET: 90 * sim.Millisecond, Period: 100 * sim.Millisecond},
+			{Name: "other", WCET: 90 * sim.Millisecond, Period: 100 * sim.Millisecond},
+		},
+	}
+	if _, _, err := set.DEx(); err == nil {
+		t.Error("180% handler utilization must be unschedulable")
+	}
+}
+
+func TestUtilizationBound(t *testing.T) {
+	if math.Abs(UtilizationBound(1)-1.0) > 1e-9 {
+		t.Errorf("U(1) = %f", UtilizationBound(1))
+	}
+	if math.Abs(UtilizationBound(2)-0.828) > 0.001 {
+		t.Errorf("U(2) = %f", UtilizationBound(2))
+	}
+	if UtilizationBound(0) != 0 {
+		t.Error("U(0) should be 0")
+	}
+	// Approaches ln 2.
+	if math.Abs(UtilizationBound(1000)-math.Ln2) > 0.001 {
+		t.Errorf("U(1000) = %f", UtilizationBound(1000))
+	}
+}
+
+func TestSortByPriority(t *testing.T) {
+	tasks := []Task{
+		{Name: "lo", Priority: 1},
+		{Name: "hi", Priority: 9},
+		{Name: "mid", Priority: 5},
+	}
+	Sort(tasks)
+	if tasks[0].Name != "hi" || tasks[2].Name != "lo" {
+		t.Errorf("sorted = %v", tasks)
+	}
+}

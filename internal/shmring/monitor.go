@@ -1,0 +1,259 @@
+package shmring
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ExceptionFunc is invoked by the monitor goroutine when a segment's end
+// event did not occur within its monitored deadline. It runs on the monitor
+// goroutine and must be short and bounded (it plays the role of the
+// application exception handler entry).
+type ExceptionFunc func(act uint64, deadline time.Duration)
+
+// Segment is one monitored local segment: two rings (start and end events)
+// and a deadline.
+type Segment struct {
+	Name string
+	DMon time.Duration
+
+	startRing *Ring
+	endRing   *Ring
+	mon       *Monitor
+	onExc     ExceptionFunc
+
+	pending map[uint64]time.Duration // activation → absolute deadline
+
+	// Measurements (owned by the monitor goroutine after Start, except the
+	// posting overheads which the producer records).
+	postStart []time.Duration // posting overhead per start event
+	postEnd   []time.Duration // posting overhead per end event
+	monLat    []time.Duration // post → processed by the monitor
+	excCount  int
+	okCount   int
+	dropped   int
+}
+
+// Monitor is the per-ECU high-priority monitor thread of the paper,
+// realized as a dedicated goroutine locked to an OS thread. Producers wake
+// it through a binary semaphore; end events do not wake it (saving the
+// context switch, as in the paper).
+type Monitor struct {
+	segments []*Segment
+	sem      chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+	start    time.Time
+
+	timeouts timeoutHeap
+	scanExec []time.Duration // execution time per monitor pass
+
+	mu sync.Mutex // guards measurement snapshots after Stop
+}
+
+// NewMonitor creates a monitor with no segments.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		sem:   make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		start: time.Now(),
+	}
+}
+
+// now returns nanoseconds since monitor creation (monotonic).
+func (m *Monitor) now() time.Duration { return time.Since(m.start) }
+
+// AddSegment registers a segment before Start. ringCap must be a power of
+// two.
+func (m *Monitor) AddSegment(name string, dMon time.Duration, ringCap int, onExc ExceptionFunc) *Segment {
+	if m.started {
+		panic("shmring: AddSegment after Start")
+	}
+	s := &Segment{
+		Name:      name,
+		DMon:      dMon,
+		startRing: NewRing(ringCap),
+		endRing:   NewRing(ringCap),
+		mon:       m,
+		onExc:     onExc,
+		pending:   make(map[uint64]time.Duration),
+	}
+	m.segments = append(m.segments, s)
+	return s
+}
+
+// Start launches the monitor goroutine.
+func (m *Monitor) Start() {
+	if m.started {
+		panic("shmring: Start called twice")
+	}
+	m.started = true
+	go m.loop()
+}
+
+// Stop terminates the monitor goroutine and waits for it to exit.
+func (m *Monitor) Stop() {
+	close(m.stop)
+	<-m.done
+}
+
+// PostStart publishes a start event for the activation and wakes the
+// monitor (the instrumented DDS subscriber path). It returns the posting
+// overhead, which is also recorded for the Fig. 11 start-event statistic.
+func (s *Segment) PostStart(act uint64) time.Duration {
+	t0 := s.mon.now()
+	ok := s.startRing.Post(Event{Act: act, TS: int64(t0)})
+	// Raise the semaphore (non-blocking: a pending wake is enough).
+	select {
+	case s.mon.sem <- struct{}{}:
+	default:
+	}
+	d := s.mon.now() - t0
+	if !ok {
+		s.dropped++ // producer-side counter; SPSC contract makes this safe
+	}
+	s.postStart = append(s.postStart, d)
+	return d
+}
+
+// PostEnd publishes an end event without waking the monitor (processing end
+// events is not time critical).
+func (s *Segment) PostEnd(act uint64) time.Duration {
+	t0 := s.mon.now()
+	ok := s.endRing.Post(Event{Act: act, TS: int64(t0)})
+	d := s.mon.now() - t0
+	if !ok {
+		s.dropped++
+	}
+	s.postEnd = append(s.postEnd, d)
+	return d
+}
+
+// timeoutHeap orders (deadline, segment, activation) entries.
+type timeoutEntry struct {
+	deadline time.Duration
+	seg      *Segment
+	act      uint64
+}
+
+type timeoutHeap []timeoutEntry
+
+func (h timeoutHeap) Len() int           { return len(h) }
+func (h timeoutHeap) Less(i, j int) bool { return h[i].deadline < h[j].deadline }
+func (h timeoutHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timeoutHeap) Push(x any)        { *h = append(*h, x.(timeoutEntry)) }
+func (h *timeoutHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// loop is the monitor thread: wait on the semaphore with a timeout at the
+// earliest pending deadline (sem_timedwait), then drain all rings in fixed
+// order and fire due exceptions.
+func (m *Monitor) loop() {
+	// The paper runs the monitor thread at the highest real-time priority;
+	// the closest Go equivalent is a dedicated OS thread.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	defer close(m.done)
+
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		wait := time.Hour
+		if len(m.timeouts) > 0 {
+			wait = m.timeouts[0].deadline - m.now()
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-m.stop:
+			return
+		case <-m.sem:
+		case <-timer.C:
+		}
+		m.scan()
+	}
+}
+
+// scan is one monitor pass over all segments in fixed registration order.
+func (m *Monitor) scan() {
+	t0 := m.now()
+	for _, s := range m.segments {
+		for {
+			ev, ok := s.startRing.Pop()
+			if !ok {
+				break
+			}
+			now := m.now()
+			s.monLat = append(s.monLat, now-time.Duration(ev.TS))
+			deadline := time.Duration(ev.TS) + s.DMon
+			s.pending[ev.Act] = deadline
+			heap.Push(&m.timeouts, timeoutEntry{deadline: deadline, seg: s, act: ev.Act})
+		}
+		for {
+			ev, ok := s.endRing.Pop()
+			if !ok {
+				break
+			}
+			if _, armed := s.pending[ev.Act]; armed {
+				delete(s.pending, ev.Act)
+				s.okCount++
+			}
+		}
+	}
+	now := m.now()
+	for len(m.timeouts) > 0 && m.timeouts[0].deadline <= now {
+		e := heap.Pop(&m.timeouts).(timeoutEntry)
+		if dl, armed := e.seg.pending[e.act]; armed && dl == e.deadline {
+			delete(e.seg.pending, e.act)
+			e.seg.excCount++
+			if e.seg.onExc != nil {
+				e.seg.onExc(e.act, e.deadline)
+			}
+		}
+	}
+	m.scanExec = append(m.scanExec, m.now()-t0)
+}
+
+// Measurements is the Fig. 11 data of one segment plus the shared monitor
+// execution times.
+type Measurements struct {
+	StartPost  []time.Duration
+	EndPost    []time.Duration
+	MonLatency []time.Duration
+	ScanExec   []time.Duration
+	OK         int
+	Exceptions int
+	Dropped    int
+}
+
+// Measurements snapshots the collected samples. Call after Stop.
+func (s *Segment) Measurements() Measurements {
+	s.mon.mu.Lock()
+	defer s.mon.mu.Unlock()
+	return Measurements{
+		StartPost:  append([]time.Duration(nil), s.postStart...),
+		EndPost:    append([]time.Duration(nil), s.postEnd...),
+		MonLatency: append([]time.Duration(nil), s.monLat...),
+		ScanExec:   append([]time.Duration(nil), s.mon.scanExec...),
+		OK:         s.okCount,
+		Exceptions: s.excCount,
+		Dropped:    s.dropped,
+	}
+}

@@ -1,0 +1,275 @@
+package shmring
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(8)
+	for i := uint64(0); i < 5; i++ {
+		if !r.Post(Event{Act: i}) {
+			t.Fatalf("post %d failed", i)
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		ev, ok := r.Pop()
+		if !ok || ev.Act != i {
+			t.Fatalf("pop %d = %v,%v", i, ev, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop on empty ring succeeded")
+	}
+}
+
+func TestRingFullRejects(t *testing.T) {
+	r := NewRing(4)
+	for i := uint64(0); i < 4; i++ {
+		if !r.Post(Event{Act: i}) {
+			t.Fatalf("post %d failed", i)
+		}
+	}
+	if r.Post(Event{Act: 99}) {
+		t.Error("post on full ring succeeded")
+	}
+	if r.Len() != 4 {
+		t.Errorf("len = %d", r.Len())
+	}
+	// After consuming one, a post succeeds again.
+	r.Pop()
+	if !r.Post(Event{Act: 4}) {
+		t.Error("post after pop failed")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(4)
+	for round := uint64(0); round < 20; round++ {
+		if !r.Post(Event{Act: round}) {
+			t.Fatalf("post %d failed", round)
+		}
+		ev, ok := r.Pop()
+		if !ok || ev.Act != round {
+			t.Fatalf("round %d: got %v,%v", round, ev, ok)
+		}
+	}
+}
+
+func TestRingCapacityValidation(t *testing.T) {
+	for _, c := range []int{0, -1, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d: expected panic", c)
+				}
+			}()
+			NewRing(c)
+		}()
+	}
+	if NewRing(16).Cap() != 16 {
+		t.Error("cap wrong")
+	}
+}
+
+// Property: under a concurrent producer/consumer pair, the consumer sees
+// exactly the accepted events, in order.
+func TestRingConcurrentSPSC(t *testing.T) {
+	f := func(n uint16) bool {
+		count := int(n%2000) + 1
+		r := NewRing(64)
+		accepted := make(chan uint64, count)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				if r.Post(Event{Act: uint64(i)}) {
+					accepted <- uint64(i)
+				}
+			}
+			close(accepted)
+		}()
+		var got []uint64
+		done := false
+		for !done {
+			ev, ok := r.Pop()
+			if ok {
+				got = append(got, ev.Act)
+				continue
+			}
+			select {
+			case _, more := <-accepted:
+				if !more {
+					done = true
+				}
+				// put it back conceptually: we only use the channel for
+				// termination; re-check ring
+			default:
+			}
+		}
+		// Drain leftovers.
+		for {
+			ev, ok := r.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, ev.Act)
+		}
+		wg.Wait()
+		// got must be strictly increasing (order preserved, no dupes).
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonitorOKPath(t *testing.T) {
+	m := NewMonitor()
+	exceptions := make(chan uint64, 16)
+	// A generous deadline keeps the test robust against scheduling
+	// hiccups on loaded, non-realtime test machines.
+	seg := m.AddSegment("s", 500*time.Millisecond, 64, func(act uint64, _ time.Duration) {
+		exceptions <- act
+	})
+	m.Start()
+	for i := uint64(0); i < 10; i++ {
+		seg.PostStart(i)
+		time.Sleep(time.Millisecond)
+		seg.PostEnd(i)
+	}
+	// Wake the monitor once more so it drains the final end events.
+	time.Sleep(5 * time.Millisecond)
+	seg.PostStart(10)
+	seg.PostEnd(10)
+	time.Sleep(10 * time.Millisecond)
+	m.Stop()
+	ms := seg.Measurements()
+	if ms.Exceptions != 0 {
+		t.Errorf("exceptions = %d, want 0", ms.Exceptions)
+	}
+	if ms.OK < 10 {
+		t.Errorf("ok = %d, want ≥10", ms.OK)
+	}
+	if ms.Dropped != 0 {
+		t.Errorf("dropped = %d", ms.Dropped)
+	}
+	if len(ms.StartPost) != 11 || len(ms.EndPost) != 11 {
+		t.Errorf("post samples = %d,%d", len(ms.StartPost), len(ms.EndPost))
+	}
+	if len(ms.MonLatency) == 0 || len(ms.ScanExec) == 0 {
+		t.Error("missing monitor measurements")
+	}
+}
+
+func TestMonitorRaisesTimeout(t *testing.T) {
+	m := NewMonitor()
+	exceptions := make(chan uint64, 16)
+	seg := m.AddSegment("s", 10*time.Millisecond, 64, func(act uint64, _ time.Duration) {
+		exceptions <- act
+	})
+	m.Start()
+	defer m.Stop()
+	t0 := time.Now()
+	seg.PostStart(7) // never post an end event
+	select {
+	case act := <-exceptions:
+		if act != 7 {
+			t.Errorf("exception for act %d, want 7", act)
+		}
+		elapsed := time.Since(t0)
+		if elapsed < 10*time.Millisecond {
+			t.Errorf("exception after %v, before the deadline", elapsed)
+		}
+		if elapsed > 200*time.Millisecond {
+			t.Errorf("exception after %v, far too late", elapsed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout exception never fired")
+	}
+}
+
+func TestMonitorEndBeforeDeadlineSuppressesException(t *testing.T) {
+	m := NewMonitor()
+	exceptions := make(chan uint64, 16)
+	seg := m.AddSegment("s", 30*time.Millisecond, 64, func(act uint64, _ time.Duration) {
+		exceptions <- act
+	})
+	m.Start()
+	seg.PostStart(1)
+	time.Sleep(5 * time.Millisecond)
+	seg.PostEnd(1)
+	// Nudge the monitor so the end ring is drained before the deadline.
+	seg.PostStart(2)
+	time.Sleep(2 * time.Millisecond)
+	seg.PostEnd(2)
+	seg.PostStart(3)
+	time.Sleep(50 * time.Millisecond)
+	m.Stop()
+	// Only activation 3 (no end) may except.
+	close(exceptions)
+	for act := range exceptions {
+		if act != 3 {
+			t.Errorf("unexpected exception for act %d", act)
+		}
+	}
+}
+
+func TestMonitorMultipleSegmentsFixedOrder(t *testing.T) {
+	m := NewMonitor()
+	var order []string
+	var mu sync.Mutex
+	rec := func(name string) ExceptionFunc {
+		return func(uint64, time.Duration) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	}
+	a := m.AddSegment("a", 10*time.Millisecond, 16, rec("a"))
+	b := m.AddSegment("b", 10*time.Millisecond, 16, rec("b"))
+	m.Start()
+	a.PostStart(0)
+	b.PostStart(0)
+	time.Sleep(100 * time.Millisecond)
+	m.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("exception order = %v, want [a b]", order)
+	}
+}
+
+func TestMonitorStartAfterStartPanics(t *testing.T) {
+	m := NewMonitor()
+	m.AddSegment("s", time.Millisecond, 16, nil)
+	m.Start()
+	defer m.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.Start()
+}
+
+func TestMonitorAddSegmentAfterStartPanics(t *testing.T) {
+	m := NewMonitor()
+	m.AddSegment("s", time.Millisecond, 16, nil)
+	m.Start()
+	defer m.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.AddSegment("late", time.Millisecond, 16, nil)
+}

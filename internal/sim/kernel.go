@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// EventFunc is the action executed when a scheduled event fires.
+type EventFunc func()
+
+// Event is a scheduled occurrence in the simulation. Events are ordered by
+// time; ties are broken by priority (higher first) and then by insertion
+// order, which keeps runs deterministic.
+type Event struct {
+	at       Time
+	priority int
+	seq      uint64
+	fn       EventFunc
+	index    int // heap index; -1 once removed
+	canceled bool
+}
+
+// At returns the virtual time at which the event is (or was) scheduled.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event simulation core: a virtual clock and a queue
+// of pending events. A Kernel is not safe for concurrent use; the simulation
+// is single-threaded by design so that runs are deterministic.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// executed counts fired events, useful for progress assertions in tests.
+	executed uint64
+}
+
+// NewKernel returns a kernel with the clock at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed returns the number of events fired so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of events currently scheduled.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a modelling bug.
+func (k *Kernel) At(t Time, fn EventFunc) *Event {
+	return k.AtPriority(t, 0, fn)
+}
+
+// AtPriority schedules fn at time t with an explicit tie-break priority
+// (higher priority fires first among events at the same instant).
+func (k *Kernel) AtPriority(t Time, priority int, fn EventFunc) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	k.seq++
+	e := &Event{at: t, priority: priority, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Duration, fn EventFunc) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&k.queue, e.index)
+}
+
+// Reschedule moves a pending event to a new time, preserving its priority.
+// If the event already fired or was canceled, a fresh event is scheduled.
+func (k *Kernel) Reschedule(e *Event, t Time) *Event {
+	if e != nil && !e.canceled && e.index >= 0 {
+		if t < k.now {
+			panic(fmt.Sprintf("sim: rescheduling event to %v before now %v", t, k.now))
+		}
+		e.at = t
+		heap.Fix(&k.queue, e.index)
+		return e
+	}
+	if e == nil {
+		panic("sim: rescheduling nil event")
+	}
+	return k.AtPriority(t, e.priority, e.fn)
+}
+
+// Step fires the next pending event and advances the clock to it.
+// It reports whether an event was fired.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = e.at
+		k.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ horizon, then sets the clock to the
+// horizon. Events scheduled beyond the horizon stay pending.
+func (k *Kernel) RunUntil(horizon Time) {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			break
+		}
+		// Peek the earliest non-canceled event.
+		e := k.queue[0]
+		if e.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if e.at > horizon {
+			break
+		}
+		k.Step()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// RunFor executes events within the next d of virtual time.
+func (k *Kernel) RunFor(d Duration) {
+	k.RunUntil(k.now.Add(d))
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64

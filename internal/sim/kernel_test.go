@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", k.Now())
+	}
+}
+
+func TestKernelTieBreakBySeqThenPriority(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	k.At(10, func() { got = append(got, "first") })
+	k.At(10, func() { got = append(got, "second") })
+	k.AtPriority(10, 5, func() { got = append(got, "hiprio") })
+	k.Run()
+	if got[0] != "hiprio" || got[1] != "first" || got[2] != "second" {
+		t.Fatalf("got order %v", got)
+	}
+}
+
+func TestKernelAfterUsesCurrentTime(t *testing.T) {
+	k := NewKernel()
+	var fired Time
+	k.At(100, func() {
+		k.After(50, func() { fired = k.Now() })
+	})
+	k.Run()
+	if fired != 150 {
+		t.Errorf("fired at %v, want 150", fired)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(10, func() { fired = true })
+	k.Cancel(e)
+	k.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("event not marked canceled")
+	}
+	// Double cancel is a no-op.
+	k.Cancel(e)
+	k.Cancel(nil)
+}
+
+func TestKernelCancelFromWithinEarlierEvent(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.At(20, func() { fired = true })
+	k.At(10, func() { k.Cancel(e) })
+	k.Run()
+	if fired {
+		t.Error("event fired despite cancel at t=10")
+	}
+}
+
+func TestKernelReschedule(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	e := k.At(10, func() { fired = append(fired, k.Now()) })
+	k.At(5, func() { k.Reschedule(e, 42) })
+	k.Run()
+	if len(fired) != 1 || fired[0] != 42 {
+		t.Fatalf("fired = %v, want [42]", fired)
+	}
+}
+
+func TestKernelRescheduleFiredEventCreatesNewOne(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	e := k.At(10, func() { count++ })
+	k.At(20, func() { k.Reschedule(e, 30) })
+	k.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (original + rescheduled)", count)
+	}
+}
+
+func TestKernelRunUntilLeavesLaterEventsPending(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	k.At(10, func() { ran++ })
+	k.At(100, func() { ran++ })
+	k.RunUntil(50)
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+	if k.Now() != 50 {
+		t.Errorf("Now() = %v, want 50 after RunUntil", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if ran != 2 {
+		t.Errorf("ran = %d after full Run, want 2", ran)
+	}
+}
+
+func TestKernelRunForAdvancesRelative(t *testing.T) {
+	k := NewKernel()
+	k.RunFor(10 * time.Nanosecond)
+	if k.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", k.Now())
+	}
+	k.RunFor(5 * time.Nanosecond)
+	if k.Now() != 15 {
+		t.Fatalf("Now() = %v, want 15", k.Now())
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	k.At(1, func() { ran++; k.Stop() })
+	k.At(2, func() { ran++ })
+	k.Run()
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (stopped after first)", ran)
+	}
+}
+
+func TestKernelPanicsOnPastEvent(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(50, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelSchedulingInsideEventSameTime(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.At(10, func() {
+		order = append(order, "a")
+		k.At(10, func() { order = append(order, "b") })
+	})
+	k.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in sorted order
+// and the executed count matches.
+func TestKernelOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		k := NewKernel()
+		var fired []Time
+		for _, o := range offsets {
+			k.At(Time(o), func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return k.Executed() == uint64(len(offsets))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a := Time(1000)
+	if a.Add(500*Nanosecond) != 1500 {
+		t.Error("Add failed")
+	}
+	if a.Sub(Time(400)) != 600 {
+		t.Error("Sub failed")
+	}
+	if !a.Before(1001) || a.Before(1000) {
+		t.Error("Before failed")
+	}
+	if !a.After(999) || a.After(1000) {
+		t.Error("After failed")
+	}
+	if Time(1500).String() != "t+1.5µs" {
+		t.Errorf("String() = %q", Time(1500).String())
+	}
+}

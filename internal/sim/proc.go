@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WorkItem is a unit of computation queued on a Thread: it occupies the
+// thread for Cost of virtual CPU time and then runs Fn (the item's effects:
+// publishing messages, programming timers, ...).
+type WorkItem struct {
+	Label string
+	Cost  Duration
+	Fn    func()
+
+	enqueued   Time // when Enqueue was called
+	ready      Time // when the wakeup latency elapsed and the item became runnable
+	started    Time // first dispatch on a core
+	finished   Time
+	everRan    bool
+	preemptCnt int
+}
+
+// Enqueued returns the time Enqueue was called for this item.
+func (w *WorkItem) Enqueued() Time { return w.enqueued }
+
+// Started returns the time the item was first dispatched on a core.
+func (w *WorkItem) Started() Time { return w.started }
+
+// Finished returns the item's completion time.
+func (w *WorkItem) Finished() Time { return w.finished }
+
+// Preemptions returns how often the item was preempted.
+func (w *WorkItem) Preemptions() int { return w.preemptCnt }
+
+// Thread is a schedulable entity with a fixed priority and a FIFO queue of
+// work items. Higher Priority values take precedence.
+type Thread struct {
+	proc     *Processor
+	Name     string
+	Priority int
+	// pinned is the core this thread is restricted to, or -1 for global
+	// scheduling (free migration, the paper's evaluation setup).
+	pinned int
+
+	queue      []*WorkItem
+	current    *WorkItem
+	remaining  Duration
+	running    bool
+	dispatched Time // when the thread last got a core
+	readySince Time
+	completion *Event
+
+	busy      Duration // accumulated executed CPU time
+	completed uint64
+}
+
+// Processor models one ECU: a set of identical cores scheduling threads with
+// global fixed-priority preemptive scheduling (threads migrate freely, as in
+// the paper's evaluation setup).
+type Processor struct {
+	Name  string
+	Cores int
+
+	k   *Kernel
+	rng *RNG
+
+	// CtxSwitch is added to an item's remaining cost on every dispatch,
+	// modelling context-switch and cache-refill overhead.
+	CtxSwitch Dist
+	// Wakeup is the latency between enqueueing a work item and the thread
+	// becoming ready (kernel wakeup latency). On a PREEMPT_RT system this
+	// is small with rare outliers.
+	Wakeup Dist
+
+	threads []*Thread
+}
+
+// NewProcessor creates a processor with the given core count. The overhead
+// distributions default to zero and can be assigned afterwards.
+func NewProcessor(k *Kernel, rng *RNG, name string, cores int) *Processor {
+	if cores < 1 {
+		panic("sim: processor needs at least one core")
+	}
+	return &Processor{
+		Name:      name,
+		Cores:     cores,
+		k:         k,
+		rng:       rng.Derive("proc/" + name),
+		CtxSwitch: Constant(0),
+		Wakeup:    Constant(0),
+	}
+}
+
+// Kernel returns the simulation kernel this processor runs on.
+func (p *Processor) Kernel() *Kernel { return p.k }
+
+// RNG returns the processor's random stream.
+func (p *Processor) RNG() *RNG { return p.rng }
+
+// NewThread registers a thread on this processor.
+func (p *Processor) NewThread(name string, priority int) *Thread {
+	t := &Thread{proc: p, Name: name, Priority: priority, pinned: -1}
+	p.threads = append(p.threads, t)
+	return t
+}
+
+// PinTo restricts the thread to one core (partitioned scheduling). Passing
+// a negative core restores free migration.
+func (t *Thread) PinTo(core int) {
+	if core >= t.proc.Cores {
+		panic(fmt.Sprintf("sim: pinning %q to core %d of %d", t.Name, core, t.proc.Cores))
+	}
+	if core < 0 {
+		core = -1
+	}
+	t.pinned = core
+}
+
+// Pinned returns the core the thread is pinned to, or -1.
+func (t *Thread) Pinned() int { return t.pinned }
+
+// Threads returns the registered threads.
+func (p *Processor) Threads() []*Thread { return p.threads }
+
+// Utilization returns the fraction of total core time spent busy up to now.
+func (p *Processor) Utilization() float64 {
+	if p.k.Now() == 0 {
+		return 0
+	}
+	var busy Duration
+	for _, t := range p.threads {
+		busy += t.BusyTime()
+	}
+	return float64(busy) / (float64(p.k.Now()) * float64(p.Cores))
+}
+
+// Enqueue schedules a work item on the thread. The item becomes runnable
+// after the processor's wakeup latency and then competes for a core at the
+// thread's priority. It returns the item for latency bookkeeping.
+func (t *Thread) Enqueue(label string, cost Duration, fn func()) *WorkItem {
+	if cost < 0 {
+		panic(fmt.Sprintf("sim: negative cost %v for %q", cost, label))
+	}
+	w := &WorkItem{Label: label, Cost: cost, Fn: fn, enqueued: t.proc.k.Now()}
+	wake := t.proc.Wakeup.Sample(t.proc.rng)
+	t.proc.k.After(wake, func() {
+		w.ready = t.proc.k.Now()
+		if len(t.queue) == 0 && t.current == nil {
+			t.readySince = w.ready
+		}
+		t.queue = append(t.queue, w)
+		t.proc.reschedule()
+	})
+	return w
+}
+
+// EnqueueDirect schedules a work item without the wakeup latency: the item
+// becomes runnable immediately. Use it for work a thread queues onto itself
+// (it is already awake), e.g. the monitor thread dispatching exception
+// handlers it will execute next.
+func (t *Thread) EnqueueDirect(label string, cost Duration, fn func()) *WorkItem {
+	if cost < 0 {
+		panic(fmt.Sprintf("sim: negative cost %v for %q", cost, label))
+	}
+	now := t.proc.k.Now()
+	w := &WorkItem{Label: label, Cost: cost, Fn: fn, enqueued: now, ready: now}
+	if len(t.queue) == 0 && t.current == nil {
+		t.readySince = now
+	}
+	t.queue = append(t.queue, w)
+	t.proc.reschedule()
+	return w
+}
+
+// QueueLen returns the number of runnable-but-not-started items.
+func (t *Thread) QueueLen() int { return len(t.queue) }
+
+// Busy reports whether the thread currently holds a work item.
+func (t *Thread) Busy() bool { return t.current != nil || len(t.queue) > 0 }
+
+// BusyTime returns the accumulated CPU time consumed by the thread.
+func (t *Thread) BusyTime() Duration {
+	b := t.busy
+	if t.running {
+		b += t.proc.k.Now().Sub(t.dispatched)
+	}
+	return b
+}
+
+// Completed returns the number of finished work items.
+func (t *Thread) Completed() uint64 { return t.completed }
+
+func (t *Thread) ready() bool { return t.current != nil || len(t.queue) > 0 }
+
+// reschedule recomputes the running set after any arrival or completion.
+// Pinned threads win their own core against other threads pinned there;
+// unpinned threads share the remaining cores by global fixed priority.
+func (p *Processor) reschedule() {
+	now := p.k.Now()
+
+	ready := make([]*Thread, 0, len(p.threads))
+	for _, t := range p.threads {
+		if t.ready() {
+			ready = append(ready, t)
+		}
+	}
+	sort.SliceStable(ready, func(i, j int) bool {
+		if ready[i].Priority != ready[j].Priority {
+			return ready[i].Priority > ready[j].Priority
+		}
+		return ready[i].readySince < ready[j].readySince
+	})
+
+	shouldRun := make(map[*Thread]bool, p.Cores)
+	coreTaken := make([]bool, p.Cores)
+	taken := 0
+	// Pinned threads first: the highest-priority ready thread of each
+	// core (ready is priority-sorted).
+	for _, t := range ready {
+		if t.pinned >= 0 && !coreTaken[t.pinned] {
+			coreTaken[t.pinned] = true
+			shouldRun[t] = true
+			taken++
+		}
+	}
+	// Unpinned threads fill the remaining cores by global priority.
+	for _, t := range ready {
+		if taken >= p.Cores {
+			break
+		}
+		if t.pinned < 0 && !shouldRun[t] {
+			shouldRun[t] = true
+			taken++
+		}
+	}
+
+	// Preempt threads that lost their core.
+	for _, t := range p.threads {
+		if t.running && !shouldRun[t] {
+			t.preempt(now)
+		}
+	}
+	// Dispatch threads that gained a core.
+	for _, t := range ready {
+		if shouldRun[t] && !t.running {
+			t.dispatch(now)
+		}
+	}
+}
+
+func (t *Thread) preempt(now Time) {
+	if t.completion != nil {
+		t.proc.k.Cancel(t.completion)
+		t.completion = nil
+	}
+	consumed := now.Sub(t.dispatched)
+	t.busy += consumed
+	t.remaining -= consumed
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+	t.running = false
+	if t.current != nil {
+		t.current.preemptCnt++
+	}
+}
+
+func (t *Thread) dispatch(now Time) {
+	if t.current == nil {
+		t.current = t.queue[0]
+		copy(t.queue, t.queue[1:])
+		t.queue[len(t.queue)-1] = nil
+		t.queue = t.queue[:len(t.queue)-1]
+		t.remaining = t.current.Cost
+		t.current.started = now
+		t.current.everRan = true
+	}
+	// Context-switch overhead on every dispatch (initial or resume).
+	t.remaining += t.proc.CtxSwitch.Sample(t.proc.rng)
+	t.running = true
+	t.dispatched = now
+	t.completion = t.proc.k.AtPriority(now.Add(t.remaining), t.Priority, t.complete)
+}
+
+func (t *Thread) complete() {
+	now := t.proc.k.Now()
+	t.busy += now.Sub(t.dispatched)
+	t.running = false
+	t.completion = nil
+	w := t.current
+	t.current = nil
+	t.remaining = 0
+	t.completed++
+	w.finished = now
+	if len(t.queue) > 0 {
+		t.readySince = now
+	}
+	if w.Fn != nil {
+		w.Fn()
+	}
+	t.proc.reschedule()
+}
+
+// PeriodicLoad drives a thread with periodic background work, used to model
+// interfering services and load sweeps (Fig. 12). It starts at the given
+// offset and re-arms itself every period.
+func (p *Processor) PeriodicLoad(t *Thread, label string, offset Time, period Duration, cost Dist) {
+	var arm func()
+	arm = func() {
+		t.Enqueue(label, cost.Sample(p.rng), nil)
+		p.k.After(period, arm)
+	}
+	p.k.At(offset, arm)
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGDeriveIndependence(t *testing.T) {
+	a := NewRNG(7).Derive("x")
+	b := NewRNG(7).Derive("y")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("derived streams look identical (%d/100 equal)", same)
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(1)
+	if g.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !g.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestConstantDist(t *testing.T) {
+	d := Constant(5 * time.Microsecond)
+	g := NewRNG(1)
+	if d.Sample(g) != 5*time.Microsecond {
+		t.Error("constant sample wrong")
+	}
+	lo, hi := d.Bounds()
+	if lo != hi || lo != 5*time.Microsecond {
+		t.Error("constant bounds wrong")
+	}
+}
+
+func TestUniformDistWithinBounds(t *testing.T) {
+	d := UniformDist{Lo: 10, Hi: 20}
+	g := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(g)
+		if v < 10 || v > 20 {
+			t.Fatalf("sample %v outside [10,20]", v)
+		}
+	}
+	// Degenerate interval.
+	dd := UniformDist{Lo: 10, Hi: 10}
+	if dd.Sample(g) != 10 {
+		t.Error("degenerate uniform wrong")
+	}
+}
+
+func TestNormalDistTruncation(t *testing.T) {
+	d := NormalDist{Mean: 100, Stddev: 50, Min: 80, Max: 120}
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(g)
+		if v < 80 || v > 120 {
+			t.Fatalf("sample %v outside truncation [80,120]", v)
+		}
+	}
+}
+
+func TestLogNormalDistProperties(t *testing.T) {
+	d := LogNormalDist{Median: 100 * time.Microsecond, Sigma: 0.5, Shift: 10 * time.Microsecond}
+	g := NewRNG(4)
+	below := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := d.Sample(g)
+		if v < 10*time.Microsecond {
+			t.Fatalf("sample %v below shift", v)
+		}
+		if v < 110*time.Microsecond {
+			below++
+		}
+	}
+	// Median of shifted distribution should be near shift+median.
+	if frac := float64(below) / n; frac < 0.45 || frac > 0.55 {
+		t.Errorf("fraction below median+shift = %f, want ≈0.5", frac)
+	}
+}
+
+func TestLogNormalTruncation(t *testing.T) {
+	d := LogNormalDist{Median: 100, Sigma: 2, Max: 150}
+	g := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if v := d.Sample(g); v > 150 {
+			t.Fatalf("sample %v above max", v)
+		}
+	}
+}
+
+func TestMixtureDistTailProbability(t *testing.T) {
+	d := MixtureDist{
+		Base:     Constant(1),
+		Tail:     Constant(1000),
+		TailProb: 0.1,
+	}
+	g := NewRNG(6)
+	tail := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if d.Sample(g) == 1000 {
+			tail++
+		}
+	}
+	if frac := float64(tail) / n; frac < 0.08 || frac > 0.12 {
+		t.Errorf("tail fraction = %f, want ≈0.1", frac)
+	}
+	lo, hi := d.Bounds()
+	if lo != 1 || hi != 1000 {
+		t.Errorf("bounds = %v,%v", lo, hi)
+	}
+}
+
+func TestScaledDist(t *testing.T) {
+	d := ScaledDist{Base: Constant(100), Factor: 2.5}
+	g := NewRNG(7)
+	if d.Sample(g) != 250 {
+		t.Error("scaled sample wrong")
+	}
+	lo, hi := d.Bounds()
+	if lo != 250 || hi != 250 {
+		t.Errorf("bounds = %v,%v", lo, hi)
+	}
+}
+
+func TestDistSamplesNeverNegative(t *testing.T) {
+	dists := []Dist{
+		Constant(0),
+		UniformDist{Lo: 0, Hi: 100},
+		NormalDist{Mean: 10, Stddev: 100, Min: 0, Max: 0},
+		LogNormalDist{Median: 50, Sigma: 1},
+		MixtureDist{Base: Constant(1), Tail: LogNormalDist{Median: 100, Sigma: 2}, TailProb: 0.5},
+	}
+	g := NewRNG(8)
+	for _, d := range dists {
+		for i := 0; i < 500; i++ {
+			if v := d.Sample(g); v < 0 {
+				t.Fatalf("%v produced negative sample %v", d, v)
+			}
+		}
+	}
+}
+
+func TestBoundedWalkStaysInBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		w := &BoundedWalk{Bound: 100, Step: 30}
+		g := NewRNG(seed)
+		for i := 0; i < 200; i++ {
+			v := w.Next(g)
+			if v > 100 || v < -100 {
+				return false
+			}
+			if w.Value() != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistStringers(t *testing.T) {
+	for _, d := range []Dist{
+		Constant(1),
+		UniformDist{Lo: 1, Hi: 2},
+		NormalDist{Mean: 1, Stddev: 2},
+		LogNormalDist{Median: 1, Sigma: 0.5},
+		MixtureDist{Base: Constant(1), Tail: Constant(2), TailProb: 0.5},
+		ScaledDist{Base: Constant(1), Factor: 2},
+	} {
+		if d.String() == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+	}
+}
+
+func TestDistBounds(t *testing.T) {
+	u := UniformDist{Lo: 1, Hi: 5}
+	if lo, hi := u.Bounds(); lo != 1 || hi != 5 {
+		t.Errorf("uniform bounds = %v,%v", lo, hi)
+	}
+	n := NormalDist{Mean: 10, Stddev: 2, Min: 1}
+	if lo, hi := n.Bounds(); lo != 1 || hi != 18 {
+		t.Errorf("normal bounds = %v,%v", lo, hi)
+	}
+	nm := NormalDist{Mean: 10, Stddev: 2, Min: 1, Max: 12}
+	if _, hi := nm.Bounds(); hi != 12 {
+		t.Errorf("truncated normal hi = %v", hi)
+	}
+	l := LogNormalDist{Median: 100, Sigma: 0.5, Shift: 10}
+	if lo, hi := l.Bounds(); lo != 10 || hi <= 100 {
+		t.Errorf("lognormal bounds = %v,%v", lo, hi)
+	}
+	lt := LogNormalDist{Median: 100, Sigma: 0.5, Max: 150}
+	if _, hi := lt.Bounds(); hi != 150 {
+		t.Errorf("truncated lognormal hi = %v", hi)
+	}
+	g := NewRNG(1)
+	if v := g.Intn(10); v < 0 || v >= 10 {
+		t.Errorf("Intn out of range: %d", v)
+	}
+}

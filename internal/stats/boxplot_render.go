@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderBoxplots draws a set of Tukey boxplots as ASCII art on a common
+// scale, the textual analogue of the paper's figures:
+//
+//	label   |----[==|==]-------·   ·|
+//
+// with `----` the whisker span, `[==|==]` the interquartile box with the
+// median bar, and `·` outliers (clipped to the extremes). The scale line
+// shows the common axis in duration units.
+func RenderBoxplots(labels []string, boxes []Boxplot, width int) string {
+	if len(labels) != len(boxes) || len(boxes) == 0 {
+		return ""
+	}
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		if b.N == 0 {
+			continue
+		}
+		lo = math.Min(lo, b.Min)
+		hi = math.Max(hi, b.Max)
+	}
+	if math.IsInf(lo, 1) || hi <= lo {
+		return ""
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	pos := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(width-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+
+	var sb strings.Builder
+	for i, b := range boxes {
+		row := make([]rune, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		if b.N > 0 {
+			set := func(at int, r rune) { row[at] = r }
+			for j := pos(b.LoWhisker); j <= pos(b.HiWhisker); j++ {
+				row[j] = '-'
+			}
+			for j := pos(b.Q1); j <= pos(b.Q3); j++ {
+				row[j] = '='
+			}
+			set(pos(b.LoWhisker), '|')
+			set(pos(b.HiWhisker), '|')
+			set(pos(b.Q1), '[')
+			set(pos(b.Q3), ']')
+			set(pos(b.Median), '╫')
+			if b.Outliers > 0 {
+				if b.Max > b.HiWhisker {
+					set(pos(b.Max), '·')
+				}
+				if b.Min < b.LoWhisker {
+					set(pos(b.Min), '·')
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s %s\n", labelWidth, labels[i], string(row))
+	}
+	// Axis line with three tick labels.
+	mid := lo + (hi-lo)/2
+	axis := fmt.Sprintf("%s … %s … %s", FormatDuration(lo), FormatDuration(mid), FormatDuration(hi))
+	fmt.Fprintf(&sb, "%-*s %s\n", labelWidth, "", axis)
+	return sb.String()
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderBoxplotsBasic(t *testing.T) {
+	a := FromDurations([]time.Duration{10, 20, 30, 40, 50}).Tukey()
+	b := FromDurations([]time.Duration{60, 70, 80, 90, 100}).Tukey()
+	out := RenderBoxplots([]string{"first", "second"}, []Boxplot{a, b}, 40)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two rows + axis
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "first") || !strings.Contains(lines[0], "╫") {
+		t.Errorf("row missing label or median: %q", lines[0])
+	}
+	// The first box spans lower values: its median bar must be left of the
+	// second's.
+	if strings.IndexRune(lines[0], '╫') >= strings.IndexRune(lines[1], '╫') {
+		t.Error("boxes not on a common scale")
+	}
+}
+
+func TestRenderBoxplotsOutliers(t *testing.T) {
+	s := FromDurations([]time.Duration{10, 11, 12, 13, 14, 15, 16, 17, 18, 200})
+	out := RenderBoxplots([]string{"x"}, []Boxplot{s.Tukey()}, 60)
+	if !strings.Contains(out, "·") {
+		t.Errorf("outlier marker missing: %q", out)
+	}
+}
+
+func TestRenderBoxplotsDegenerate(t *testing.T) {
+	if RenderBoxplots(nil, nil, 40) != "" {
+		t.Error("empty input should render nothing")
+	}
+	if RenderBoxplots([]string{"a"}, []Boxplot{{}}, 40) != "" {
+		t.Error("all-empty boxes should render nothing")
+	}
+	same := FromDurations([]time.Duration{5, 5, 5}).Tukey()
+	if RenderBoxplots([]string{"a"}, []Boxplot{same}, 40) != "" {
+		t.Error("zero-range scale should render nothing rather than divide by zero")
+	}
+}
+
+func TestRenderBoxplotsMinimumWidth(t *testing.T) {
+	a := FromDurations([]time.Duration{1, 2, 3}).Tukey()
+	out := RenderBoxplots([]string{"a"}, []Boxplot{a}, 1)
+	if out == "" {
+		t.Error("small width should be clamped, not fail")
+	}
+}

@@ -1,0 +1,258 @@
+// Package stats provides the descriptive statistics used throughout the
+// evaluation: quantiles, Tukey boxplot five-number summaries (the paper
+// reports all latency results as Tukey boxplots), histograms and text
+// rendering of both.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is a collection of measurements (durations as float64 nanoseconds
+// internally, so arbitrary metrics can be summarized too).
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample.
+func NewSample() *Sample { return &Sample{} }
+
+// FromDurations builds a sample from durations.
+func FromDurations(ds []time.Duration) *Sample {
+	s := NewSample()
+	for _, d := range ds {
+		s.AddDuration(d)
+	}
+	return s
+}
+
+// FromFloats builds a sample from raw values.
+func FromFloats(vs []float64) *Sample {
+	s := NewSample()
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+// Add appends a raw value.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddDuration appends a duration measurement.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(float64(d)) }
+
+// Len returns the number of measurements.
+func (s *Sample) Len() int { return len(s.values) }
+
+// Values returns the measurements in sorted order. The returned slice is
+// owned by the sample and must not be modified.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	return s.values
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear interpolation
+// between order statistics (type-7 estimator, the default of R and NumPy).
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.ensureSorted()
+	if q <= 0 {
+		return s.values[0]
+	}
+	if q >= 1 {
+		return s.values[len(s.values)-1]
+	}
+	pos := q * float64(len(s.values)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := pos - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Min returns the smallest measurement.
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest measurement.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CountAbove returns how many measurements exceed the threshold.
+func (s *Sample) CountAbove(threshold float64) int {
+	s.ensureSorted()
+	// First index with value > threshold.
+	i := sort.SearchFloat64s(s.values, math.Nextafter(threshold, math.Inf(1)))
+	return len(s.values) - i
+}
+
+// Boxplot is a Tukey five-number summary: quartiles, whiskers at the last
+// data point within 1.5·IQR of the box, and the outliers beyond them.
+type Boxplot struct {
+	N            int
+	Min, Max     float64
+	Q1, Median   float64
+	Q3           float64
+	Mean         float64
+	LoWhisker    float64
+	HiWhisker    float64
+	Outliers     int // count of points outside the whiskers
+	OutlierFrac  float64
+	WhiskerWidth float64 // 1.5·IQR, kept for reporting
+}
+
+// Tukey computes the Tukey boxplot summary of the sample.
+func (s *Sample) Tukey() Boxplot {
+	b := Boxplot{N: s.Len()}
+	if b.N == 0 {
+		b.Min, b.Max, b.Q1, b.Median, b.Q3 = math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return b
+	}
+	s.ensureSorted()
+	b.Min, b.Max = s.Min(), s.Max()
+	b.Q1, b.Median, b.Q3 = s.Quantile(0.25), s.Median(), s.Quantile(0.75)
+	b.Mean = s.Mean()
+	iqr := b.Q3 - b.Q1
+	b.WhiskerWidth = 1.5 * iqr
+	loFence := b.Q1 - b.WhiskerWidth
+	hiFence := b.Q3 + b.WhiskerWidth
+	b.LoWhisker, b.HiWhisker = b.Min, b.Max
+	out := 0
+	for _, v := range s.values {
+		if v < loFence || v > hiFence {
+			out++
+		}
+	}
+	// Whiskers: extreme data points within the fences.
+	for _, v := range s.values {
+		if v >= loFence {
+			b.LoWhisker = v
+			break
+		}
+	}
+	for i := len(s.values) - 1; i >= 0; i-- {
+		if s.values[i] <= hiFence {
+			b.HiWhisker = s.values[i]
+			break
+		}
+	}
+	b.Outliers = out
+	b.OutlierFrac = float64(out) / float64(b.N)
+	return b
+}
+
+// FormatDuration renders a float64-nanoseconds value as a duration string.
+func FormatDuration(ns float64) string {
+	if math.IsNaN(ns) {
+		return "n/a"
+	}
+	return time.Duration(ns).Round(100 * time.Nanosecond).String()
+}
+
+// DurationRow renders the boxplot as a one-line table row with duration
+// units, in the order the paper's figures report: min / Q1 / median / Q3 /
+// whisker / max, plus sample size and outlier count.
+func (b Boxplot) DurationRow(label string) string {
+	return fmt.Sprintf("%-28s n=%-6d min=%-10s q1=%-10s med=%-10s q3=%-10s whisk=%-10s max=%-10s outliers=%d (%.1f%%)",
+		label, b.N,
+		FormatDuration(b.Min), FormatDuration(b.Q1), FormatDuration(b.Median),
+		FormatDuration(b.Q3), FormatDuration(b.HiWhisker), FormatDuration(b.Max),
+		b.Outliers, 100*b.OutlierFrac)
+}
+
+// Histogram divides [min,max] into the given number of equal-width bins and
+// counts measurements per bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// Histogram computes an equal-width histogram over the sample range.
+func (s *Sample) Histogram(bins int) Histogram {
+	h := Histogram{Counts: make([]int, bins)}
+	if s.Len() == 0 || bins == 0 {
+		return h
+	}
+	h.Lo, h.Hi = s.Min(), s.Max()
+	width := (h.Hi - h.Lo) / float64(bins)
+	if width == 0 {
+		h.Counts[0] = s.Len()
+		return h
+	}
+	for _, v := range s.values {
+		i := int((v - h.Lo) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Render draws the histogram as ASCII bars, one line per bin.
+func (h Histogram) Render(width int) string {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return "(empty)\n"
+	}
+	var sb strings.Builder
+	binWidth := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		lo := h.Lo + float64(i)*binWidth
+		bar := strings.Repeat("█", c*width/maxCount)
+		fmt.Fprintf(&sb, "%12s | %-*s %d\n", FormatDuration(lo), width, bar, c)
+	}
+	return sb.String()
+}

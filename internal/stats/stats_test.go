@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQuantileSimple(t *testing.T) {
+	s := FromFloats([]float64{1, 2, 3, 4, 5})
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	s := FromFloats([]float64{0, 10})
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %v, want 5", got)
+	}
+	if got := s.Quantile(0.75); got != 7.5 {
+		t.Errorf("Quantile(0.75) = %v, want 7.5", got)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := NewSample()
+	if !math.IsNaN(s.Median()) || !math.IsNaN(s.Mean()) {
+		t.Error("empty sample should return NaN")
+	}
+	b := s.Tukey()
+	if b.N != 0 || !math.IsNaN(b.Median) {
+		t.Error("empty boxplot wrong")
+	}
+	if FormatDuration(math.NaN()) != "n/a" {
+		t.Error("NaN formatting wrong")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	s := FromFloats([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m := s.Mean(); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if sd := s.Stddev(); math.Abs(sd-2.138) > 0.01 {
+		t.Errorf("Stddev = %v, want ≈2.138", sd)
+	}
+	if FromFloats([]float64{1}).Stddev() != 0 {
+		t.Error("single-value stddev should be 0")
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	s := FromFloats([]float64{1, 2, 3, 4, 5})
+	if n := s.CountAbove(3); n != 2 {
+		t.Errorf("CountAbove(3) = %d, want 2 (strictly greater)", n)
+	}
+	if n := s.CountAbove(0); n != 5 {
+		t.Errorf("CountAbove(0) = %d, want 5", n)
+	}
+	if n := s.CountAbove(5); n != 0 {
+		t.Errorf("CountAbove(5) = %d, want 0", n)
+	}
+}
+
+func TestTukeyNoOutliers(t *testing.T) {
+	s := FromFloats([]float64{1, 2, 3, 4, 5})
+	b := s.Tukey()
+	if b.Outliers != 0 {
+		t.Errorf("outliers = %d, want 0", b.Outliers)
+	}
+	if b.LoWhisker != 1 || b.HiWhisker != 5 {
+		t.Errorf("whiskers = %v,%v, want 1,5", b.LoWhisker, b.HiWhisker)
+	}
+	if b.Q1 != 2 || b.Median != 3 || b.Q3 != 4 {
+		t.Errorf("quartiles = %v,%v,%v", b.Q1, b.Median, b.Q3)
+	}
+}
+
+func TestTukeyDetectsOutlier(t *testing.T) {
+	vals := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 100}
+	s := FromFloats(vals)
+	b := s.Tukey()
+	if b.Outliers != 1 {
+		t.Errorf("outliers = %d, want 1", b.Outliers)
+	}
+	if b.HiWhisker == 100 {
+		t.Error("whisker should exclude the outlier")
+	}
+	if b.Max != 100 {
+		t.Errorf("max = %v, want 100", b.Max)
+	}
+}
+
+func TestTukeyWhiskerIsDataPoint(t *testing.T) {
+	// Whiskers must land on actual data points, not the fence itself.
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 50}
+	b := FromFloats(vals).Tukey()
+	found := false
+	for _, v := range vals {
+		if v == b.HiWhisker {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("HiWhisker %v is not a data point", b.HiWhisker)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		frac := func(x float64) float64 { return math.Abs(x) - math.Floor(math.Abs(x)) }
+		a, b := frac(q1), frac(q2)
+		if a > b {
+			a, b = b, a
+		}
+		s := FromFloats(vals)
+		qa, qb := s.Quantile(a), s.Quantile(b)
+		return qa <= qb && qa >= s.Min() && qb <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Values() is sorted and preserves multiset size.
+func TestValuesSortedProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				clean = append(clean, v)
+			}
+		}
+		s := FromFloats(clean)
+		got := s.Values()
+		return len(got) == len(clean) && sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromDurations(t *testing.T) {
+	s := FromDurations([]time.Duration{time.Millisecond, 3 * time.Millisecond})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Max() != float64(3*time.Millisecond) {
+		t.Errorf("max = %v", s.Max())
+	}
+}
+
+func TestDurationRow(t *testing.T) {
+	s := FromDurations([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	row := s.Tukey().DurationRow("seg")
+	if row == "" || len(row) < 40 {
+		t.Errorf("row too short: %q", row)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := FromFloats([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	h := s.Histogram(5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram total = %d, want 10", total)
+	}
+	if h.Counts[0] != 2 || h.Counts[4] != 2 {
+		t.Errorf("bins = %v", h.Counts)
+	}
+	if h.Render(20) == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	s := FromFloats([]float64{5, 5, 5})
+	h := s.Histogram(4)
+	if h.Counts[0] != 3 {
+		t.Errorf("degenerate histogram = %v", h.Counts)
+	}
+	if NewSample().Histogram(3).Render(10) == "" {
+		t.Error("empty histogram should still render")
+	}
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV parser and
+// that anything it accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("segment,activation,latency_ns\na,1,5\n")
+	f.Add("a,0,100\na,1,200\nb,0,300\n")
+	f.Add("")
+	f.Add("x,,\n")
+	f.Add("a,18446744073709551615,9223372036854775807\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace failed to parse: %v", err)
+		}
+		if len(back.Segments) != len(tr.Segments) {
+			t.Fatalf("round trip changed segment count %d → %d", len(tr.Segments), len(back.Segments))
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON path never panics.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"segments":[{"segment":"a","activations":[0],"latencies_ns":[5],"propagation":1}]}`)
+	f.Add(`{}`)
+	f.Add(`{"segments":null}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+	})
+}

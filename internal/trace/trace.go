@@ -1,0 +1,277 @@
+// Package trace records segment latencies from unmonitored runs (the
+// paper's measurement-based approach uses LTTng for this) and carries them
+// to the budgeting step: recorded traces L^{s_i} are extended by the
+// exception-handling WCRT d_ex and fed into the constraint satisfaction
+// problem of Section III-C. Traces can be exported and re-imported as JSON
+// or CSV.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/sim"
+	"chainmon/internal/stats"
+)
+
+// SegmentTrace is the recorded latency series of one segment, ordered by
+// activation index. Missing activations (events that never paired) are
+// excluded; Activations carries the original indices.
+type SegmentTrace struct {
+	Segment     string         `json:"segment"`
+	Activations []uint64       `json:"activations"`
+	Latencies   []sim.Duration `json:"latencies_ns"`
+	Propagation int            `json:"propagation"` // p_l ∈ {0,1} for budgeting
+}
+
+// Sample returns the latencies as a statistics sample.
+func (st *SegmentTrace) Sample() *stats.Sample {
+	s := stats.NewSample()
+	for _, l := range st.Latencies {
+		s.AddDuration(l)
+	}
+	return s
+}
+
+// LatenciesInt64 returns the latencies in nanoseconds for the budget solver.
+func (st *SegmentTrace) LatenciesInt64() []int64 {
+	out := make([]int64, len(st.Latencies))
+	for i, l := range st.Latencies {
+		out[i] = int64(l)
+	}
+	return out
+}
+
+// Trace is a set of segment traces from one recording run.
+type Trace struct {
+	Segments []*SegmentTrace `json:"segments"`
+}
+
+// Segment returns the trace of the named segment, or nil.
+func (t *Trace) Segment(name string) *SegmentTrace {
+	for _, s := range t.Segments {
+		if s.Segment == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON deserializes a trace.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteCSV writes one row per (segment, activation, latency).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"segment", "activation", "latency_ns"}); err != nil {
+		return err
+	}
+	for _, s := range t.Segments {
+		for i, l := range s.Latencies {
+			rec := []string{s.Segment, strconv.FormatUint(s.Activations[i], 10), strconv.FormatInt(int64(l), 10)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the WriteCSV format.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	byName := make(map[string]*SegmentTrace)
+	var order []string
+	for i, row := range rows {
+		if i == 0 && len(row) == 3 && row[0] == "segment" {
+			continue // header
+		}
+		if len(row) != 3 {
+			return nil, fmt.Errorf("trace: CSV row %d has %d fields, want 3", i, len(row))
+		}
+		act, err := strconv.ParseUint(row[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d activation: %w", i, err)
+		}
+		lat, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV row %d latency: %w", i, err)
+		}
+		st, ok := byName[row[0]]
+		if !ok {
+			st = &SegmentTrace{Segment: row[0]}
+			byName[row[0]] = st
+			order = append(order, row[0])
+		}
+		st.Activations = append(st.Activations, act)
+		st.Latencies = append(st.Latencies, sim.Duration(lat))
+	}
+	t := &Trace{}
+	for _, name := range order {
+		t.Segments = append(t.Segments, byName[name])
+	}
+	return t, nil
+}
+
+// Recorder observes communication events of an unmonitored system run and
+// pairs start/end events into segment latencies.
+type Recorder struct {
+	k    *sim.Kernel
+	segs []*segRecorder
+}
+
+// NewRecorder creates a recorder on the kernel.
+func NewRecorder(k *sim.Kernel) *Recorder {
+	return &Recorder{k: k}
+}
+
+type segRecorder struct {
+	rec         *Recorder
+	name        string
+	propagation int
+	starts      map[uint64]sim.Time
+	latencies   map[uint64]sim.Duration
+	// remotePeriod, when non-zero, switches the segment to the effective
+	// remote-monitoring latency: the paper's synchronization-based monitor
+	// programs the deadline for activation n from the previous start
+	// timestamp, t_st,n-1 + P + d_mon, so the quantity d_mon must bound is
+	// end(n) − (start(n−1) + P) — which includes the activation jitter J^a
+	// — rather than end(n) − start(n).
+	remotePeriod sim.Duration
+}
+
+// Segment declares a segment to record. propagation is the p_l factor used
+// later by the budget solver (1 = misses propagate, 0 = perfect recovery).
+func (r *Recorder) Segment(name string, propagation int) *SegmentRecorder {
+	s := &segRecorder{
+		rec:         r,
+		name:        name,
+		propagation: propagation,
+		starts:      make(map[uint64]sim.Time),
+		latencies:   make(map[uint64]sim.Duration),
+	}
+	r.segs = append(r.segs, s)
+	return &SegmentRecorder{s}
+}
+
+// SegmentRecorder wires one segment's start and end events.
+type SegmentRecorder struct {
+	s *segRecorder
+}
+
+// RemoteMode records the segment the way the synchronization-based remote
+// monitor will measure it: latency(n) = end(n) − (start(n−1) + period).
+// Deadlines budgeted from such a trace are directly deployable as the
+// monitor's d_mon (up to the clock synchronization error ε).
+func (sr *SegmentRecorder) RemoteMode(period sim.Duration) *SegmentRecorder {
+	sr.s.remotePeriod = period
+	return sr
+}
+
+// StartOnDeliver records receptions at the subscription as start events.
+func (sr *SegmentRecorder) StartOnDeliver(sub *dds.Subscription) {
+	sub.OnDeliver = append(sub.OnDeliver, func(smp *dds.Sample) bool {
+		sr.s.start(smp.Activation)
+		return true
+	})
+}
+
+// StartOnPublish records publications as start events (remote segments).
+func (sr *SegmentRecorder) StartOnPublish(pub *dds.Publisher) {
+	pub.OnPublish = append(pub.OnPublish, func(smp *dds.Sample) {
+		sr.s.start(smp.Activation)
+	})
+}
+
+// StartOnDevicePublish records a sensor device's publications as start
+// events — used for end-to-end chain latencies, which begin at the sensor.
+func (sr *SegmentRecorder) StartOnDevicePublish(dev *dds.Device) {
+	dev.OnPublish = append(dev.OnPublish, func(smp *dds.Sample) {
+		sr.s.start(smp.Activation)
+	})
+}
+
+// EndOnDeliver records receptions as end events.
+func (sr *SegmentRecorder) EndOnDeliver(sub *dds.Subscription) {
+	sub.OnDeliver = append(sub.OnDeliver, func(smp *dds.Sample) bool {
+		sr.s.end(smp.Activation)
+		return true
+	})
+}
+
+// EndOnPublish records publications as end events (local segments).
+func (sr *SegmentRecorder) EndOnPublish(pub *dds.Publisher) {
+	pub.OnPublish = append(pub.OnPublish, func(smp *dds.Sample) {
+		sr.s.end(smp.Activation)
+	})
+}
+
+func (s *segRecorder) start(act uint64) {
+	if _, ok := s.starts[act]; !ok {
+		s.starts[act] = s.rec.k.Now()
+	}
+}
+
+func (s *segRecorder) end(act uint64) {
+	if _, done := s.latencies[act]; done {
+		return
+	}
+	if s.remotePeriod > 0 {
+		if act == 0 {
+			return // no previous start to rebase from
+		}
+		prev, ok := s.starts[act-1]
+		if !ok {
+			return
+		}
+		s.latencies[act] = s.rec.k.Now().Sub(prev.Add(s.remotePeriod))
+		return
+	}
+	st, ok := s.starts[act]
+	if !ok {
+		return // end without start: outside the recording window
+	}
+	s.latencies[act] = s.rec.k.Now().Sub(st)
+}
+
+// Trace assembles the recorded latencies, ordered by activation.
+func (r *Recorder) Trace() *Trace {
+	t := &Trace{}
+	for _, s := range r.segs {
+		st := &SegmentTrace{Segment: s.name, Propagation: s.propagation}
+		acts := make([]uint64, 0, len(s.latencies))
+		for a := range s.latencies {
+			acts = append(acts, a)
+		}
+		sort.Slice(acts, func(i, j int) bool { return acts[i] < acts[j] })
+		for _, a := range acts {
+			st.Activations = append(st.Activations, a)
+			st.Latencies = append(st.Latencies, s.latencies[a])
+		}
+		t.Segments = append(t.Segments, st)
+	}
+	return t
+}

@@ -1,0 +1,95 @@
+// Package vclock models per-ECU local clocks synchronized by a PTP-like
+// protocol (IEEE 1588). Each clock reads global simulation time plus a
+// slowly drifting offset bounded by the synchronization error ε — the
+// quantity the paper's synchronization-based remote monitoring depends on.
+package vclock
+
+import (
+	"fmt"
+
+	"chainmon/internal/sim"
+)
+
+// Clock is a local clock of one processing resource. Reads return
+// global time plus a bounded offset that drifts between PTP corrections.
+type Clock struct {
+	name string
+	k    *sim.Kernel
+	rng  *sim.RNG
+
+	epsilon  sim.Duration // bound on |offset|
+	interval sim.Duration // correction interval (how often the offset drifts)
+	walk     sim.BoundedWalk
+	lastStep sim.Time
+}
+
+// Config parameterizes a clock.
+type Config struct {
+	// Epsilon is the synchronization error bound ε: |local - global| ≤ ε.
+	Epsilon sim.Duration
+	// DriftStep is the maximum offset change per correction interval.
+	DriftStep sim.Duration
+	// Interval is the PTP correction interval; the offset performs one
+	// bounded random-walk step per elapsed interval. Defaults to 100 ms.
+	Interval sim.Duration
+}
+
+// New creates a clock attached to the kernel. A zero Epsilon yields a
+// perfect clock.
+func New(k *sim.Kernel, rng *sim.RNG, name string, cfg Config) *Clock {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * sim.Millisecond
+	}
+	if cfg.DriftStep <= 0 {
+		cfg.DriftStep = cfg.Epsilon / 4
+	}
+	return &Clock{
+		name:     name,
+		k:        k,
+		rng:      rng.Derive("clock/" + name),
+		epsilon:  cfg.Epsilon,
+		interval: cfg.Interval,
+		walk:     sim.BoundedWalk{Bound: cfg.Epsilon, Step: cfg.DriftStep},
+	}
+}
+
+// Epsilon returns the synchronization error bound.
+func (c *Clock) Epsilon() sim.Duration { return c.epsilon }
+
+// Now returns the local clock reading at the current global time.
+func (c *Clock) Now() sim.Time {
+	return c.At(c.k.Now())
+}
+
+// At returns the local clock reading for the given global time. The offset
+// is advanced lazily, one random-walk step per elapsed correction interval,
+// so clock reads stay cheap and deterministic.
+func (c *Clock) At(global sim.Time) sim.Time {
+	if c.epsilon == 0 {
+		return global
+	}
+	for c.lastStep.Add(c.interval) <= global {
+		c.lastStep = c.lastStep.Add(c.interval)
+		c.walk.Next(c.rng)
+	}
+	return global.Add(c.walk.Value())
+}
+
+// Offset returns the current local-minus-global offset.
+func (c *Clock) Offset() sim.Duration {
+	c.At(c.k.Now()) // advance the walk
+	return c.walk.Value()
+}
+
+// GlobalAfter converts a local-clock deadline into a global-time delay from
+// now: it returns how much global time remains until the local clock reads
+// deadline. A receiver uses this to program a timer for a deadline that was
+// computed from a sender timestamp. Negative results mean the deadline
+// already passed on the local clock.
+func (c *Clock) GlobalAfter(localDeadline sim.Time) sim.Duration {
+	return localDeadline.Sub(c.Now())
+}
+
+func (c *Clock) String() string {
+	return fmt.Sprintf("clock(%s, ε=%v)", c.name, c.epsilon)
+}

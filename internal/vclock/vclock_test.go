@@ -1,0 +1,117 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chainmon/internal/sim"
+)
+
+func TestPerfectClockTracksGlobal(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, sim.NewRNG(1), "ecu0", Config{Epsilon: 0})
+	k.At(12345, func() {
+		if c.Now() != 12345 {
+			t.Errorf("Now() = %v, want 12345", c.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestOffsetBoundedByEpsilon(t *testing.T) {
+	f := func(seed int64) bool {
+		k := sim.NewKernel()
+		eps := 50 * sim.Microsecond
+		c := New(k, sim.NewRNG(seed), "e", Config{Epsilon: eps, DriftStep: 20 * sim.Microsecond})
+		ok := true
+		for i := 1; i <= 100; i++ {
+			tm := sim.Time(i) * sim.Time(73*sim.Millisecond)
+			local := c.At(tm)
+			diff := local.Sub(tm)
+			if diff > eps || diff < -eps {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockMonotonicForMonotonicReads(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, sim.NewRNG(3), "e", Config{
+		Epsilon:   50 * sim.Microsecond,
+		DriftStep: 10 * sim.Microsecond,
+		Interval:  100 * sim.Millisecond,
+	})
+	prev := c.At(0)
+	for i := 1; i <= 1000; i++ {
+		// Reads every 1 ms; drift step (10 µs per 100 ms) cannot exceed
+		// elapsed time, so local time must not go backwards.
+		now := c.At(sim.Time(i) * sim.Time(sim.Millisecond))
+		if now < prev {
+			t.Fatalf("clock went backwards: %v after %v", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestTwoClocksDisagreeWithinTwoEpsilon(t *testing.T) {
+	k := sim.NewKernel()
+	rng := sim.NewRNG(4)
+	eps := 50 * sim.Microsecond
+	a := New(k, rng, "a", Config{Epsilon: eps})
+	b := New(k, rng, "b", Config{Epsilon: eps})
+	for i := 0; i < 200; i++ {
+		tm := sim.Time(i) * sim.Time(57*sim.Millisecond)
+		d := a.At(tm).Sub(b.At(tm))
+		if d > 2*eps || d < -2*eps {
+			t.Fatalf("clock disagreement %v exceeds 2ε", d)
+		}
+	}
+}
+
+func TestGlobalAfter(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, sim.NewRNG(5), "e", Config{Epsilon: 0})
+	k.At(1000, func() {
+		if d := c.GlobalAfter(sim.Time(1500)); d != 500 {
+			t.Errorf("GlobalAfter = %v, want 500", d)
+		}
+		if d := c.GlobalAfter(sim.Time(900)); d != -100 {
+			t.Errorf("GlobalAfter past deadline = %v, want -100", d)
+		}
+	})
+	k.Run()
+}
+
+func TestOffsetAccessor(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, sim.NewRNG(6), "e", Config{Epsilon: 30 * sim.Microsecond})
+	k.At(sim.Time(5*sim.Second), func() {
+		off := c.Offset()
+		if off > 30*sim.Microsecond || off < -30*sim.Microsecond {
+			t.Errorf("offset %v out of bounds", off)
+		}
+	})
+	k.Run()
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestDefaultIntervalAndStep(t *testing.T) {
+	k := sim.NewKernel()
+	c := New(k, sim.NewRNG(7), "e", Config{Epsilon: 40 * sim.Microsecond})
+	if c.interval != 100*sim.Millisecond {
+		t.Errorf("default interval = %v", c.interval)
+	}
+	if c.walk.Step != 10*sim.Microsecond {
+		t.Errorf("default step = %v", c.walk.Step)
+	}
+	if c.Epsilon() != 40*sim.Microsecond {
+		t.Errorf("Epsilon() = %v", c.Epsilon())
+	}
+}

@@ -1,0 +1,72 @@
+package weaklyhard
+
+// This file implements the constraint-dominance relation of the weakly-hard
+// theory the paper builds on (Bernat, Burns, Llamosí: "Weakly hard
+// real-time systems", IEEE ToC 50(4), 2001): a constraint c1 is harder than
+// c2 — written c1 ⪯ c2 — when every miss sequence satisfying c1 also
+// satisfies c2. Budgeting can use dominance to reuse deadline assignments
+// solved for one constraint for any easier one.
+
+// Implies reports whether satisfaction of c (by any infinite miss sequence)
+// implies satisfaction of other — i.e. c is at least as hard as other.
+//
+// For the "at most m misses in any window of k" constraint class the exact
+// condition from the weakly-hard theory is used:
+//
+//	(m1,k1) ⪯ (m2,k2)  ⇔  m1 ≤ m2  ∧  the densest sequence allowed by
+//	(m1,k1) fits (m2,k2).
+//
+// The densest (m1,k1)-feasible sequence packs m1 misses at the start of
+// every k1-period; checking (m2,k2) against that extremal sequence decides
+// the implication.
+func (c Constraint) Implies(other Constraint) bool {
+	if !c.Valid() || !other.Valid() {
+		return false
+	}
+	if other.Trivial() {
+		return true
+	}
+	if c.Trivial() {
+		return false
+	}
+	if c.M == 0 {
+		return true // a hard constraint satisfies everything
+	}
+	if other.M == 0 {
+		return false // only hard constraints imply a hard constraint
+	}
+	// Extremal sequence: m1 misses then k1-m1 hits, repeated. Any window
+	// of other.K placed over this periodic pattern must hold ≤ other.M
+	// misses. Enumerate window start offsets over one period plus the
+	// window length (sufficient by periodicity).
+	period := c.K
+	misses := make([]bool, 0, 2*period+other.K)
+	for len(misses) < 2*period+other.K {
+		for i := 0; i < c.M; i++ {
+			misses = append(misses, true)
+		}
+		for i := 0; i < period-c.M; i++ {
+			misses = append(misses, false)
+		}
+	}
+	return MaxMissesInAnyWindow(misses[:2*period+other.K], other.K) <= other.M
+}
+
+// Equivalent reports whether two constraints admit exactly the same miss
+// sequences.
+func (c Constraint) Equivalent(other Constraint) bool {
+	return c.Implies(other) && other.Implies(c)
+}
+
+// Tighten returns the harder of the two constraints if they are comparable,
+// and ok=false if neither implies the other (incomparable constraints must
+// both be monitored).
+func Tighten(a, b Constraint) (Constraint, bool) {
+	if a.Implies(b) {
+		return a, true
+	}
+	if b.Implies(a) {
+		return b, true
+	}
+	return Constraint{}, false
+}

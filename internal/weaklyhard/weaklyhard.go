@@ -1,0 +1,218 @@
+// Package weaklyhard implements the weakly-hard (m,k) constraint algebra of
+// Bernat, Burns and Llamosí that the paper's end-to-end latency requirement
+// is expressed in: at most m deadline misses are tolerated within any k
+// consecutive executions.
+//
+// The package provides an online sliding-window counter (used by monitors to
+// expose the current miss count to exception handlers, Algorithms 1 and 2),
+// and offline window analysis over recorded miss sequences (used by the
+// budgeting constraint solver, Eqs. 5–7).
+//
+// Windows contain k consecutive executions (indices j with n ≤ j < n+k);
+// the paper's Eq. 6 writes the window as n ≤ j ≤ n+k, which would span k+1
+// executions — we follow the standard k-execution definition from the
+// weakly-hard literature the paper cites.
+package weaklyhard
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Constraint is a weakly-hard (m,k) constraint: at most M misses in any K
+// consecutive executions. M=0 is a hard constraint on every window.
+type Constraint struct {
+	M int
+	K int
+}
+
+// Valid reports whether the constraint is well-formed (0 ≤ M ≤ K, K ≥ 1).
+func (c Constraint) Valid() bool {
+	return c.K >= 1 && c.M >= 0 && c.M <= c.K
+}
+
+// Trivial reports whether the constraint can never be violated (M = K).
+func (c Constraint) Trivial() bool { return c.M >= c.K }
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("(%d,%d)", c.M, c.K)
+}
+
+// SatisfiedBy reports whether a miss sequence (true = miss) satisfies the
+// constraint in every window of K consecutive executions. Sequences shorter
+// than K are checked against their single partial window.
+func (c Constraint) SatisfiedBy(misses []bool) bool {
+	return MaxMissesInAnyWindow(misses, c.K) <= c.M
+}
+
+// MaxMissesInAnyWindow returns the maximum number of misses found in any
+// window of k consecutive entries of the sequence (the max over n of the
+// paper's m_i(n)). Short sequences are treated as one partial window.
+func MaxMissesInAnyWindow(misses []bool, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	cur, maxm := 0, 0
+	for i, miss := range misses {
+		if miss {
+			cur++
+		}
+		if i >= k && misses[i-k] {
+			cur--
+		}
+		if cur > maxm {
+			maxm = cur
+		}
+	}
+	return maxm
+}
+
+// MaxWindowSum is MaxMissesInAnyWindow generalized to integer miss weights,
+// used by the budgeting solver where propagated misses from preceding
+// segments add to a segment's window count (Eq. 7).
+func MaxWindowSum(weights []int, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	cur, maxs := 0, 0
+	for i, w := range weights {
+		cur += w
+		if i >= k {
+			cur -= weights[i-k]
+		}
+		if cur > maxs {
+			maxs = cur
+		}
+	}
+	return maxs
+}
+
+// Counter is an online sliding-window (m,k) monitor over the last K
+// executions. It is the "current number of misses within the last k
+// executions" passed to the application exception handlers.
+type Counter struct {
+	c      Constraint
+	window []bool // ring buffer of the last K outcomes
+	head   int
+	filled int
+	misses int
+
+	total       uint64
+	totalMisses uint64
+	violations  uint64 // number of Record calls that left the window violated
+}
+
+// NewCounter creates a counter for the constraint. It panics on an invalid
+// constraint since that is always a configuration bug.
+func NewCounter(c Constraint) *Counter {
+	if !c.Valid() {
+		panic(fmt.Sprintf("weaklyhard: invalid constraint %v", c))
+	}
+	return &Counter{c: c, window: make([]bool, c.K)}
+}
+
+// Constraint returns the constraint being tracked.
+func (ctr *Counter) Constraint() Constraint { return ctr.c }
+
+// Record registers the outcome of the next execution and returns the miss
+// count of the current window (the handler argument m in Algorithms 1 and 2).
+func (ctr *Counter) Record(miss bool) int {
+	if ctr.filled == len(ctr.window) {
+		if ctr.window[ctr.head] {
+			ctr.misses--
+		}
+	} else {
+		ctr.filled++
+	}
+	ctr.window[ctr.head] = miss
+	if miss {
+		ctr.misses++
+		ctr.totalMisses++
+	}
+	ctr.head = (ctr.head + 1) % len(ctr.window)
+	ctr.total++
+	if ctr.misses > ctr.c.M {
+		ctr.violations++
+	}
+	return ctr.misses
+}
+
+// Misses returns the miss count in the current window.
+func (ctr *Counter) Misses() int { return ctr.misses }
+
+// Violated reports whether the current window violates the constraint.
+func (ctr *Counter) Violated() bool { return ctr.misses > ctr.c.M }
+
+// Budget returns how many further misses the current window tolerates
+// before violating the constraint (clamped at 0).
+func (ctr *Counter) Budget() int {
+	b := ctr.c.M - ctr.misses
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Totals returns lifetime counts: executions, misses, and how many
+// executions completed with the window in a violated state.
+func (ctr *Counter) Totals() (executions, misses, violations uint64) {
+	return ctr.total, ctr.totalMisses, ctr.violations
+}
+
+// Reset clears the window and lifetime counters.
+func (ctr *Counter) Reset() {
+	for i := range ctr.window {
+		ctr.window[i] = false
+	}
+	ctr.head, ctr.filled, ctr.misses = 0, 0, 0
+	ctr.total, ctr.totalMisses, ctr.violations = 0, 0, 0
+}
+
+// MissSequence derives a miss sequence from latencies and a deadline:
+// entry n is true iff latencies[n] > deadline.
+func MissSequence(latencies []int64, deadline int64) []bool {
+	out := make([]bool, len(latencies))
+	for i, l := range latencies {
+		out[i] = l > deadline
+	}
+	return out
+}
+
+// MinDeadline returns the smallest deadline value d (drawn from the distinct
+// latency values) such that the miss sequence of latencies against d
+// satisfies the constraint, along with true on success. If even the maximum
+// latency cannot satisfy it (impossible, since that yields zero misses),
+// ok is false only for empty input.
+//
+// This is the single-variable subproblem the budgeting CSP decomposes into
+// for propagation factor p = 0.
+func MinDeadline(latencies []int64, c Constraint) (d int64, ok bool) {
+	if len(latencies) == 0 {
+		return 0, false
+	}
+	cands := distinctSorted(latencies)
+	// Feasibility is monotone in d: larger deadlines can only reduce
+	// misses, so binary-search the candidate values.
+	lo, hi := 0, len(cands)-1
+	if !c.SatisfiedBy(MissSequence(latencies, cands[hi])) {
+		// Max latency produces zero misses, so this can only fire for
+		// trivially impossible constraints like (M<0); guard anyway.
+		return 0, false
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.SatisfiedBy(MissSequence(latencies, cands[mid])) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return cands[lo], true
+}
+
+func distinctSorted(vals []int64) []int64 {
+	out := make([]int64, len(vals))
+	copy(out, vals)
+	slices.Sort(out)
+	return slices.Compact(out)
+}

@@ -1,0 +1,303 @@
+package weaklyhard
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstraintValidity(t *testing.T) {
+	cases := []struct {
+		c     Constraint
+		valid bool
+	}{
+		{Constraint{0, 1}, true},
+		{Constraint{1, 1}, true},
+		{Constraint{2, 1}, false},
+		{Constraint{-1, 5}, false},
+		{Constraint{0, 0}, false},
+		{Constraint{3, 10}, true},
+	}
+	for _, c := range cases {
+		if got := c.c.Valid(); got != c.valid {
+			t.Errorf("%v.Valid() = %v, want %v", c.c, got, c.valid)
+		}
+	}
+	if !(Constraint{5, 5}).Trivial() || (Constraint{4, 5}).Trivial() {
+		t.Error("Trivial wrong")
+	}
+	if (Constraint{1, 5}).String() != "(1,5)" {
+		t.Error("String wrong")
+	}
+}
+
+func TestMaxMissesInAnyWindow(t *testing.T) {
+	seq := []bool{false, true, true, false, true, false, false, true, true, true}
+	cases := []struct {
+		k, want int
+	}{
+		{1, 1}, {2, 2}, {3, 3}, {4, 3}, {10, 6}, {20, 6}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := MaxMissesInAnyWindow(seq, c.k); got != c.want {
+			t.Errorf("MaxMissesInAnyWindow(k=%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestMaxMissesShortSequence(t *testing.T) {
+	if got := MaxMissesInAnyWindow([]bool{true, true}, 5); got != 2 {
+		t.Errorf("short sequence = %d, want 2", got)
+	}
+	if got := MaxMissesInAnyWindow(nil, 5); got != 0 {
+		t.Errorf("empty sequence = %d, want 0", got)
+	}
+}
+
+// Reference implementation: enumerate all windows explicitly.
+func naiveMaxMisses(misses []bool, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	maxm := 0
+	for n := 0; n < len(misses); n++ {
+		cnt := 0
+		for j := n; j < n+k && j < len(misses); j++ {
+			if misses[j] {
+				cnt++
+			}
+		}
+		if cnt > maxm {
+			maxm = cnt
+		}
+	}
+	return maxm
+}
+
+func TestMaxMissesMatchesNaiveProperty(t *testing.T) {
+	f := func(seq []bool, kRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		return MaxMissesInAnyWindow(seq, k) == naiveMaxMisses(seq, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxWindowSum(t *testing.T) {
+	w := []int{1, 0, 2, 0, 0, 3}
+	if got := MaxWindowSum(w, 2); got != 3 {
+		t.Errorf("MaxWindowSum(k=2) = %d, want 3", got)
+	}
+	if got := MaxWindowSum(w, 4); got != 5 {
+		t.Errorf("MaxWindowSum(k=4) = %d, want 5", got)
+	}
+	if got := MaxWindowSum(w, 6); got != 6 {
+		t.Errorf("MaxWindowSum(k=6) = %d, want 6", got)
+	}
+}
+
+func TestMaxWindowSumAgreesWithBoolVersion(t *testing.T) {
+	f := func(seq []bool, kRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		w := make([]int, len(seq))
+		for i, m := range seq {
+			if m {
+				w[i] = 1
+			}
+		}
+		return MaxWindowSum(w, k) == MaxMissesInAnyWindow(seq, k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatisfiedBy(t *testing.T) {
+	c := Constraint{M: 1, K: 3}
+	if !c.SatisfiedBy([]bool{true, false, false, true, false, false}) {
+		t.Error("sequence with isolated misses should satisfy (1,3)")
+	}
+	if c.SatisfiedBy([]bool{true, true, false, false}) {
+		t.Error("two misses in a window of 3 should violate (1,3)")
+	}
+}
+
+func TestCounterSlidingWindow(t *testing.T) {
+	ctr := NewCounter(Constraint{M: 1, K: 3})
+	if m := ctr.Record(true); m != 1 {
+		t.Errorf("misses = %d, want 1", m)
+	}
+	if ctr.Violated() {
+		t.Error("violated too early")
+	}
+	if m := ctr.Record(true); m != 2 {
+		t.Errorf("misses = %d, want 2", m)
+	}
+	if !ctr.Violated() {
+		t.Error("should be violated with 2 misses in window")
+	}
+	ctr.Record(false)
+	// Window is now [true,true,false] → still 2 misses.
+	if ctr.Misses() != 2 {
+		t.Errorf("misses = %d, want 2", ctr.Misses())
+	}
+	// Oldest miss slides out.
+	if m := ctr.Record(false); m != 1 {
+		t.Errorf("misses = %d, want 1 after slide-out", m)
+	}
+	if ctr.Violated() {
+		t.Error("should have recovered")
+	}
+	if ctr.Budget() != 0 {
+		t.Errorf("budget = %d, want 0 (1 miss of 1 allowed)", ctr.Budget())
+	}
+	exec, misses, viol := ctr.Totals()
+	if exec != 4 || misses != 2 || viol != 2 {
+		t.Errorf("totals = %d,%d,%d", exec, misses, viol)
+	}
+}
+
+func TestCounterBudget(t *testing.T) {
+	ctr := NewCounter(Constraint{M: 2, K: 5})
+	if ctr.Budget() != 2 {
+		t.Errorf("initial budget = %d", ctr.Budget())
+	}
+	ctr.Record(true)
+	if ctr.Budget() != 1 {
+		t.Errorf("budget = %d, want 1", ctr.Budget())
+	}
+	ctr.Record(true)
+	ctr.Record(true)
+	if ctr.Budget() != 0 {
+		t.Errorf("budget = %d, want 0 when violated", ctr.Budget())
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	ctr := NewCounter(Constraint{M: 1, K: 4})
+	for i := 0; i < 10; i++ {
+		ctr.Record(i%2 == 0)
+	}
+	ctr.Reset()
+	if ctr.Misses() != 0 || ctr.Violated() {
+		t.Error("reset did not clear window")
+	}
+	if e, m, v := ctr.Totals(); e+m+v != 0 {
+		t.Error("reset did not clear totals")
+	}
+}
+
+func TestCounterPanicsOnInvalidConstraint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCounter(Constraint{M: 5, K: 2})
+}
+
+// Property: the online counter agrees with offline window analysis for the
+// trailing window at every step.
+func TestCounterMatchesOfflineProperty(t *testing.T) {
+	f := func(seq []bool, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		ctr := NewCounter(Constraint{M: 0, K: k})
+		for i, miss := range seq {
+			got := ctr.Record(miss)
+			lo := i - k + 1
+			if lo < 0 {
+				lo = 0
+			}
+			want := 0
+			for _, m := range seq[lo : i+1] {
+				if m {
+					want++
+				}
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissSequence(t *testing.T) {
+	seq := MissSequence([]int64{10, 20, 30}, 20)
+	want := []bool{false, false, true}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestMinDeadlineExact(t *testing.T) {
+	lat := []int64{10, 50, 20, 50, 30}
+	// (0,k): no miss allowed anywhere → d = max = 50.
+	if d, ok := MinDeadline(lat, Constraint{M: 0, K: 5}); !ok || d != 50 {
+		t.Errorf("MinDeadline (0,5) = %d,%v, want 50", d, ok)
+	}
+	// (1,5): one miss allowed per 5 → the two 50s are 2 misses in one
+	// window if d < 50... so still 50? No: d=30 gives misses at both 50s
+	// (positions 1,3) → window of 5 contains 2 > 1. d must be ≥ 50.
+	if d, _ := MinDeadline(lat, Constraint{M: 1, K: 5}); d != 50 {
+		t.Errorf("MinDeadline (1,5) = %d, want 50", d)
+	}
+	// (2,5): two misses allowed → d=30 works (misses at 50s only).
+	if d, _ := MinDeadline(lat, Constraint{M: 2, K: 5}); d != 30 {
+		t.Errorf("MinDeadline (2,5) = %d, want 30", d)
+	}
+	// (1,2): windows of 2 never contain both 50s → d=30 works.
+	if d, _ := MinDeadline(lat, Constraint{M: 1, K: 2}); d != 30 {
+		t.Errorf("MinDeadline (1,2) = %d, want 30", d)
+	}
+}
+
+func TestMinDeadlineEmpty(t *testing.T) {
+	if _, ok := MinDeadline(nil, Constraint{M: 0, K: 1}); ok {
+		t.Error("empty input should not be ok")
+	}
+}
+
+// Property: MinDeadline result always satisfies the constraint, and one
+// candidate step lower never does (minimality over candidate values).
+func TestMinDeadlineMinimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + rng.Intn(40)
+		lat := make([]int64, n)
+		for i := range lat {
+			lat[i] = int64(rng.Intn(20))
+		}
+		k := 1 + rng.Intn(8)
+		m := rng.Intn(k + 1)
+		c := Constraint{M: m, K: k}
+		d, ok := MinDeadline(lat, c)
+		if !ok {
+			t.Fatalf("MinDeadline failed on valid input")
+		}
+		if !c.SatisfiedBy(MissSequence(lat, d)) {
+			t.Fatalf("result %d does not satisfy %v for %v", d, c, lat)
+		}
+		if c.SatisfiedBy(MissSequence(lat, d-1)) && d > minVal(lat) {
+			// d-1 might not be a candidate, but if it satisfies, any
+			// candidate below d would too (monotonicity) → not minimal.
+			t.Fatalf("result %d not minimal for %v over %v", d, c, lat)
+		}
+	}
+}
+
+func minVal(v []int64) int64 {
+	m := v[0]
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
