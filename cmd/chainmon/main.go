@@ -6,7 +6,7 @@
 // Usage:
 //
 //	chainmon [-frames N] [-seed S] [-deadline D] [-loss P] [-full]
-//	         [-recover] [-trace out.json]
+//	         [-recover] [-trace out.json] [-faults campaign.json]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"chainmon/internal/faultinject"
 	"chainmon/internal/monitor"
 	"chainmon/internal/perception"
 	"chainmon/internal/scenario"
@@ -31,19 +32,35 @@ func main() {
 	withRecovery := flag.Bool("recover", false, "install recovery handlers on the lidar remote segments")
 	traceOut := flag.String("trace", "", "also record an unmonitored trace to this JSON file")
 	configPath := flag.String("config", "", "JSON scenario file (flags are applied on top)")
+	faultsPath := flag.String("faults", "", "JSON fault-campaign file injected into the run (cross-checked by the ground-truth oracle with -full)")
 	flag.Parse()
 
 	cfg := perception.DefaultConfig()
+	var camp faultinject.Campaign
 	if *configPath != "" {
 		f, err := os.Open(*configPath)
 		if err != nil {
 			log.Fatalf("opening scenario: %v", err)
 		}
-		cfg, err = scenario.Load(f)
+		cfg, camp, err = scenario.LoadFull(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *faultsPath != "" {
+		f, err := os.Open(*faultsPath)
+		if err != nil {
+			log.Fatalf("opening fault campaign: %v", err)
+		}
+		fc, err := faultinject.LoadCampaign(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A -faults campaign rides on top of any scenario-embedded faults.
+		camp.Name = fc.Name
+		camp.Faults = append(camp.Faults, fc.Faults...)
 	}
 	flag.Visit(func(fl *flag.Flag) {
 		switch fl.Name {
@@ -89,6 +106,18 @@ func main() {
 		sup.Watch(s.ChainFront)
 		sup.Watch(s.ChainRear)
 	}
+	var oracle *faultinject.Oracle
+	if len(camp.Faults) > 0 {
+		if cfg.FullChain {
+			// Wire the ground-truth oracle before the run so its raw hooks
+			// observe every event; cross-check after the kernel ran dry.
+			oracle = faultinject.ForPerception(s, camp)
+		}
+		if err := faultinject.NewInjector(sim.NewRNG(cfg.Seed)).Apply(camp, faultinject.TargetsOf(s)); err != nil {
+			log.Fatalf("applying fault campaign: %v", err)
+		}
+		fmt.Printf("fault campaign %q armed: %d faults\n", camp.Name, len(camp.Faults))
+	}
 	end := s.Run()
 
 	fmt.Printf("simulated %v of operation (%d frames at %v period)\n\n",
@@ -116,6 +145,22 @@ func main() {
 		fmt.Printf("\nsupervisor final mode: %v\n", sup.Mode())
 		for _, ch := range sup.Changes() {
 			fmt.Printf("  %v  %v → %v (%s: %s)\n", ch.At, ch.From, ch.To, ch.Chain, ch.Reason)
+		}
+	}
+
+	if oracle != nil {
+		rep := oracle.Check()
+		fmt.Println("\nground-truth oracle cross-check:")
+		for _, sr := range rep.Segments {
+			fmt.Printf("  %s\n", sr)
+		}
+		if rep.Ok() {
+			fmt.Println("  verdicts sound: no false negatives, exceptions within the ε-band")
+		} else {
+			for _, v := range rep.Violations {
+				fmt.Printf("  VIOLATION %s\n", v)
+			}
+			os.Exit(1)
 		}
 	}
 

@@ -1,0 +1,277 @@
+// Package faultinject is a seeded, deterministic fault-injection subsystem
+// for the simulation kernel. It scripts *fault campaigns* — correlated
+// disturbances the benign scenarios and the single i.i.d. loss knob cannot
+// express — and pairs them with a ground-truth oracle (oracle.go) that
+// recomputes every segment latency from kernel-side event records and
+// cross-checks every monitor verdict.
+//
+// Supported fault types, each activatable over a virtual-time window:
+//
+//   - burst-loss: Gilbert-Elliott two-state packet loss on a netsim link
+//     (correlated loss bursts, the adversarial case for §IV-B);
+//   - latency-spike: additional response time on a netsim link (a congested
+//     switch; arrivals stay periodic while every sample is late — the
+//     inter-arrival monitor's blind spot);
+//   - clock-step / clock-drift: PTP faults on a vclock (a mis-ranked
+//     grandmaster stepping the clock, or an unmodelled frequency error);
+//   - overload: transient high-priority interference threads on a
+//     sim.Processor (an ECU overloaded by a misbehaving service);
+//   - sensor-dropout: suppressed activations of a dds.Device (a sensor
+//     blanking out for an interval).
+//
+// Campaigns are plain JSON so they can be stored next to scenarios and run
+// from the CLI (cmd/chainmon -faults). All randomness is drawn from RNG
+// streams derived from the campaign position, so runs are reproducible from
+// the scenario seed alone.
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"chainmon/internal/sim"
+)
+
+// Duration marshals as a Go duration string ("100ms", "50µs"), matching the
+// scenario schema convention.
+type Duration sim.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("faultinject: duration must be a string like \"100ms\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("faultinject: parsing duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Fault type names of the Spec.Type field.
+const (
+	TypeBurstLoss     = "burst-loss"
+	TypeLatencySpike  = "latency-spike"
+	TypeClockStep     = "clock-step"
+	TypeClockDrift    = "clock-drift"
+	TypeOverload      = "overload"
+	TypeSensorDropout = "sensor-dropout"
+)
+
+// Spec describes one fault. Type selects the fault; From/Until bound its
+// active window in virtual time from simulation start (a zero Until keeps
+// the fault active until the end of the run). The remaining fields
+// parameterize the individual types; unused fields must stay zero.
+type Spec struct {
+	Type  string   `json:"type"`
+	From  Duration `json:"from,omitempty"`
+	Until Duration `json:"until,omitempty"`
+
+	// Link endpoints (burst-loss, latency-spike): resource names as used by
+	// dds.Domain.Link, e.g. "ecu1" → "ecu2" or "front-lidar" → "ecu1".
+	LinkFrom string `json:"link_from,omitempty"`
+	LinkTo   string `json:"link_to,omitempty"`
+	// Clock is the clock owner (clock-step, clock-drift): an ECU or device
+	// name.
+	Clock string `json:"clock,omitempty"`
+	// ECU is the overload target.
+	ECU string `json:"ecu,omitempty"`
+	// Device is the sensor-dropout target.
+	Device string `json:"device,omitempty"`
+
+	// Gilbert-Elliott parameters (burst-loss). Each transmission first
+	// performs the state transition, then samples loss in the current
+	// state. LossBad defaults to 1 (every message in a burst is lost).
+	PEnterBurst float64 `json:"p_enter_burst,omitempty"`
+	PExitBurst  float64 `json:"p_exit_burst,omitempty"`
+	LossGood    float64 `json:"loss_good,omitempty"`
+	LossBad     float64 `json:"loss_bad,omitempty"`
+
+	// Latency-spike parameters: every transmission in the window is delayed
+	// by Delay plus a uniform sample from [0, DelayJitter].
+	Delay       Duration `json:"delay,omitempty"`
+	DelayJitter Duration `json:"delay_jitter,omitempty"`
+
+	// Clock-fault parameters: Offset is the step injected at From (and
+	// reverted at Until); DriftPPM is the injected frequency error active
+	// within the window.
+	Offset   Duration `json:"offset,omitempty"`
+	DriftPPM float64  `json:"drift_ppm,omitempty"`
+
+	// Overload parameters: Threads interference threads (default: one per
+	// core) each enqueue Utilization×BurstPeriod of work every BurstPeriod
+	// (default 2ms) at a priority above every executor and listener thread
+	// but below the monitor thread.
+	Utilization float64  `json:"utilization,omitempty"`
+	BurstPeriod Duration `json:"burst_period,omitempty"`
+	Threads     int      `json:"threads,omitempty"`
+
+	// Sensor-dropout parameter: probability that an activation inside the
+	// window is suppressed entirely. Defaults to 1 (a hard blackout).
+	DropProb float64 `json:"drop_prob,omitempty"`
+}
+
+// window returns the active window as simulation times; a zero Until means
+// "until the end of the run".
+func (s *Spec) window() (from, until sim.Time) {
+	from = sim.Time(s.From)
+	until = sim.MaxTime
+	if s.Until != 0 {
+		until = sim.Time(s.Until)
+	}
+	return from, until
+}
+
+// Validate checks one spec for structural errors.
+func (s *Spec) Validate() error {
+	if s.Until != 0 && s.Until <= s.From {
+		return fmt.Errorf("faultinject: %s: empty window [%v, %v)", s.Type, time.Duration(s.From), time.Duration(s.Until))
+	}
+	checkProb := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faultinject: %s: %s %f out of [0,1]", s.Type, name, p)
+		}
+		return nil
+	}
+	switch s.Type {
+	case TypeBurstLoss:
+		if s.LinkFrom == "" || s.LinkTo == "" {
+			return fmt.Errorf("faultinject: %s needs link_from and link_to", s.Type)
+		}
+		for name, p := range map[string]float64{
+			"p_enter_burst": s.PEnterBurst, "p_exit_burst": s.PExitBurst,
+			"loss_good": s.LossGood, "loss_bad": s.LossBad,
+		} {
+			if err := checkProb(name, p); err != nil {
+				return err
+			}
+		}
+		if s.PEnterBurst == 0 && s.LossGood == 0 {
+			return fmt.Errorf("faultinject: %s cannot ever lose a message (p_enter_burst and loss_good are both 0)", s.Type)
+		}
+	case TypeLatencySpike:
+		if s.LinkFrom == "" || s.LinkTo == "" {
+			return fmt.Errorf("faultinject: %s needs link_from and link_to", s.Type)
+		}
+		if s.Delay <= 0 && s.DelayJitter <= 0 {
+			return fmt.Errorf("faultinject: %s needs a positive delay or delay_jitter", s.Type)
+		}
+		if s.Delay < 0 || s.DelayJitter < 0 {
+			return fmt.Errorf("faultinject: %s: negative delay", s.Type)
+		}
+	case TypeClockStep:
+		if s.Clock == "" {
+			return fmt.Errorf("faultinject: %s needs a clock target", s.Type)
+		}
+		if s.Offset == 0 {
+			return fmt.Errorf("faultinject: %s needs a non-zero offset", s.Type)
+		}
+	case TypeClockDrift:
+		if s.Clock == "" {
+			return fmt.Errorf("faultinject: %s needs a clock target", s.Type)
+		}
+		if s.DriftPPM == 0 {
+			return fmt.Errorf("faultinject: %s needs a non-zero drift_ppm", s.Type)
+		}
+	case TypeOverload:
+		if s.ECU == "" {
+			return fmt.Errorf("faultinject: %s needs an ecu target", s.Type)
+		}
+		if s.Utilization <= 0 || s.Utilization > 1 {
+			return fmt.Errorf("faultinject: %s: utilization %f out of (0,1]", s.Type, s.Utilization)
+		}
+		if s.Threads < 0 || s.BurstPeriod < 0 {
+			return fmt.Errorf("faultinject: %s: negative threads or burst_period", s.Type)
+		}
+	case TypeSensorDropout:
+		if s.Device == "" {
+			return fmt.Errorf("faultinject: %s needs a device target", s.Type)
+		}
+		if err := checkProb("drop_prob", s.DropProb); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("faultinject: unknown fault type %q", s.Type)
+	}
+	return nil
+}
+
+// maxClockError returns the worst synchronization error this spec can
+// inject into a clock over a run bounded by horizon (zero horizon: the
+// window itself must be bounded for drift faults to contribute).
+func (s *Spec) maxClockError(horizon sim.Duration) sim.Duration {
+	switch s.Type {
+	case TypeClockStep:
+		return absDur(sim.Duration(s.Offset))
+	case TypeClockDrift:
+		win := horizon
+		if s.Until != 0 {
+			win = sim.Duration(s.Until - s.From)
+		}
+		if win < 0 {
+			win = 0
+		}
+		return absDur(sim.Duration(s.DriftPPM * 1e-6 * float64(win)))
+	}
+	return 0
+}
+
+func absDur(d sim.Duration) sim.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Campaign is a named set of faults applied together.
+type Campaign struct {
+	Name   string `json:"name"`
+	Faults []Spec `json:"faults"`
+}
+
+// Validate checks every fault of the campaign.
+func (c *Campaign) Validate() error {
+	for i := range c.Faults {
+		if err := c.Faults[i].Validate(); err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MaxClockError returns the worst synchronization error the campaign
+// injects into any single clock over a run of the given length. The oracle
+// widens its ε-derived tolerance bands by this amount.
+func (c *Campaign) MaxClockError(horizon sim.Duration) sim.Duration {
+	var max sim.Duration
+	for i := range c.Faults {
+		if e := c.Faults[i].maxClockError(horizon); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// LoadCampaign decodes a campaign from JSON. Unknown fields are rejected so
+// typo'd keys fail loudly instead of silently keeping defaults.
+func LoadCampaign(r io.Reader) (Campaign, error) {
+	var c Campaign
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("faultinject: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"chainmon/internal/sim"
+)
+
+const exampleCampaignJSON = `{
+  "name": "example",
+  "faults": [
+    {"type": "burst-loss", "from": "2s", "until": "10s",
+     "link_from": "ecu1", "link_to": "ecu2",
+     "p_enter_burst": 0.05, "p_exit_burst": 0.3},
+    {"type": "latency-spike", "from": "1s",
+     "link_from": "ecu1", "link_to": "ecu2",
+     "delay": "30ms", "delay_jitter": "5ms"},
+    {"type": "clock-step", "from": "3s", "until": "9s",
+     "clock": "ecu1", "offset": "25ms"},
+    {"type": "clock-drift", "from": "2s", "until": "10s",
+     "clock": "front-lidar", "drift_ppm": 500},
+    {"type": "overload", "from": "4s", "until": "7s",
+     "ecu": "ecu2", "utilization": 0.9, "burst_period": "2ms", "threads": 3},
+    {"type": "sensor-dropout", "from": "5s", "until": "6.5s",
+     "device": "front-lidar", "drop_prob": 1}
+  ]
+}`
+
+func TestLoadCampaign(t *testing.T) {
+	c, err := LoadCampaign(strings.NewReader(exampleCampaignJSON))
+	if err != nil {
+		t.Fatalf("LoadCampaign: %v", err)
+	}
+	if c.Name != "example" || len(c.Faults) != 6 {
+		t.Fatalf("got name %q, %d faults", c.Name, len(c.Faults))
+	}
+	if got := sim.Duration(c.Faults[1].Delay); got != 30*sim.Millisecond {
+		t.Errorf("delay = %v, want 30ms", got)
+	}
+	if from, until := c.Faults[0].window(); from != sim.Time(2*sim.Second) || until != sim.Time(10*sim.Second) {
+		t.Errorf("window = [%v, %v)", from, until)
+	}
+	// A zero Until keeps the fault active forever.
+	if _, until := c.Faults[1].window(); until != sim.MaxTime {
+		t.Errorf("open window ends at %v, want MaxTime", until)
+	}
+}
+
+// TestLoadCampaignRoundTrip pins the JSON encoding: marshalling a loaded
+// campaign and loading it again must reproduce it.
+func TestLoadCampaignRoundTrip(t *testing.T) {
+	c, err := LoadCampaign(strings.NewReader(exampleCampaignJSON))
+	if err != nil {
+		t.Fatalf("LoadCampaign: %v", err)
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	c2, err := LoadCampaign(strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatalf("reload: %v\n%s", err, b)
+	}
+	if len(c2.Faults) != len(c.Faults) {
+		t.Fatalf("round trip lost faults: %d != %d", len(c2.Faults), len(c.Faults))
+	}
+	for i := range c.Faults {
+		if c.Faults[i] != c2.Faults[i] {
+			t.Errorf("fault %d changed: %+v != %+v", i, c.Faults[i], c2.Faults[i])
+		}
+	}
+}
+
+// TestLoadCampaignUnknownField ensures typo'd keys fail loudly instead of
+// silently keeping defaults.
+func TestLoadCampaignUnknownField(t *testing.T) {
+	in := `{"name": "typo", "faults": [
+	  {"type": "latency-spike", "link_from": "a", "link_to": "b", "delay": "5ms", "delay_jiter": "1ms"}
+	]}`
+	if _, err := LoadCampaign(strings.NewReader(in)); err == nil {
+		t.Fatal("misspelled field was accepted")
+	} else if !strings.Contains(err.Error(), "delay_jiter") {
+		t.Fatalf("error does not name the unknown field: %v", err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Type: "volcano"},
+		{Type: TypeBurstLoss, LinkFrom: "a"},
+		{Type: TypeBurstLoss, LinkFrom: "a", LinkTo: "b"}, // can never lose
+		{Type: TypeBurstLoss, LinkFrom: "a", LinkTo: "b", PEnterBurst: 1.5},
+		{Type: TypeLatencySpike, LinkFrom: "a", LinkTo: "b"},
+		{Type: TypeLatencySpike, LinkFrom: "a", LinkTo: "b", Delay: Duration(-sim.Millisecond), DelayJitter: Duration(sim.Millisecond)},
+		{Type: TypeClockStep, Clock: "c"},
+		{Type: TypeClockDrift, Clock: "c"},
+		{Type: TypeOverload, ECU: "e"},
+		{Type: TypeOverload, ECU: "e", Utilization: 1.5},
+		{Type: TypeSensorDropout, Device: "d", DropProb: 2},
+		{Type: TypeSensorDropout},
+		{Type: TypeClockStep, Clock: "c", Offset: Duration(sim.Millisecond),
+			From: Duration(2 * sim.Second), Until: Duration(sim.Second)}, // empty window
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) validated", i, s)
+		}
+	}
+	good := []Spec{
+		{Type: TypeBurstLoss, LinkFrom: "a", LinkTo: "b", PEnterBurst: 0.1, PExitBurst: 0.5},
+		{Type: TypeBurstLoss, LinkFrom: "a", LinkTo: "b", LossGood: 0.01},
+		{Type: TypeLatencySpike, LinkFrom: "a", LinkTo: "b", DelayJitter: Duration(sim.Millisecond)},
+		{Type: TypeClockStep, Clock: "c", Offset: Duration(-sim.Millisecond)},
+		{Type: TypeClockDrift, Clock: "c", DriftPPM: -200},
+		{Type: TypeOverload, ECU: "e", Utilization: 1},
+		{Type: TypeSensorDropout, Device: "d"}, // drop_prob defaults to 1
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestMaxClockError(t *testing.T) {
+	c := Campaign{Faults: []Spec{
+		{Type: TypeClockStep, Clock: "a", Offset: Duration(-2 * sim.Millisecond)},
+		{Type: TypeClockDrift, Clock: "b", DriftPPM: 500,
+			From: Duration(2 * sim.Second), Until: Duration(6 * sim.Second)},
+	}}
+	// Drift: 500 ppm over a 4 s window = 2 ms; tie with the |−2 ms| step.
+	if got := c.MaxClockError(20 * sim.Second); got != 2*sim.Millisecond {
+		t.Errorf("MaxClockError = %v, want 2ms", got)
+	}
+	// An unbounded drift window is limited by the run horizon.
+	open := Campaign{Faults: []Spec{{Type: TypeClockDrift, Clock: "b", DriftPPM: 500}}}
+	if got := open.MaxClockError(10 * sim.Second); got != 5*sim.Millisecond {
+		t.Errorf("open-window MaxClockError = %v, want 5ms", got)
+	}
+}

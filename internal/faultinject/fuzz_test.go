@@ -1,0 +1,27 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCampaign ensures arbitrary input can never panic the campaign
+// loader and that accepted campaigns survive validation (LoadCampaign
+// validates before returning).
+func FuzzLoadCampaign(f *testing.F) {
+	f.Add(exampleCampaignJSON)
+	f.Add(`{"name":"x","faults":[]}`)
+	f.Add(`{"name":"x","faults":[{"type":"overload","ecu":"e","utilization":0.5}]}`)
+	f.Add(`{"name":"x","faults":[{"type":"clock-step","clock":"c","offset":"-3ms","until":"1h"}]}`)
+	f.Add(`{"faults":[{"type":"burst-loss"}]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := LoadCampaign(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("LoadCampaign accepted an invalid campaign: %v", err)
+		}
+	})
+}

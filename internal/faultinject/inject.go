@@ -1,0 +1,245 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"chainmon/internal/dds"
+	"chainmon/internal/netsim"
+	"chainmon/internal/perception"
+	"chainmon/internal/sim"
+	"chainmon/internal/vclock"
+)
+
+// OverloadPriority is the scheduling priority of injected interference
+// threads: above the ksoftirq and middleware threads (so the receive path
+// is starved, the interesting failure mode of the ROS2 latency studies) but
+// below the monitor thread, which keeps the paper's priority assumption.
+const OverloadPriority = 950
+
+// defaultBurstPeriod is the overload enqueue period when the spec leaves
+// BurstPeriod zero.
+const defaultBurstPeriod = 2 * sim.Millisecond
+
+// Targets names the fault-injectable surfaces of a built system. The maps
+// are keyed by resource name; Link resolves (and creates on demand) the
+// directed link between two resources, exactly like dds.Domain.Link.
+type Targets struct {
+	Kernel  *sim.Kernel
+	Link    func(from, to string) *netsim.Link
+	Clocks  map[string]*vclock.Clock
+	Procs   map[string]*sim.Processor
+	Devices map[string]*dds.Device
+}
+
+// TargetsOf exposes the injectable surfaces of a perception system.
+func TargetsOf(s *perception.System) Targets {
+	return Targets{
+		Kernel: s.K,
+		Link:   s.Domain.Link,
+		Clocks: map[string]*vclock.Clock{
+			s.ECU1.Name:       s.ECU1.Clock,
+			s.ECU2.Name:       s.ECU2.Clock,
+			s.FrontLidar.Name: s.FrontLidar.Clock,
+			s.RearLidar.Name:  s.RearLidar.Clock,
+		},
+		Procs: map[string]*sim.Processor{
+			s.ECU1.Name: s.ECU1.Proc,
+			s.ECU2.Name: s.ECU2.Proc,
+		},
+		Devices: map[string]*dds.Device{
+			s.FrontLidar.Name: s.FrontLidar,
+			s.RearLidar.Name:  s.RearLidar,
+		},
+	}
+}
+
+// Injector applies campaigns to a built system. All randomness is drawn
+// from streams derived from the injector's RNG and the fault's position in
+// the campaign, so a campaign is reproducible from the seed alone and does
+// not perturb the random streams of the system under test.
+type Injector struct {
+	rng *sim.RNG
+}
+
+// NewInjector creates an injector drawing from the given RNG.
+func NewInjector(rng *sim.RNG) *Injector {
+	return &Injector{rng: rng.Derive("faultinject")}
+}
+
+// Apply validates the campaign and installs every fault on its target. It
+// must be called after the system is built and before the kernel runs.
+func (in *Injector) Apply(c Campaign, tgt Targets) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	for i := range c.Faults {
+		s := &c.Faults[i]
+		rng := in.rng.Derive(fmt.Sprintf("%s/%d/%s", c.Name, i, s.Type))
+		var err error
+		switch s.Type {
+		case TypeBurstLoss:
+			err = in.applyBurstLoss(s, tgt, rng)
+		case TypeLatencySpike:
+			err = in.applyLatencySpike(s, tgt, rng)
+		case TypeClockStep, TypeClockDrift:
+			err = in.applyClockFault(s, tgt)
+		case TypeOverload:
+			err = in.applyOverload(s, tgt, i)
+		case TypeSensorDropout:
+			err = in.applySensorDropout(s, tgt, rng)
+		}
+		if err != nil {
+			return fmt.Errorf("fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (in *Injector) link(s *Spec, tgt Targets) (*netsim.Link, error) {
+	if tgt.Link == nil {
+		return nil, fmt.Errorf("faultinject: no link resolver in targets")
+	}
+	l := tgt.Link(s.LinkFrom, s.LinkTo)
+	if l == nil {
+		return nil, fmt.Errorf("faultinject: no link %s→%s", s.LinkFrom, s.LinkTo)
+	}
+	return l, nil
+}
+
+// applyBurstLoss chains a windowed Gilbert-Elliott loss process onto the
+// link's DropFault hook. The two-state chain transitions per transmission:
+// good→bad with PEnterBurst, bad→good with PExitBurst; the loss probability
+// is LossGood in the good state and LossBad (default 1) in a burst.
+func (in *Injector) applyBurstLoss(s *Spec, tgt Targets, rng *sim.RNG) error {
+	l, err := in.link(s, tgt)
+	if err != nil {
+		return err
+	}
+	from, until := s.window()
+	lossBad := s.LossBad
+	if lossBad == 0 {
+		lossBad = 1
+	}
+	bad := false
+	prev := l.DropFault
+	l.DropFault = func(at sim.Time, size int) bool {
+		if prev != nil && prev(at, size) {
+			return true
+		}
+		if at < from || at >= until {
+			bad = false // the chain resets outside the window
+			return false
+		}
+		if bad {
+			if rng.Bool(s.PExitBurst) {
+				bad = false
+			}
+		} else if rng.Bool(s.PEnterBurst) {
+			bad = true
+		}
+		if bad {
+			return rng.Bool(lossBad)
+		}
+		return rng.Bool(s.LossGood)
+	}
+	return nil
+}
+
+// applyLatencySpike chains a windowed constant-plus-jitter delay onto the
+// link's DelayFault hook.
+func (in *Injector) applyLatencySpike(s *Spec, tgt Targets, rng *sim.RNG) error {
+	l, err := in.link(s, tgt)
+	if err != nil {
+		return err
+	}
+	from, until := s.window()
+	prev := l.DelayFault
+	l.DelayFault = func(at sim.Time) sim.Duration {
+		var d sim.Duration
+		if prev != nil {
+			d = prev(at)
+		}
+		if at < from || at >= until {
+			return d
+		}
+		d += sim.Duration(s.Delay)
+		if s.DelayJitter > 0 {
+			d += sim.Duration(rng.Uniform(0, float64(s.DelayJitter)))
+		}
+		return d
+	}
+	return nil
+}
+
+// applyClockFault schedules the step (or drift onset) at the window start
+// and the PTP re-convergence at the window end.
+func (in *Injector) applyClockFault(s *Spec, tgt Targets) error {
+	c, ok := tgt.Clocks[s.Clock]
+	if !ok {
+		return fmt.Errorf("faultinject: no clock %q", s.Clock)
+	}
+	from, until := s.window()
+	switch s.Type {
+	case TypeClockStep:
+		tgt.Kernel.At(from, func() { c.InjectStep(sim.Duration(s.Offset)) })
+	case TypeClockDrift:
+		tgt.Kernel.At(from, func() { c.SetDrift(s.DriftPPM) })
+	}
+	if until != sim.MaxTime {
+		tgt.Kernel.At(until, c.ClearFault)
+	}
+	return nil
+}
+
+// applyOverload creates interference threads on the ECU and drives each
+// with Utilization×BurstPeriod of work every BurstPeriod inside the window.
+func (in *Injector) applyOverload(s *Spec, tgt Targets, idx int) error {
+	p, ok := tgt.Procs[s.ECU]
+	if !ok {
+		return fmt.Errorf("faultinject: no processor %q", s.ECU)
+	}
+	from, until := s.window()
+	period := sim.Duration(s.BurstPeriod)
+	if period <= 0 {
+		period = defaultBurstPeriod
+	}
+	threads := s.Threads
+	if threads <= 0 {
+		threads = p.Cores
+	}
+	cost := sim.Duration(s.Utilization * float64(period))
+	for t := 0; t < threads; t++ {
+		label := fmt.Sprintf("fault/overload%d.%d", idx, t)
+		th := p.NewThread(s.ECU+"/"+label, OverloadPriority)
+		p.PeriodicLoadWindow(th, label, from, until, period, sim.Constant(cost))
+	}
+	return nil
+}
+
+// applySensorDropout chains a windowed activation suppression onto the
+// device's Perturb hook. The decision uses the kernel time of the periodic
+// grid (Perturb runs at the activation's grid point, before jitter).
+func (in *Injector) applySensorDropout(s *Spec, tgt Targets, rng *sim.RNG) error {
+	dev, ok := tgt.Devices[s.Device]
+	if !ok {
+		return fmt.Errorf("faultinject: no device %q", s.Device)
+	}
+	from, until := s.window()
+	dropProb := s.DropProb
+	if dropProb == 0 {
+		dropProb = 1
+	}
+	prev := dev.Perturb
+	dev.Perturb = func(n uint64) (bool, sim.Duration) {
+		drop, delay := false, sim.Duration(0)
+		if prev != nil {
+			drop, delay = prev(n)
+		}
+		now := tgt.Kernel.Now()
+		if now >= from && now < until && rng.Bool(dropProb) {
+			drop = true
+		}
+		return drop, delay
+	}
+	return nil
+}

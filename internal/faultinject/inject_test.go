@@ -1,0 +1,164 @@
+package faultinject
+
+import (
+	"testing"
+
+	"chainmon/internal/netsim"
+	"chainmon/internal/sim"
+	"chainmon/internal/vclock"
+)
+
+// driveBurstLink applies a burst-loss spec to a standalone link and sends
+// one message per millisecond for 10 s, returning the fault-drop count.
+func driveBurstLink(t *testing.T, seed int64) (drops uint64, sent uint64) {
+	t.Helper()
+	k := sim.NewKernel()
+	rng := sim.NewRNG(99)
+	l := netsim.NewLink(k, rng, "a→b", netsim.Config{BCRT: 100 * sim.Microsecond})
+	tgt := Targets{Kernel: k, Link: func(from, to string) *netsim.Link {
+		if from != "a" || to != "b" {
+			return nil
+		}
+		return l
+	}}
+	camp := Campaign{Name: "burst", Faults: []Spec{{
+		Type: TypeBurstLoss, From: Duration(2 * sim.Second), Until: Duration(8 * sim.Second),
+		LinkFrom: "a", LinkTo: "b", PEnterBurst: 0.02, PExitBurst: 0.2,
+	}}}
+	if err := NewInjector(sim.NewRNG(seed)).Apply(camp, tgt); err != nil {
+		t.Fatal(err)
+	}
+	for ms := 0; ms < 10000; ms++ {
+		k.At(sim.Time(ms)*sim.Time(sim.Millisecond), func() { l.Send(100, nil) })
+	}
+	k.Run()
+	s, _ := l.Stats()
+	return l.FaultDrops(), s
+}
+
+// TestBurstLossDeterministic pins the Gilbert-Elliott chain: same seed ⇒
+// identical drop sequence; different seed ⇒ (almost surely) different; and
+// the bursts only bite inside the window.
+func TestBurstLossDeterministic(t *testing.T) {
+	d1, sent := driveBurstLink(t, 42)
+	d2, _ := driveBurstLink(t, 42)
+	d3, _ := driveBurstLink(t, 43)
+	if d1 != d2 {
+		t.Errorf("same seed produced %d and %d fault drops", d1, d2)
+	}
+	if d1 == 0 {
+		t.Error("burst fault never dropped anything")
+	}
+	// 6 s of the 10 s run are inside the window; with p_enter 0.02 and
+	// p_exit 0.2 the chain is in a burst ~9% of the time. Everything lost
+	// outside the window would be a window bug.
+	if d1 > sent*6/10 {
+		t.Errorf("%d of %d messages dropped — window not respected?", d1, sent)
+	}
+	if d1 == d3 {
+		t.Logf("different seeds coincided (%d drops) — suspicious but possible", d1)
+	}
+}
+
+// TestClockFaultWindow checks the step is applied at the window start and
+// reverted (PTP re-convergence) at the window end, and that drift
+// accumulates linearly.
+func TestClockFaultWindow(t *testing.T) {
+	k := sim.NewKernel()
+	rng := sim.NewRNG(7)
+	c := vclock.New(k, rng, "ecu", vclock.Config{})
+	tgt := Targets{Kernel: k, Clocks: map[string]*vclock.Clock{"ecu": c}}
+	camp := Campaign{Name: "clock", Faults: []Spec{
+		{Type: TypeClockStep, From: Duration(sim.Second), Until: Duration(2 * sim.Second),
+			Clock: "ecu", Offset: Duration(25 * sim.Millisecond)},
+	}}
+	if err := NewInjector(sim.NewRNG(1)).Apply(camp, tgt); err != nil {
+		t.Fatal(err)
+	}
+	check := func(at sim.Time, want sim.Duration) {
+		k.At(at, func() {
+			if got := c.FaultOffset(); got != want {
+				t.Errorf("t=%v: fault offset %v, want %v", sim.Duration(at), got, want)
+			}
+		})
+	}
+	check(sim.Time(500*sim.Millisecond), 0)
+	check(sim.Time(1500*sim.Millisecond), 25*sim.Millisecond)
+	check(sim.Time(2500*sim.Millisecond), 0)
+	k.Run()
+}
+
+func TestClockDriftAccumulates(t *testing.T) {
+	k := sim.NewKernel()
+	c := vclock.New(k, sim.NewRNG(7), "dev", vclock.Config{})
+	tgt := Targets{Kernel: k, Clocks: map[string]*vclock.Clock{"dev": c}}
+	camp := Campaign{Name: "drift", Faults: []Spec{
+		{Type: TypeClockDrift, From: Duration(sim.Second), Until: Duration(3 * sim.Second),
+			Clock: "dev", DriftPPM: 500},
+	}}
+	if err := NewInjector(sim.NewRNG(1)).Apply(camp, tgt); err != nil {
+		t.Fatal(err)
+	}
+	approx := func(got, want, tol sim.Duration) bool {
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		return d <= tol
+	}
+	k.At(sim.Time(2*sim.Second), func() {
+		// 1 s at 500 ppm = 500 µs.
+		if got := c.FaultOffset(); !approx(got, 500*sim.Microsecond, sim.Microsecond) {
+			t.Errorf("drift after 1s = %v, want ~500µs", got)
+		}
+	})
+	k.At(sim.Time(4*sim.Second), func() {
+		if got := c.FaultOffset(); got != 0 {
+			t.Errorf("fault offset after clear = %v, want 0", got)
+		}
+	})
+	k.Run()
+}
+
+// TestOverloadWindow checks the interference threads execute roughly
+// Utilization×window of CPU time each, and only inside the window.
+func TestOverloadWindow(t *testing.T) {
+	k := sim.NewKernel()
+	p := sim.NewProcessor(k, sim.NewRNG(3), "ecu", 2)
+	tgt := Targets{Kernel: k, Procs: map[string]*sim.Processor{"ecu": p}}
+	camp := Campaign{Name: "load", Faults: []Spec{{
+		Type: TypeOverload, From: Duration(sim.Second), Until: Duration(2 * sim.Second),
+		ECU: "ecu", Utilization: 0.5, Threads: 2,
+	}}}
+	if err := NewInjector(sim.NewRNG(1)).Apply(camp, tgt); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	threads := p.Threads()
+	if len(threads) != 2 {
+		t.Fatalf("expected 2 interference threads, got %d", len(threads))
+	}
+	for _, th := range threads {
+		busy := th.BusyTime()
+		if busy < 450*sim.Millisecond || busy > 550*sim.Millisecond {
+			t.Errorf("thread %s executed %v, want ~500ms", th.Name, busy)
+		}
+	}
+	// The kernel must run dry shortly after the window closes.
+	if now := k.Now(); now > sim.Time(2100*sim.Millisecond) {
+		t.Errorf("kernel still busy at %v after the window closed", sim.Duration(now))
+	}
+}
+
+// TestApplyUnknownTarget ensures targeting errors surface instead of
+// silently arming nothing.
+func TestApplyUnknownTarget(t *testing.T) {
+	k := sim.NewKernel()
+	tgt := Targets{Kernel: k, Clocks: map[string]*vclock.Clock{}}
+	camp := Campaign{Name: "bad", Faults: []Spec{
+		{Type: TypeClockStep, Clock: "nope", Offset: Duration(sim.Millisecond)},
+	}}
+	if err := NewInjector(sim.NewRNG(1)).Apply(camp, tgt); err == nil {
+		t.Fatal("unknown clock target accepted")
+	}
+}

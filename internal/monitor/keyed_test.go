@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"fmt"
+	"slices"
 	"testing"
 
 	"chainmon/internal/dds"
@@ -131,6 +133,88 @@ func TestKeyedMonitorTracksWritersIndependently(t *testing.T) {
 	_, _, missB := b.Stats().Counts()
 	if missB != 0 {
 		t.Errorf("clean writer misses = %d, want 0", missB)
+	}
+}
+
+// TestKeyedMonitorWriterChurn staggers senders joining and leaving the
+// topic: each writer's monitor must be instantiated lazily on its first
+// sample (in join order), clean departures (SetLastActivation reached) must
+// wind down without misses, and an abrupt departure must keep timing out
+// until its bounded stream is exhausted — all while other writers are mid
+// churn. The whole package runs under -race in CI, so this also shakes out
+// any shared state between the per-writer monitors.
+func TestKeyedMonitorWriterChurn(t *testing.T) {
+	const (
+		senders = 5
+		lastAct = uint64(7)
+		period  = 100 * sim.Millisecond
+		stagger = 300 * sim.Millisecond
+	)
+	k := sim.NewKernel()
+	d := dds.NewDomain(k, sim.NewRNG(5))
+	d.KsoftirqCost = sim.Constant(0)
+	d.DeliverCost = sim.Constant(0)
+	d.InterECU = netsim.Config{BCRT: 1 * sim.Millisecond}
+	ea := d.NewECU("ecu-a", 2, vclock.Config{})
+	eb := d.NewECU("ecu-b", 2, vclock.Config{})
+	rx := d.NewECU("ecu-rx", 2, vclock.Config{})
+	for _, e := range []*dds.ECU{ea, eb, rx} {
+		e.Proc.CtxSwitch = sim.Constant(0)
+		e.Proc.Wakeup = sim.Constant(0)
+	}
+	sub := rx.NewNode("receiver", dds.PrioExecBase).Subscribe("status", nil, nil)
+	lm := NewLocalMonitor(rx)
+
+	var joinOrder []string
+	km := NewKeyedRemoteMonitor(sub, keyedCfg(), VariantMonitorThread, lm,
+		func(writer string, m *RemoteMonitor) {
+			joinOrder = append(joinOrder, writer)
+			m.SetLastActivation(lastAct)
+		})
+
+	pubs := make([]*dds.Publisher, senders)
+	for i := 0; i < senders; i++ {
+		ecu := ea
+		if i%2 == 1 {
+			ecu = eb
+		}
+		pubs[i] = ecu.NewNode(fmt.Sprintf("sender-%d", i), dds.PrioExecBase).NewPublisher("status")
+		join := sim.Time(i) * sim.Time(stagger)
+		for act := uint64(0); act <= lastAct; act++ {
+			// The last sender departs abruptly after activation 3; the
+			// rest publish their full bounded stream before leaving.
+			if i == senders-1 && act > 3 {
+				break
+			}
+			act, pub := act, pubs[i]
+			k.At(join+sim.Time(act)*sim.Time(period), func() {
+				pub.Publish(act, nil, 0)
+			})
+		}
+	}
+	k.At(sim.Time(5*sim.Second), km.Stop)
+	k.RunUntil(sim.Time(6 * sim.Second))
+
+	// Writer keys are node/topic pairs.
+	want := make([]string, senders)
+	for i := range want {
+		want[i] = fmt.Sprintf("sender-%d/status", i)
+	}
+	if !slices.Equal(km.Writers(), want) || !slices.Equal(joinOrder, want) {
+		t.Fatalf("writers = %v (created %v), want %v in join order", km.Writers(), joinOrder, want)
+	}
+	for i, w := range want {
+		m := km.Monitor(w)
+		ok, _, miss := m.Stats().Counts()
+		if i == senders-1 {
+			// Abrupt departure: activations 4..7 of the bounded stream
+			// never arrive and must each surface as a timeout.
+			if ok != 4 || miss != 4 {
+				t.Errorf("%s: counts ok=%d miss=%d, want 4,4", w, ok, miss)
+			}
+		} else if ok != int(lastAct)+1 || miss != 0 {
+			t.Errorf("%s: counts ok=%d miss=%d, want %d,0", w, ok, miss, lastAct+1)
+		}
 	}
 }
 

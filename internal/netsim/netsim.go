@@ -35,10 +35,21 @@ type Link struct {
 	// like any late sample.
 	RetransmitDelay sim.Dist
 
+	// DropFault, when set, is consulted for every send after the nominal
+	// LossProb draw; returning true loses the message like a regular loss.
+	// Installed by internal/faultinject for correlated (bursty) loss models
+	// that the i.i.d. LossProb cannot express.
+	DropFault func(at sim.Time, size int) bool
+	// DelayFault, when set, returns additional response time added to every
+	// send (fault injection: transient latency spikes, e.g. a congested
+	// switch or a link renegotiation).
+	DelayFault func(at sim.Time) sim.Duration
+
 	lastDelivery sim.Time
 	sent         uint64
 	lost         uint64
 	retransmits  uint64
+	faultDrops   uint64
 }
 
 // Config parameterizes a link.
@@ -75,6 +86,10 @@ func (l *Link) Stats() (sent, lost uint64) { return l.sent, l.lost }
 // Retransmits returns how many messages were recovered by the reliable QoS.
 func (l *Link) Retransmits() uint64 { return l.retransmits }
 
+// FaultDrops returns how many losses were caused by an installed DropFault
+// hook (a subset of the lost count reported by Stats).
+func (l *Link) FaultDrops() uint64 { return l.faultDrops }
+
 // ResponseBounds returns the best-case response time and a practical
 // worst-case (BCRT + jitter upper bound) for a message of the given size.
 // These are the BCRT and BCRT+J^R terms the synchronization-based monitor's
@@ -99,7 +114,15 @@ func (l *Link) transmissionTime(size int) sim.Duration {
 func (l *Link) Send(size int, deliver func()) (sim.Time, bool) {
 	l.sent++
 	resp := l.BCRT + l.transmissionTime(size) + l.Jitter.Sample(l.rng)
-	if l.rng.Bool(l.LossProb) {
+	if l.DelayFault != nil {
+		resp += l.DelayFault(l.k.Now())
+	}
+	lost := l.rng.Bool(l.LossProb)
+	if !lost && l.DropFault != nil && l.DropFault(l.k.Now(), size) {
+		lost = true
+		l.faultDrops++
+	}
+	if lost {
 		if l.RetransmitDelay == nil {
 			l.lost++
 			return 0, false

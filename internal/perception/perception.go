@@ -25,6 +25,12 @@ import (
 	"chainmon/internal/weaklyhard"
 )
 
+// DeviceJitterMax is the truncation bound of the lidars' activation jitter
+// J^a. The synchronization-based remote monitor's pessimism is bounded by
+// J^a + ε (§IV-B), so the fault-injection oracle derives its tolerance
+// bands from this constant.
+const DeviceJitterMax = 5 * sim.Millisecond
+
 // Topic names of the stack.
 const (
 	TopicFront     = "points_front"
@@ -262,7 +268,7 @@ func (s *System) buildDevices(clockCfg vclock.Config) {
 	cfg := s.Cfg
 	s.FrontLidar = s.Domain.NewDevice("front-lidar", TopicFront, cfg.Period, clockCfg)
 	s.RearLidar = s.Domain.NewDevice("rear-lidar", TopicRear, cfg.Period, clockCfg)
-	jitter := sim.LogNormalDist{Median: 300 * sim.Microsecond, Sigma: 0.5, Max: 5 * sim.Millisecond}
+	jitter := sim.LogNormalDist{Median: 300 * sim.Microsecond, Sigma: 0.5, Max: DeviceJitterMax}
 	s.FrontLidar.Jitter = jitter
 	s.RearLidar.Jitter = jitter
 	payload := func(g *lidar.SceneGenerator, frame string) func(uint64) (any, int) {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"time"
 
+	"chainmon/internal/faultinject"
 	"chainmon/internal/monitor"
 	"chainmon/internal/perception"
 	"chainmon/internal/sim"
@@ -69,18 +70,36 @@ type File struct {
 	Recovery map[string]string `json:"recovery,omitempty"`
 	// RemoteVariant: "monitor-thread" (default) or "dds-context".
 	RemoteVariant string `json:"remote_variant,omitempty"`
+	// Faults is an embedded fault campaign applied to the built system
+	// (see internal/faultinject for the per-type fields). Load validates
+	// but otherwise ignores it; use LoadFull to obtain the campaign.
+	Faults []faultinject.Spec `json:"faults,omitempty"`
 }
 
-// Load reads a scenario and merges it over the default configuration.
+// Load reads a scenario and merges it over the default configuration. An
+// embedded fault campaign is validated but dropped; callers that run
+// campaigns use LoadFull.
 func Load(r io.Reader) (perception.Config, error) {
+	cfg, _, err := LoadFull(r)
+	return cfg, err
+}
+
+// LoadFull reads a scenario plus its embedded fault campaign. The campaign
+// may be empty (no "faults" key); it is validated either way.
+func LoadFull(r io.Reader) (perception.Config, faultinject.Campaign, error) {
 	cfg := perception.DefaultConfig()
 	var f File
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
-		return cfg, fmt.Errorf("scenario: %w", err)
+		return cfg, faultinject.Campaign{}, fmt.Errorf("scenario: %w", err)
 	}
-	return Apply(cfg, f)
+	camp := faultinject.Campaign{Name: "scenario", Faults: f.Faults}
+	if err := camp.Validate(); err != nil {
+		return cfg, camp, fmt.Errorf("scenario: %w", err)
+	}
+	cfg, err := Apply(cfg, f)
+	return cfg, camp, err
 }
 
 // Apply merges a scenario file over a base configuration.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"chainmon/internal/faultinject"
 	"chainmon/internal/monitor"
 	"chainmon/internal/perception"
 	"chainmon/internal/sim"
@@ -77,11 +78,45 @@ func TestLoadRejectsBadInput(t *testing.T) {
 		`{"remote_variant": "quantum"}`,    // unknown variant
 		`{"unknown_field": true}`,          // strict decoding
 		`{`,                                // malformed JSON
+		`{"faults": [{"type": "warp"}]}`,   // unknown fault type
+		// Strict decoding reaches into nested fault specs: a misspelled
+		// campaign key must fail loudly, not silently keep defaults.
+		`{"faults": [{"type": "overload", "ecu": "ecu2", "utilisation": 0.9}]}`,
 	}
 	for i, src := range cases {
 		if _, err := Load(strings.NewReader(src)); err == nil {
 			t.Errorf("case %d accepted: %s", i, src)
 		}
+	}
+}
+
+func TestLoadFullEmbeddedFaults(t *testing.T) {
+	src := `{
+		"frames": 100,
+		"full_chain": true,
+		"faults": [
+			{"type": "latency-spike", "from": "1s",
+			 "link_from": "ecu1", "link_to": "ecu2", "delay": "30ms"},
+			{"type": "sensor-dropout", "from": "5s", "until": "6s",
+			 "device": "front-lidar"}
+		]
+	}`
+	cfg, camp, err := LoadFull(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.FullChain || cfg.Frames != 100 {
+		t.Errorf("config not applied: %+v", cfg)
+	}
+	if len(camp.Faults) != 2 || camp.Faults[0].Type != faultinject.TypeLatencySpike {
+		t.Fatalf("campaign not loaded: %+v", camp)
+	}
+	if sim.Duration(camp.Faults[0].Delay) != 30*sim.Millisecond {
+		t.Errorf("delay = %v", sim.Duration(camp.Faults[0].Delay))
+	}
+	// Load drops but still validates the campaign.
+	if _, err := Load(strings.NewReader(src)); err != nil {
+		t.Errorf("Load rejected a valid embedded campaign: %v", err)
 	}
 }
 

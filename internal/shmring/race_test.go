@@ -1,0 +1,86 @@
+package shmring
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMonitorConcurrentProducersRace exercises the real concurrency shape of
+// the shared-memory monitor under the race detector: one producer goroutine
+// per segment (the SPSC contract — PostStart/PostEnd and the dropped counter
+// are producer-side state) posting against the live monitor goroutine that
+// drains the rings and fires timeouts. Ring capacity exceeds the activation
+// count, so nothing can drop and every activation must be accounted for as
+// either OK or exception.
+func TestMonitorConcurrentProducersRace(t *testing.T) {
+	const (
+		segments = 3
+		acts     = 400
+		ringCap  = 512 // power of two ≥ acts: drops impossible
+		dMon     = 5 * time.Millisecond
+	)
+	mon := NewMonitor()
+	segs := make([]*Segment, segments)
+	excs := make([]atomic.Int64, segments)
+	for i := range segs {
+		i := i
+		segs[i] = mon.AddSegment("seg", dMon, ringCap, func(act uint64, deadline time.Duration) {
+			excs[i].Add(1)
+		})
+	}
+	mon.Start()
+
+	var wg sync.WaitGroup
+	for i, seg := range segs {
+		wg.Add(1)
+		go func(i int, seg *Segment) {
+			defer wg.Done()
+			for act := uint64(0); act < acts; act++ {
+				seg.PostStart(act)
+				// Withhold every 16th end so the timeout path runs
+				// concurrently with ring drains; stagger per segment.
+				if (act+uint64(i))%16 == 0 {
+					continue
+				}
+				seg.PostEnd(act)
+				if act%64 == 0 {
+					// Let the monitor goroutine interleave rather than
+					// racing through a full ring in one scheduler slice.
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}(i, seg)
+	}
+	wg.Wait()
+	// The withheld activations arm timeouts up to dMon past the last post;
+	// their timer wakeups drain the rings in the same scan pass, so after
+	// the last deadline everything posted has been observed.
+	time.Sleep(4 * dMon)
+	mon.Stop()
+
+	for i, seg := range segs {
+		m := seg.Measurements()
+		if m.Dropped != 0 {
+			t.Errorf("seg %d: %d events dropped despite oversized ring", i, m.Dropped)
+		}
+		if total := m.OK + m.Exceptions; total != acts {
+			t.Errorf("seg %d: ok %d + exc %d = %d, want %d activations accounted",
+				i, m.OK, m.Exceptions, total, acts)
+		}
+		// Every withheld end must surface as an exception; a slow scheduler
+		// may add a few more (end posted after the deadline scan), never fewer.
+		if withheld := acts / 16; m.Exceptions < withheld {
+			t.Errorf("seg %d: %d exceptions, want at least %d withheld ends",
+				i, m.Exceptions, withheld)
+		}
+		if m.OK == 0 {
+			t.Errorf("seg %d: no activation completed in time", i)
+		}
+		if cb := excs[i].Load(); cb != int64(m.Exceptions) {
+			t.Errorf("seg %d: exception callback fired %d times, measurements say %d",
+				i, cb, m.Exceptions)
+		}
+	}
+}

@@ -313,3 +313,22 @@ func (p *Processor) PeriodicLoad(t *Thread, label string, offset Time, period Du
 	}
 	p.k.At(offset, arm)
 }
+
+// PeriodicLoadWindow drives a thread with periodic background work only
+// inside the [from, until) virtual-time window, used to model transient
+// interference (fault injection: an ECU overloaded by a misbehaving
+// service for a bounded interval).
+func (p *Processor) PeriodicLoadWindow(t *Thread, label string, from, until Time, period Duration, cost Dist) {
+	if until <= from {
+		return
+	}
+	var arm func()
+	arm = func() {
+		if p.k.Now() >= until {
+			return
+		}
+		t.Enqueue(label, cost.Sample(p.rng), nil)
+		p.k.After(period, arm)
+	}
+	p.k.At(from, arm)
+}

@@ -21,6 +21,14 @@ type Clock struct {
 	interval sim.Duration // correction interval (how often the offset drifts)
 	walk     sim.BoundedWalk
 	lastStep sim.Time
+
+	// Fault-injection state (internal/faultinject): an additional offset on
+	// top of the bounded PTP walk, so that the |local-global| ≤ ε contract
+	// can be violated deliberately. faultStep is an injected step error;
+	// driftRate accumulates linearly from driftSince.
+	faultStep  sim.Duration
+	driftRate  float64 // injected drift, seconds per second
+	driftSince sim.Time
 }
 
 // Config parameterizes a clock.
@@ -65,20 +73,62 @@ func (c *Clock) Now() sim.Time {
 // is advanced lazily, one random-walk step per elapsed correction interval,
 // so clock reads stay cheap and deterministic.
 func (c *Clock) At(global sim.Time) sim.Time {
+	fault := c.faultAt(global)
 	if c.epsilon == 0 {
-		return global
+		return global.Add(fault)
 	}
 	for c.lastStep.Add(c.interval) <= global {
 		c.lastStep = c.lastStep.Add(c.interval)
 		c.walk.Next(c.rng)
 	}
-	return global.Add(c.walk.Value())
+	return global.Add(c.walk.Value() + fault)
+}
+
+// faultAt returns the injected synchronization error at the given global
+// time: the step error plus the drift accumulated since it was set.
+func (c *Clock) faultAt(global sim.Time) sim.Duration {
+	f := c.faultStep
+	if c.driftRate != 0 && global > c.driftSince {
+		f += sim.Duration(c.driftRate * float64(global.Sub(c.driftSince)))
+	}
+	return f
+}
+
+// InjectStep adds d to the clock's offset from now on, modelling a faulty
+// PTP step correction (e.g. a mis-ranked grandmaster). The injected error
+// comes on top of the bounded walk, so it can push the clock beyond ε.
+func (c *Clock) InjectStep(d sim.Duration) {
+	c.faultStep += d
+}
+
+// SetDrift sets an injected frequency error in parts per million; the
+// offset error grows linearly from now at that rate (on top of the bounded
+// walk) until the rate is changed. Accumulated drift is folded into the
+// step error, so successive calls compose.
+func (c *Clock) SetDrift(ppm float64) {
+	now := c.k.Now()
+	c.faultStep = c.faultAt(now)
+	c.driftSince = now
+	c.driftRate = ppm * 1e-6
+}
+
+// ClearFault removes all injected clock error, modelling the PTP servo
+// re-converging after the fault disappears.
+func (c *Clock) ClearFault() {
+	c.faultStep = 0
+	c.driftRate = 0
+}
+
+// FaultOffset returns the injected synchronization error at the current
+// global time (zero when no fault is active).
+func (c *Clock) FaultOffset() sim.Duration {
+	return c.faultAt(c.k.Now())
 }
 
 // Offset returns the current local-minus-global offset.
 func (c *Clock) Offset() sim.Duration {
 	c.At(c.k.Now()) // advance the walk
-	return c.walk.Value()
+	return c.walk.Value() + c.faultAt(c.k.Now())
 }
 
 // GlobalAfter converts a local-clock deadline into a global-time delay from
