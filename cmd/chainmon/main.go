@@ -7,12 +7,16 @@
 //
 //	chainmon [-frames N] [-seed S] [-deadline D] [-loss P] [-full]
 //	         [-recover] [-trace out.json] [-faults campaign.json]
+//	         [-telemetry-trace out.json] [-metrics-out metrics.prom]
+//	         [-telemetry-csv events.csv] [-metrics-addr :9090]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
@@ -21,6 +25,7 @@ import (
 	"chainmon/internal/perception"
 	"chainmon/internal/scenario"
 	"chainmon/internal/sim"
+	"chainmon/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +38,10 @@ func main() {
 	traceOut := flag.String("trace", "", "also record an unmonitored trace to this JSON file")
 	configPath := flag.String("config", "", "JSON scenario file (flags are applied on top)")
 	faultsPath := flag.String("faults", "", "JSON fault-campaign file injected into the run (cross-checked by the ground-truth oracle with -full)")
+	telTrace := flag.String("telemetry-trace", "", "write the monitor's own flight-recorder trace (Chrome trace-event JSON, open in Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write the monitor's metrics as Prometheus text to this file after the run")
+	telCSV := flag.String("telemetry-csv", "", "write the flight-recorder events as CSV to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address after the run (blocks; ctrl-C to exit)")
 	flag.Parse()
 
 	cfg := perception.DefaultConfig()
@@ -98,6 +107,11 @@ func main() {
 	}
 
 	s := perception.Build(cfg)
+	var sink *telemetry.Sink
+	if *telTrace != "" || *metricsOut != "" || *telCSV != "" || *metricsAddr != "" {
+		sink = telemetry.NewSink(telemetry.DefaultTrackCap)
+		perception.AttachTelemetry(s, sink)
+	}
 	var sup *monitor.Supervisor
 	if cfg.FullChain {
 		// System-level entity: derive an operating mode from the chain
@@ -105,6 +119,7 @@ func main() {
 		sup = monitor.NewSupervisor(s.K, 5)
 		sup.Watch(s.ChainFront)
 		sup.Watch(s.ChainRear)
+		sup.AttachTelemetry(sink)
 	}
 	var oracle *faultinject.Oracle
 	if len(camp.Faults) > 0 {
@@ -167,6 +182,40 @@ func main() {
 	if *traceOut != "" {
 		writeTrace(*traceOut, cfg)
 	}
+
+	if sink != nil {
+		writeTelemetry(sink, *telTrace, *metricsOut, *telCSV)
+		if *metricsAddr != "" {
+			fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
+			http.Handle("/metrics", sink.Handler())
+			log.Fatal(http.ListenAndServe(*metricsAddr, nil))
+		}
+	}
+}
+
+// writeTelemetry dumps the sink to the requested files; an empty path skips
+// that exporter.
+func writeTelemetry(sink *telemetry.Sink, tracePath, metricsPath, csvPath string) {
+	write := func(path, what string, fn func(w io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("creating %s file: %v", what, err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			log.Fatalf("writing %s: %v", what, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing %s file: %v", what, err)
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+	}
+	write(tracePath, "telemetry trace", sink.WritePerfetto)
+	write(metricsPath, "metrics", sink.WriteMetrics)
+	write(csvPath, "telemetry CSV", sink.WriteEventsCSV)
 }
 
 // writeTrace records an unmonitored run of the same scenario and writes the

@@ -24,6 +24,7 @@ import (
 
 	"chainmon/internal/netsim"
 	"chainmon/internal/sim"
+	"chainmon/internal/telemetry"
 	"chainmon/internal/vclock"
 )
 
@@ -80,6 +81,9 @@ type Domain struct {
 	ecus  []*ECU
 	subs  map[string][]*Subscription // topic → subscriptions
 	links map[linkKey]*netsim.Link
+
+	sink    *telemetry.Sink // nil when uninstrumented
+	ddsTels map[string]*ddsTel
 
 	// InterECU is the link configuration used when two ECUs communicate
 	// and no explicit link was installed. Defaults to netsim.Ethernet().
@@ -159,6 +163,7 @@ func (d *Domain) NewECU(name string, cores int, clockCfg vclock.Config) *ECU {
 // a Device's virtual ECU name).
 func (d *Domain) SetLink(from, to string, cfg netsim.Config) *netsim.Link {
 	l := netsim.NewLink(d.k, d.rng, from+"→"+to, cfg)
+	l.AttachTelemetry(d.sink)
 	d.links[linkKey{from, to}] = l
 	return l
 }
@@ -175,6 +180,7 @@ func (d *Domain) Link(from, to string) *netsim.Link {
 		cfg = d.Loopback
 	}
 	l := netsim.NewLink(d.k, d.rng, from+"→"+to, cfg)
+	l.AttachTelemetry(d.sink)
 	d.links[key] = l
 	return l
 }
@@ -318,6 +324,9 @@ func (p *Publisher) Publish(activation uint64, data any, size int) *Sample {
 	for _, hook := range p.OnPublish {
 		hook(s)
 	}
+	if p.domain.sink != nil {
+		p.domain.telSend(p.node.ECU.Name, s)
+	}
 	for _, hook := range p.DropOnWire {
 		if hook(s) {
 			return s
@@ -344,6 +353,9 @@ func (p *Publisher) PublishBypass(activation uint64, data any, size int) *Sample
 	p.published++
 	for _, hook := range p.OnPublish {
 		hook(s)
+	}
+	if p.domain.sink != nil {
+		p.domain.telSend(p.node.ECU.Name, s)
 	}
 	for _, hook := range p.DropOnWire {
 		if hook(s) {
@@ -431,6 +443,9 @@ func (sub *Subscription) arrive(s *Sample) {
 			if sub.Lifespan > 0 && e.Clock.Now().Sub(s.SrcTimestamp) > sub.Lifespan {
 				sub.expired++
 				return
+			}
+			if d.sink != nil {
+				d.telRecv(e.Name, s)
 			}
 			for _, hook := range sub.OnDeliver {
 				if !hook(s) {
@@ -567,6 +582,9 @@ func (dev *Device) publish(act uint64) {
 	}
 	for _, hook := range dev.OnPublish {
 		hook(s)
+	}
+	if dev.domain.sink != nil {
+		dev.domain.telSend(dev.Name, s)
 	}
 	dev.domain.route(dev.Name, s)
 }

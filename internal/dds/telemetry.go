@@ -1,0 +1,63 @@
+package dds
+
+import "chainmon/internal/telemetry"
+
+// ddsTel is the send/receive probe of one resource (an ECU or a device).
+// Lookup is lazy by resource name; the uninstrumented path only pays the
+// domain's nil-sink check.
+type ddsTel struct {
+	track *telemetry.Track
+	sends *telemetry.Counter
+	recvs *telemetry.Counter
+}
+
+// AttachTelemetry wires the domain's publish/deliver paths and every link
+// (present and future) to the sink. A nil sink leaves the domain dark.
+func (d *Domain) AttachTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	d.sink = sink
+	d.ddsTels = make(map[string]*ddsTel)
+	for _, l := range d.links {
+		l.AttachTelemetry(sink)
+	}
+}
+
+// telFor returns the resource's probe, creating it on first use.
+func (d *Domain) telFor(resource string) *ddsTel {
+	t, ok := d.ddsTels[resource]
+	if !ok {
+		res := telemetry.Label{Name: "resource", Value: resource}
+		t = &ddsTel{
+			track: d.sink.Rec.Track(resource + "/dds"),
+			sends: d.sink.Reg.Counter("chainmon_dds_sends_total",
+				"Samples published per resource.", res),
+			recvs: d.sink.Reg.Counter("chainmon_dds_receives_total",
+				"Samples delivered to subscriptions per resource.", res),
+		}
+		d.ddsTels[resource] = t
+	}
+	return t
+}
+
+// telSend records one publication on the sending resource's track.
+func (d *Domain) telSend(resource string, s *Sample) {
+	t := d.telFor(resource)
+	t.sends.Inc()
+	t.track.Append(telemetry.Event{
+		TS: int64(s.PubTime), Act: s.Activation, Arg: int64(s.Size),
+		Kind: telemetry.KindDDSSend, Label: d.sink.Rec.Intern(s.Topic),
+	})
+}
+
+// telRecv records one delivery on the receiving ECU's track; Arg is the
+// publication-to-delivery latency.
+func (d *Domain) telRecv(resource string, s *Sample) {
+	t := d.telFor(resource)
+	t.recvs.Inc()
+	t.track.Append(telemetry.Event{
+		TS: int64(s.RecvTime), Act: s.Activation, Arg: int64(s.RecvTime.Sub(s.PubTime)),
+		Kind: telemetry.KindDDSRecv, Label: d.sink.Rec.Intern(s.Topic),
+	})
+}

@@ -17,7 +17,12 @@
 //   - overload: transient high-priority interference threads on a
 //     sim.Processor (an ECU overloaded by a misbehaving service);
 //   - sensor-dropout: suppressed activations of a dds.Device (a sensor
-//     blanking out for an interval).
+//     blanking out for an interval);
+//   - reorder: individual messages held back past later traffic on a netsim
+//     link (a retransmitting switch port; arrivals leave FIFO order, the
+//     stale-sample case for the remote monitor's activation matching);
+//   - duplicate: messages delivered twice on a netsim link (a DDS reliable-QoS
+//     retransmission racing its own ack — the late copy must be discarded).
 //
 // Campaigns are plain JSON so they can be stored next to scenarios and run
 // from the CLI (cmd/chainmon -faults). All randomness is drawn from RNG
@@ -65,6 +70,8 @@ const (
 	TypeClockDrift    = "clock-drift"
 	TypeOverload      = "overload"
 	TypeSensorDropout = "sensor-dropout"
+	TypeReorder       = "reorder"
+	TypeDuplicate     = "duplicate"
 )
 
 // Spec describes one fault. Type selects the fault; From/Until bound its
@@ -118,6 +125,15 @@ type Spec struct {
 	// Sensor-dropout parameter: probability that an activation inside the
 	// window is suppressed entirely. Defaults to 1 (a hard blackout).
 	DropProb float64 `json:"drop_prob,omitempty"`
+
+	// Reorder parameter: probability that a transmission inside the window is
+	// held back by Delay (plus jitter), bypassing the link's FIFO floor. The
+	// hold must exceed the inter-send gap for arrivals to actually swap.
+	HoldProb float64 `json:"hold_prob,omitempty"`
+
+	// Duplicate parameter: probability that a transmission inside the window
+	// is delivered a second time, Delay (plus jitter) after the original.
+	DupProb float64 `json:"dup_prob,omitempty"`
 }
 
 // window returns the active window as simulation times; a zero Until means
@@ -198,6 +214,29 @@ func (s *Spec) Validate() error {
 		}
 		if err := checkProb("drop_prob", s.DropProb); err != nil {
 			return err
+		}
+	case TypeReorder:
+		if s.LinkFrom == "" || s.LinkTo == "" {
+			return fmt.Errorf("faultinject: %s needs link_from and link_to", s.Type)
+		}
+		if s.HoldProb <= 0 || s.HoldProb > 1 {
+			return fmt.Errorf("faultinject: %s: hold_prob %f out of (0,1]", s.Type, s.HoldProb)
+		}
+		if s.Delay <= 0 {
+			return fmt.Errorf("faultinject: %s needs a positive delay (the hold time)", s.Type)
+		}
+		if s.DelayJitter < 0 {
+			return fmt.Errorf("faultinject: %s: negative delay_jitter", s.Type)
+		}
+	case TypeDuplicate:
+		if s.LinkFrom == "" || s.LinkTo == "" {
+			return fmt.Errorf("faultinject: %s needs link_from and link_to", s.Type)
+		}
+		if s.DupProb <= 0 || s.DupProb > 1 {
+			return fmt.Errorf("faultinject: %s: dup_prob %f out of (0,1]", s.Type, s.DupProb)
+		}
+		if s.Delay < 0 || s.DelayJitter < 0 {
+			return fmt.Errorf("faultinject: %s: negative delay", s.Type)
 		}
 	default:
 		return fmt.Errorf("faultinject: unknown fault type %q", s.Type)

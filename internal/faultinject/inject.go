@@ -87,6 +87,10 @@ func (in *Injector) Apply(c Campaign, tgt Targets) error {
 			err = in.applyOverload(s, tgt, i)
 		case TypeSensorDropout:
 			err = in.applySensorDropout(s, tgt, rng)
+		case TypeReorder:
+			err = in.applyReorder(s, tgt, rng)
+		case TypeDuplicate:
+			err = in.applyDuplicate(s, tgt, rng)
 		}
 		if err != nil {
 			return fmt.Errorf("fault %d: %w", i, err)
@@ -212,6 +216,63 @@ func (in *Injector) applyOverload(s *Spec, tgt Targets, idx int) error {
 		label := fmt.Sprintf("fault/overload%d.%d", idx, t)
 		th := p.NewThread(s.ECU+"/"+label, OverloadPriority)
 		p.PeriodicLoadWindow(th, label, from, until, period, sim.Constant(cost))
+	}
+	return nil
+}
+
+// applyReorder chains a windowed probabilistic hold onto the link's
+// HoldFault hook. A held message bypasses the FIFO floor and is delivered
+// Delay (+ jitter) late, so later traffic overtakes it when the hold exceeds
+// the inter-send gap.
+func (in *Injector) applyReorder(s *Spec, tgt Targets, rng *sim.RNG) error {
+	l, err := in.link(s, tgt)
+	if err != nil {
+		return err
+	}
+	from, until := s.window()
+	prev := l.HoldFault
+	l.HoldFault = func(at sim.Time, size int) sim.Duration {
+		if prev != nil {
+			if h := prev(at, size); h > 0 {
+				return h
+			}
+		}
+		if at < from || at >= until || !rng.Bool(s.HoldProb) {
+			return 0
+		}
+		h := sim.Duration(s.Delay)
+		if s.DelayJitter > 0 {
+			h += sim.Duration(rng.Uniform(0, float64(s.DelayJitter)))
+		}
+		return h
+	}
+	return nil
+}
+
+// applyDuplicate chains a windowed probabilistic duplication onto the
+// link's DupFault hook. The second copy arrives Delay (+ jitter) after the
+// original, so the receiver must discard it as stale.
+func (in *Injector) applyDuplicate(s *Spec, tgt Targets, rng *sim.RNG) error {
+	l, err := in.link(s, tgt)
+	if err != nil {
+		return err
+	}
+	from, until := s.window()
+	prev := l.DupFault
+	l.DupFault = func(at sim.Time, size int) (bool, sim.Duration) {
+		if prev != nil {
+			if dup, extra := prev(at, size); dup {
+				return dup, extra
+			}
+		}
+		if at < from || at >= until || !rng.Bool(s.DupProb) {
+			return false, 0
+		}
+		extra := sim.Duration(s.Delay)
+		if s.DelayJitter > 0 {
+			extra += sim.Duration(rng.Uniform(0, float64(s.DelayJitter)))
+		}
+		return true, extra
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"chainmon/internal/dds"
 	"chainmon/internal/sim"
+	"chainmon/internal/telemetry"
 	"chainmon/internal/weaklyhard"
 )
 
@@ -31,6 +32,9 @@ type LocalMonitor struct {
 	scanQueued bool
 	overheads  *OverheadStats
 	skipTables map[*dds.Publisher]map[uint64]bool
+
+	tel          *monTel // nil when uninstrumented
+	lastScanCost sim.Duration
 }
 
 // NewLocalMonitor creates the monitor thread of an ECU at the highest
@@ -96,6 +100,7 @@ type LocalSegment struct {
 	// event; used for recovery publication and skip-next propagation.
 	// Nil when the segment ends at a reception.
 	endPub *dds.Publisher
+	tel    *segTel // nil when uninstrumented
 	// endSub is the subscription used by remote recovery handlers; set
 	// when the segment starts at this subscription.
 	propagateTo Propagator
@@ -124,10 +129,16 @@ func (m *LocalMonitor) AddSegment(cfg SegmentConfig) *LocalSegment {
 	s.reorder = newReorderBuf(func(r Resolution) {
 		s.counter.Record(r.Status == StatusMissed)
 		s.stats.record(r)
+		if s.tel != nil {
+			s.tel.verdict(r)
+		}
 		for _, fn := range s.onResolve {
 			fn(r)
 		}
 	})
+	if m.tel != nil {
+		s.tel = newSegTel(m.tel.sink, m.tel.track, s.cfg.Name)
+	}
 	m.segments = append(m.segments, s)
 	return s
 }
@@ -221,6 +232,12 @@ func (s *LocalSegment) postStart(act uint64) {
 	now := s.mon.ECU.Proc.Kernel().Now()
 	s.mon.overheads.StartPost.AddDuration(s.mon.PostCost.Sample(s.mon.rng))
 	s.startRing = append(s.startRing, ringEvent{act: act, ts: now, posted: now})
+	if s.tel != nil {
+		s.tel.track.Append(telemetry.Event{
+			TS: int64(now), Act: act, Arg: int64(len(s.startRing)),
+			Kind: telemetry.KindRingPostStart, Label: s.tel.label,
+		})
+	}
 	s.mon.wake()
 }
 
@@ -231,6 +248,12 @@ func (s *LocalSegment) postEnd(act uint64) {
 	now := s.mon.ECU.Proc.Kernel().Now()
 	s.mon.overheads.EndPost.AddDuration(s.mon.PostCost.Sample(s.mon.rng))
 	s.endRing = append(s.endRing, ringEvent{act: act, ts: now, posted: now})
+	if s.tel != nil {
+		s.tel.track.Append(telemetry.Event{
+			TS: int64(now), Act: act, Arg: int64(len(s.endRing)),
+			Kind: telemetry.KindRingPostEnd, Label: s.tel.label,
+		})
+	}
 }
 
 // wake raises the monitor semaphore: one scan pass is queued on the monitor
@@ -254,6 +277,9 @@ func (m *LocalMonitor) forceWake() {
 func (m *LocalMonitor) queueScan() {
 	cost := m.ScanCost.Sample(m.rng)
 	m.overheads.MonExec.AddDuration(cost)
+	if m.tel != nil {
+		m.lastScanCost = cost
+	}
 	m.Thread.Enqueue("monitor/scan", cost, m.scan)
 }
 
@@ -269,6 +295,20 @@ func (m *LocalMonitor) scan() {
 	for _, s := range m.segments {
 		s.fireDue(now)
 	}
+	if m.tel != nil {
+		m.tel.scans.Inc()
+		depth := 0
+		for _, s := range m.segments {
+			depth += len(s.pending)
+		}
+		m.tel.depth.Set(int64(depth))
+		m.tel.track.Append(telemetry.Event{
+			TS: int64(now), Arg: int64(m.lastScanCost), Kind: telemetry.KindScan,
+		})
+		m.tel.track.Append(telemetry.Event{
+			TS: int64(now), Arg: int64(depth), Kind: telemetry.KindTimeoutQueue,
+		})
+	}
 }
 
 func (s *LocalSegment) drain(now sim.Time) {
@@ -280,6 +320,12 @@ func (s *LocalSegment) drain(now sim.Time) {
 		}
 		a := &armedTimeout{act: ev.act, start: ev.ts, deadline: ev.ts.Add(s.cfg.DMon)}
 		s.pending[ev.act] = a
+		if s.tel != nil {
+			s.tel.track.Append(telemetry.Event{
+				TS: int64(now), Act: ev.act, Arg: int64(a.deadline),
+				Kind: telemetry.KindTimeoutArm, Label: s.tel.label,
+			})
+		}
 		if a.deadline > now {
 			a.timer = k.AtPriority(a.deadline, dds.PrioMonitor, s.mon.forceWake)
 		}
@@ -324,6 +370,12 @@ func (s *LocalSegment) fireDue(now sim.Time) {
 	for _, a := range due {
 		delete(s.pending, a.act)
 		s.excepted[a.act] = true
+		if s.tel != nil {
+			s.tel.track.Append(telemetry.Event{
+				TS: int64(now), Act: a.act,
+				Kind: telemetry.KindTimeoutFire, Label: s.tel.label,
+			})
+		}
 		s.raiseException(a.act, a.start, a.deadline, false)
 	}
 }
@@ -389,6 +441,9 @@ func (s *LocalSegment) raiseException(act uint64, start, deadline sim.Time, prop
 			if s.propagateTo != nil {
 				s.propagateTo.PropagateInto(act)
 			}
+		}
+		if s.tel != nil {
+			s.tel.handlerDone(act, w.Started(), now, rec != nil)
 		}
 		s.resolve(r)
 	})

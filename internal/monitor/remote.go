@@ -5,6 +5,7 @@ import (
 
 	"chainmon/internal/dds"
 	"chainmon/internal/sim"
+	"chainmon/internal/telemetry"
 	"chainmon/internal/weaklyhard"
 )
 
@@ -67,6 +68,8 @@ type RemoteMonitor struct {
 	stopped      bool
 	lastAct      uint64
 	lastActSet   bool
+
+	tel *remoteTel // nil when uninstrumented
 }
 
 // NewRemoteMonitor attaches a synchronization-based monitor to the
@@ -115,6 +118,9 @@ func newDetachedRemoteMonitor(sub *dds.Subscription, cfg SegmentConfig, variant 
 	m.reorder = newReorderBuf(func(r Resolution) {
 		m.counter.Record(r.Status == StatusMissed)
 		m.stats.record(r)
+		if m.tel != nil {
+			m.tel.verdict(r)
+		}
 		for _, fn := range m.onResolve {
 			fn(r)
 		}
@@ -135,6 +141,7 @@ type KeyedRemoteMonitor struct {
 	monitors map[string]*RemoteMonitor
 	order    []string
 	onCreate func(writer string, m *RemoteMonitor)
+	sink     *telemetry.Sink // nil when uninstrumented
 }
 
 // NewKeyedRemoteMonitor attaches a per-writer monitor family to the
@@ -164,6 +171,7 @@ func (km *KeyedRemoteMonitor) onDeliver(s *dds.Sample) bool {
 		cfg := km.cfg
 		cfg.Name = cfg.Name + "@" + s.Writer
 		m = newDetachedRemoteMonitor(km.sub, cfg, km.variant, km.lm)
+		m.AttachTelemetry(km.sink)
 		km.monitors[s.Writer] = m
 		km.order = append(km.order, s.Writer)
 		if km.onCreate != nil {
@@ -258,6 +266,9 @@ func (m *RemoteMonitor) onDeliver(s *dds.Sample) bool {
 		// Too late: the corresponding exception already fired; discard so
 		// the receive event is skipped (§IV-B.3).
 		m.lateDiscards++
+		if m.tel != nil {
+			m.tel.discards.Inc()
+		}
 		return false
 	}
 	if s.Activation > m.expected {
@@ -314,6 +325,13 @@ func (m *RemoteMonitor) armTimer() {
 	}
 	act := m.expected
 	m.timer = k.After(delay, func() { m.onTimeout(act) })
+	if m.tel != nil {
+		m.tel.programs.Inc()
+		m.tel.track.Append(telemetry.Event{
+			TS: int64(k.Now()), Act: act, Arg: int64(m.deadlineLocal),
+			Kind: telemetry.KindTimerProgram, Label: m.tel.label,
+		})
+	}
 }
 
 // onTimeout dispatches the timeout routine onto the variant's thread. The
@@ -392,6 +410,9 @@ func (m *RemoteMonitor) runHandler(act uint64, detection sim.Duration) {
 		if m.propagateTo != nil {
 			m.propagateTo.PropagateInto(act)
 		}
+	}
+	if m.tel != nil {
+		m.tel.handlerDone(act, now, now, rec != nil)
 	}
 	m.resolve(r)
 }

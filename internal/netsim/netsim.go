@@ -44,12 +44,26 @@ type Link struct {
 	// send (fault injection: transient latency spikes, e.g. a congested
 	// switch or a link renegotiation).
 	DelayFault func(at sim.Time) sim.Duration
+	// HoldFault, when set, returns a positive duration to hold the message
+	// back past the FIFO order: the held message is delivered late and
+	// subsequent sends overtake it (fault injection: reordering, e.g. a
+	// retransmission path or a misbehaving switch queue). The held message
+	// does not advance the link's FIFO floor.
+	HoldFault func(at sim.Time, size int) sim.Duration
+	// DupFault, when set, may deliver a second copy of the message after an
+	// additional delay (fault injection: duplication, e.g. a retransmission
+	// whose original was not lost after all).
+	DupFault func(at sim.Time, size int) (dup bool, extra sim.Duration)
 
 	lastDelivery sim.Time
 	sent         uint64
 	lost         uint64
 	retransmits  uint64
 	faultDrops   uint64
+	held         uint64
+	duplicated   uint64
+
+	tel *linkTel // nil when uninstrumented
 }
 
 // Config parameterizes a link.
@@ -90,6 +104,12 @@ func (l *Link) Retransmits() uint64 { return l.retransmits }
 // hook (a subset of the lost count reported by Stats).
 func (l *Link) FaultDrops() uint64 { return l.faultDrops }
 
+// Held returns how many messages a HoldFault reordered past the FIFO order.
+func (l *Link) Held() uint64 { return l.held }
+
+// Duplicated returns how many extra copies a DupFault delivered.
+func (l *Link) Duplicated() uint64 { return l.duplicated }
+
 // ResponseBounds returns the best-case response time and a practical
 // worst-case (BCRT + jitter upper bound) for a message of the given size.
 // These are the BCRT and BCRT+J^R terms the synchronization-based monitor's
@@ -122,9 +142,15 @@ func (l *Link) Send(size int, deliver func()) (sim.Time, bool) {
 		lost = true
 		l.faultDrops++
 	}
+	if l.tel != nil {
+		l.tel.sends.Inc()
+	}
 	if lost {
 		if l.RetransmitDelay == nil {
 			l.lost++
+			if l.tel != nil {
+				l.tel.drop(l.k.Now(), size)
+			}
 			return 0, false
 		}
 		// Reliable QoS: the receiver NACKs and the writer retransmits;
@@ -132,13 +158,38 @@ func (l *Link) Send(size int, deliver func()) (sim.Time, bool) {
 		l.retransmits++
 		resp += l.RetransmitDelay.Sample(l.rng)
 	}
-	at := l.k.Now().Add(resp)
-	if at < l.lastDelivery {
-		at = l.lastDelivery // FIFO: no overtaking on a link
+	var hold sim.Duration
+	if !lost && l.HoldFault != nil {
+		hold = l.HoldFault(l.k.Now(), size)
 	}
-	l.lastDelivery = at
+	at := l.k.Now().Add(resp)
+	if hold > 0 {
+		// Reordering: the held message is delivered late and does not
+		// advance the FIFO floor, so subsequent sends overtake it.
+		l.held++
+		at = at.Add(hold)
+		if l.tel != nil {
+			l.tel.hold(l.k.Now(), hold)
+		}
+	} else {
+		if at < l.lastDelivery {
+			at = l.lastDelivery // FIFO: no overtaking on a link
+		}
+		l.lastDelivery = at
+	}
 	if deliver != nil {
 		l.k.At(at, deliver)
+	}
+	if !lost && l.DupFault != nil {
+		if dup, extra := l.DupFault(l.k.Now(), size); dup {
+			l.duplicated++
+			if l.tel != nil {
+				l.tel.dup(l.k.Now(), extra)
+			}
+			if deliver != nil {
+				l.k.At(at.Add(extra), deliver)
+			}
+		}
 	}
 	return at, true
 }

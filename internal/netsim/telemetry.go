@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"chainmon/internal/sim"
+	"chainmon/internal/telemetry"
+)
+
+// linkTel is a link's probe. All links share the "net" track (the simulation
+// is single-threaded, so the single-writer contract holds) and are told
+// apart by the interned link name.
+type linkTel struct {
+	track  *telemetry.Track
+	label  uint16
+	sends  *telemetry.Counter
+	losses *telemetry.Counter
+	holds  *telemetry.Counter
+	dups   *telemetry.Counter
+}
+
+// AttachTelemetry wires the link to the sink. A nil sink leaves it dark.
+func (l *Link) AttachTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	link := telemetry.Label{Name: "link", Value: l.Name}
+	l.tel = &linkTel{
+		track: sink.Rec.Track("net"),
+		label: sink.Rec.Intern(l.Name),
+		sends: sink.Reg.Counter("chainmon_link_sends_total",
+			"Messages handed to a link.", link),
+		losses: sink.Reg.Counter("chainmon_link_losses_total",
+			"Messages lost on a link (best-effort drops).", link),
+		holds: sink.Reg.Counter("chainmon_link_holds_total",
+			"Messages reordered by a hold fault.", link),
+		dups: sink.Reg.Counter("chainmon_link_duplicates_total",
+			"Extra copies delivered by a duplication fault.", link),
+	}
+}
+
+func (t *linkTel) drop(at sim.Time, size int) {
+	t.losses.Inc()
+	t.track.Append(telemetry.Event{
+		TS: int64(at), Arg: int64(size), Kind: telemetry.KindNetDrop, Label: t.label,
+	})
+}
+
+func (t *linkTel) hold(at sim.Time, hold sim.Duration) {
+	t.holds.Inc()
+	t.track.Append(telemetry.Event{
+		TS: int64(at), Arg: int64(hold), Kind: telemetry.KindNetHold, Label: t.label,
+	})
+}
+
+func (t *linkTel) dup(at sim.Time, extra sim.Duration) {
+	t.dups.Inc()
+	t.track.Append(telemetry.Event{
+		TS: int64(at), Arg: int64(extra), Kind: telemetry.KindNetDup, Label: t.label,
+	})
+}

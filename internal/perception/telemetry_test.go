@@ -1,0 +1,166 @@
+package perception_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"chainmon/internal/monitor"
+	"chainmon/internal/perception"
+	"chainmon/internal/telemetry"
+)
+
+// telemetryRun builds a full-chain monitored system, attaches a sink and
+// runs it to completion.
+func telemetryRun(t *testing.T, seed int64) (*perception.System, *telemetry.Sink) {
+	t.Helper()
+	cfg := perception.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Frames = 150
+	cfg.FullChain = true
+	s := perception.Build(cfg)
+	sink := telemetry.NewSink(1 << 14)
+	perception.AttachTelemetry(s, sink)
+	s.Run()
+	return s, sink
+}
+
+// TestTelemetryDeterminism runs the same seed twice and requires the
+// Perfetto trace, the Prometheus dump and the CSV dump to be byte-identical:
+// the flight recorder observes only virtual time, so identical seeds must
+// produce identical telemetry.
+func TestTelemetryDeterminism(t *testing.T) {
+	dump := func() (trace, prom, csv []byte) {
+		_, sink := telemetryRun(t, 42)
+		var tb, pb, cb bytes.Buffer
+		if err := sink.WritePerfetto(&tb); err != nil {
+			t.Fatalf("WritePerfetto: %v", err)
+		}
+		if err := sink.WriteMetrics(&pb); err != nil {
+			t.Fatalf("WriteMetrics: %v", err)
+		}
+		if err := sink.WriteEventsCSV(&cb); err != nil {
+			t.Fatalf("WriteEventsCSV: %v", err)
+		}
+		return tb.Bytes(), pb.Bytes(), cb.Bytes()
+	}
+	t1, p1, c1 := dump()
+	t2, p2, c2 := dump()
+	if !bytes.Equal(t1, t2) {
+		t.Errorf("Perfetto traces differ between identical runs (%d vs %d bytes)", len(t1), len(t2))
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Errorf("metrics dumps differ between identical runs:\n--- run1\n%s\n--- run2\n%s", p1, p2)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("CSV dumps differ between identical runs (%d vs %d bytes)", len(c1), len(c2))
+	}
+	if len(t1) == 0 || len(p1) == 0 || len(c1) == 0 {
+		t.Fatalf("empty telemetry dump: trace=%d prom=%d csv=%d bytes", len(t1), len(p1), len(c1))
+	}
+}
+
+// TestTelemetryPerfettoValid validates the emitted trace against the Chrome
+// trace-event container format: a JSON object with displayTimeUnit and a
+// traceEvents array whose entries all carry a phase and a pid.
+func TestTelemetryPerfettoValid(t *testing.T) {
+	_, sink := telemetryRun(t, 7)
+	var buf bytes.Buffer
+	if err := sink.WritePerfetto(&buf); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) < 100 {
+		t.Fatalf("only %d trace events from a 150-frame full-chain run", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			t.Fatalf("event %d has no phase: %v", i, ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event %d has no pid: %v", i, ev)
+		}
+		phases[ph]++
+	}
+	// The run must exercise metadata, instants, counters and spans.
+	for _, ph := range []string{"M", "i", "C", "X"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in the trace (phases: %v)", ph, phases)
+		}
+	}
+}
+
+// TestResolutionCountersMatchStats pins the acceptance criterion that the
+// chainmon_segment_resolutions_total counters agree exactly with the
+// SegmentStats verdict counts, for every monitored segment.
+func TestResolutionCountersMatchStats(t *testing.T) {
+	s, sink := telemetryRun(t, 3)
+	check := func(name string, st *monitor.SegmentStats) {
+		ok, rec, miss := st.Counts()
+		for _, want := range []struct {
+			status string
+			n      int
+		}{{"ok", ok}, {"recovered", rec}, {"missed", miss}} {
+			c := sink.Reg.Counter("chainmon_segment_resolutions_total", "",
+				telemetry.Label{Name: "segment", Value: name},
+				telemetry.Label{Name: "status", Value: want.status})
+			if got := c.Value(); got != uint64(want.n) {
+				t.Errorf("%s: counter{status=%s} = %d, stats say %d", name, want.status, got, want.n)
+			}
+		}
+	}
+	check(perception.SegObjectsLocal, s.SegObjects.Stats())
+	check(perception.SegGroundLocal, s.SegGround.Stats())
+	check(perception.SegFrontRemote, s.RemFront.Stats())
+	check(perception.SegRearRemote, s.RemRear.Stats())
+	check(perception.SegFusedRemote, s.RemFused.Stats())
+	check(perception.SegFusionFront, s.FusionFront.Stats())
+	check(perception.SegFusionRear, s.FusionRear.Stats())
+}
+
+// TestTelemetryDoesNotPerturb requires an instrumented run to produce
+// exactly the same verdicts as an uninstrumented one: the probes observe
+// virtual time but must never advance it or touch a random stream.
+func TestTelemetryDoesNotPerturb(t *testing.T) {
+	counts := func(attach bool) (end int64, all [][3]int) {
+		cfg := perception.DefaultConfig()
+		cfg.Seed = 9
+		cfg.Frames = 150
+		cfg.FullChain = true
+		s := perception.Build(cfg)
+		if attach {
+			perception.AttachTelemetry(s, telemetry.NewSink(1<<14))
+		}
+		endT := s.Run()
+		for _, st := range []*monitor.SegmentStats{
+			s.SegObjects.Stats(), s.SegGround.Stats(),
+			s.RemFront.Stats(), s.RemRear.Stats(), s.RemFused.Stats(),
+			s.FusionFront.Stats(), s.FusionRear.Stats(),
+		} {
+			ok, rec, miss := st.Counts()
+			all = append(all, [3]int{ok, rec, miss})
+		}
+		return int64(endT), all
+	}
+	endBare, bare := counts(false)
+	endTel, tel := counts(true)
+	if endBare != endTel {
+		t.Errorf("telemetry changed the run length: %d vs %d", endBare, endTel)
+	}
+	for i := range bare {
+		if bare[i] != tel[i] {
+			t.Errorf("segment %d verdicts changed under telemetry: %v vs %v", i, bare[i], tel[i])
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"chainmon/internal/telemetry"
 )
 
 // ExceptionFunc is invoked by the monitor goroutine when a segment's end
@@ -23,6 +25,7 @@ type Segment struct {
 	endRing   *Ring
 	mon       *Monitor
 	onExc     ExceptionFunc
+	tel       *segTel // nil when uninstrumented
 
 	pending map[uint64]time.Duration // activation → absolute deadline
 
@@ -50,6 +53,9 @@ type Monitor struct {
 
 	timeouts timeoutHeap
 	scanExec []time.Duration // execution time per monitor pass
+
+	sink *telemetry.Sink // nil when uninstrumented
+	tel  *monTel
 
 	mu sync.Mutex // guards measurement snapshots after Stop
 }
@@ -81,6 +87,9 @@ func (m *Monitor) AddSegment(name string, dMon time.Duration, ringCap int, onExc
 		mon:       m,
 		onExc:     onExc,
 		pending:   make(map[uint64]time.Duration),
+	}
+	if m.sink != nil {
+		s.attachTelemetry(m.sink)
 	}
 	m.segments = append(m.segments, s)
 	return s
@@ -117,6 +126,9 @@ func (s *Segment) PostStart(act uint64) time.Duration {
 		s.dropped++ // producer-side counter; SPSC contract makes this safe
 	}
 	s.postStart = append(s.postStart, d)
+	if s.tel != nil {
+		s.postTelemetry(telemetry.KindRingPostStart, act, t0, d, s.startRing.Len(), ok)
+	}
 	return d
 }
 
@@ -130,6 +142,9 @@ func (s *Segment) PostEnd(act uint64) time.Duration {
 		s.dropped++
 	}
 	s.postEnd = append(s.postEnd, d)
+	if s.tel != nil {
+		s.postTelemetry(telemetry.KindRingPostEnd, act, t0, d, s.endRing.Len(), ok)
+	}
 	return d
 }
 
@@ -205,6 +220,12 @@ func (m *Monitor) scan() {
 			deadline := time.Duration(ev.TS) + s.DMon
 			s.pending[ev.Act] = deadline
 			heap.Push(&m.timeouts, timeoutEntry{deadline: deadline, seg: s, act: ev.Act})
+			if m.tel != nil {
+				m.tel.track.Append(telemetry.Event{
+					TS: int64(now), Act: ev.Act, Arg: int64(deadline),
+					Kind: telemetry.KindTimeoutArm, Label: s.telLabel(),
+				})
+			}
 		}
 		for {
 			ev, ok := s.endRing.Pop()
@@ -223,12 +244,32 @@ func (m *Monitor) scan() {
 		if dl, armed := e.seg.pending[e.act]; armed && dl == e.deadline {
 			delete(e.seg.pending, e.act)
 			e.seg.excCount++
+			if m.tel != nil {
+				m.tel.fires.Inc()
+				m.tel.track.Append(telemetry.Event{
+					TS: int64(now), Act: e.act,
+					Kind: telemetry.KindTimeoutFire, Label: e.seg.telLabel(),
+				})
+			}
 			if e.seg.onExc != nil {
 				e.seg.onExc(e.act, e.deadline)
 			}
 		}
 	}
-	m.scanExec = append(m.scanExec, m.now()-t0)
+	exec := m.now() - t0
+	m.scanExec = append(m.scanExec, exec)
+	if m.tel != nil {
+		m.tel.scans.Inc()
+		m.tel.scanHist.Observe(int64(exec))
+		m.tel.depth.Set(int64(len(m.timeouts)))
+		end := int64(t0 + exec)
+		m.tel.track.Append(telemetry.Event{
+			TS: end, Arg: int64(exec), Kind: telemetry.KindScan,
+		})
+		m.tel.track.Append(telemetry.Event{
+			TS: end, Arg: int64(len(m.timeouts)), Kind: telemetry.KindTimeoutQueue,
+		})
+	}
 }
 
 // Measurements is the Fig. 11 data of one segment plus the shared monitor

@@ -1,0 +1,106 @@
+package shmring
+
+import (
+	"time"
+
+	"chainmon/internal/telemetry"
+)
+
+// segTel is a segment's producer-side probe: the producer goroutine is the
+// single writer of the track, the metric handles are atomics shared with
+// nobody else. The pointers are pre-resolved at attach time so the posting
+// hot path only pays a nil check plus wait-free appends.
+type segTel struct {
+	track    *telemetry.Track
+	label    uint16
+	starts   *telemetry.Counter
+	ends     *telemetry.Counter
+	drops    *telemetry.Counter
+	postHist *telemetry.Histogram
+}
+
+// monTel is the monitor-goroutine-side probe (single writer: the monitor
+// goroutine owns the track).
+type monTel struct {
+	track    *telemetry.Track
+	scans    *telemetry.Counter
+	fires    *telemetry.Counter
+	depth    *telemetry.Gauge
+	scanHist *telemetry.Histogram
+}
+
+// AttachTelemetry wires the monitor and its segments to the sink. It must be
+// called before Start; a nil sink leaves everything dark. Segments added
+// after the call are instrumented too.
+func (m *Monitor) AttachTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	if m.started {
+		panic("shmring: AttachTelemetry after Start")
+	}
+	m.sink = sink
+	m.tel = &monTel{
+		track: sink.Rec.Track("shm/monitor"),
+		scans: sink.Reg.Counter("chainmon_shm_scans_total",
+			"Monitor-thread drain passes."),
+		fires: sink.Reg.Counter("chainmon_shm_timeout_fires_total",
+			"Local timeouts that expired without an end event."),
+		depth: sink.Reg.Gauge("chainmon_shm_timeout_queue_depth",
+			"Timeout-queue depth after a monitor pass."),
+		scanHist: sink.Reg.Histogram("chainmon_shm_scan_seconds",
+			"Monitor pass execution time.", nil),
+	}
+	for _, s := range m.segments {
+		s.attachTelemetry(sink)
+	}
+}
+
+func (s *Segment) attachTelemetry(sink *telemetry.Sink) {
+	seg := telemetry.Label{Name: "segment", Value: s.Name}
+	s.tel = &segTel{
+		track: sink.Rec.Track("shm/" + s.Name + "/producer"),
+		label: sink.Rec.Intern(s.Name),
+		starts: sink.Reg.Counter("chainmon_shm_posts_total",
+			"Events posted into a segment ring.", seg,
+			telemetry.Label{Name: "kind", Value: "start"}),
+		ends: sink.Reg.Counter("chainmon_shm_posts_total",
+			"Events posted into a segment ring.", seg,
+			telemetry.Label{Name: "kind", Value: "end"}),
+		drops: sink.Reg.Counter("chainmon_shm_drops_total",
+			"Postings dropped because the ring was full.", seg),
+		postHist: sink.Reg.Histogram("chainmon_shm_post_seconds",
+			"Posting overhead per event.",
+			[]int64{100, 250, 500, 1000, 2500, 5000, 10000, 100000, 1000000}, seg),
+	}
+}
+
+// telLabel returns the segment's interned name, or 0 when uninstrumented.
+func (s *Segment) telLabel() uint16 {
+	if s.tel == nil {
+		return 0
+	}
+	return s.tel.label
+}
+
+// postTelemetry records one posting on the producer track.
+func (s *Segment) postTelemetry(kind telemetry.Kind, act uint64, t0, d time.Duration, occupancy int, ok bool) {
+	t := s.tel
+	if t == nil {
+		return
+	}
+	if ok {
+		if kind == telemetry.KindRingPostStart {
+			t.starts.Inc()
+		} else {
+			t.ends.Inc()
+		}
+	} else {
+		kind = telemetry.KindRingDrop
+		t.drops.Inc()
+	}
+	t.track.Append(telemetry.Event{
+		TS: int64(t0), Act: act, Arg: int64(occupancy), Kind: kind, Label: t.label,
+	})
+	t.postHist.Observe(int64(d))
+}

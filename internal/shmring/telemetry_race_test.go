@@ -1,0 +1,64 @@
+package shmring
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"chainmon/internal/telemetry"
+)
+
+// TestTelemetryConcurrentAppends runs two producer goroutines and the
+// monitor goroutine, all appending to the flight recorder concurrently
+// (producers to their per-segment tracks, the monitor to its own, shared
+// counters and histograms via atomics). Run under -race in CI: the test's
+// assertion is primarily "the race detector stays quiet".
+func TestTelemetryConcurrentAppends(t *testing.T) {
+	sink := telemetry.NewSink(1 << 10)
+	m := NewMonitor()
+	m.AttachTelemetry(sink)
+	segA := m.AddSegment("race/a", 500*time.Microsecond, 64, nil)
+	segB := m.AddSegment("race/b", 500*time.Microsecond, 64, nil)
+	m.Start()
+
+	const acts = 400
+	var wg sync.WaitGroup
+	for _, seg := range []*Segment{segA, segB} {
+		wg.Add(1)
+		go func(s *Segment) {
+			defer wg.Done()
+			for act := uint64(1); act <= acts; act++ {
+				s.PostStart(act)
+				if act%5 != 0 { // every 5th activation times out
+					s.PostEnd(act)
+				}
+				time.Sleep(20 * time.Microsecond)
+			}
+		}(seg)
+	}
+	wg.Wait()
+	// Give pending timeouts a chance to fire, then stop the monitor.
+	time.Sleep(2 * time.Millisecond)
+	m.Stop()
+
+	posts := sink.Reg.Counter("chainmon_shm_posts_total",
+		"", telemetry.Label{Name: "segment", Value: "race/a"},
+		telemetry.Label{Name: "kind", Value: "start"}).Value()
+	drops := sink.Reg.Counter("chainmon_shm_drops_total",
+		"", telemetry.Label{Name: "segment", Value: "race/a"}).Value()
+	if posts+drops != acts {
+		t.Fatalf("segment a start posts %d + drops %d != %d activations", posts, drops, acts)
+	}
+	var total int
+	for _, tr := range sink.Rec.Tracks() {
+		total += tr.Len()
+	}
+	if total == 0 {
+		t.Fatal("no events recorded")
+	}
+	// The monitor processed both segments: its track must hold scan events.
+	scans := sink.Reg.Counter("chainmon_shm_scans_total", "").Value()
+	if scans == 0 {
+		t.Fatal("monitor recorded no scans")
+	}
+}

@@ -73,6 +73,10 @@ type Kernel struct {
 	stopped bool
 	// executed counts fired events, useful for progress assertions in tests.
 	executed uint64
+	// queueProbe, when set, observes the queue depth after every heap
+	// mutation (push, pop, remove). It is a plain callback rather than a
+	// telemetry type so sim stays free of telemetry imports.
+	queueProbe func(depth int)
 }
 
 // NewKernel returns a kernel with the clock at time zero.
@@ -88,6 +92,11 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Pending returns the number of events currently scheduled.
 func (k *Kernel) Pending() int { return len(k.queue) }
+
+// SetQueueProbe installs (or, with nil, removes) an observer called with the
+// event-queue depth after every heap operation. The probe must not schedule
+// or cancel events.
+func (k *Kernel) SetQueueProbe(fn func(depth int)) { k.queueProbe = fn }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a modelling bug.
@@ -107,6 +116,9 @@ func (k *Kernel) AtPriority(t Time, priority int, fn EventFunc) *Event {
 	k.seq++
 	e := &Event{at: t, priority: priority, seq: k.seq, fn: fn}
 	heap.Push(&k.queue, e)
+	if k.queueProbe != nil {
+		k.queueProbe(len(k.queue))
+	}
 	return e
 }
 
@@ -129,6 +141,9 @@ func (k *Kernel) Cancel(e *Event) {
 	}
 	e.canceled = true
 	heap.Remove(&k.queue, e.index)
+	if k.queueProbe != nil {
+		k.queueProbe(len(k.queue))
+	}
 }
 
 // Reschedule moves a pending event to a new time, preserving its priority.
@@ -153,6 +168,9 @@ func (k *Kernel) Reschedule(e *Event, t Time) *Event {
 func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
 		e := heap.Pop(&k.queue).(*Event)
+		if k.queueProbe != nil {
+			k.queueProbe(len(k.queue))
+		}
 		if e.canceled {
 			continue
 		}
@@ -186,6 +204,9 @@ func (k *Kernel) RunUntil(horizon Time) {
 		e := k.queue[0]
 		if e.canceled {
 			heap.Pop(&k.queue)
+			if k.queueProbe != nil {
+				k.queueProbe(len(k.queue))
+			}
 			continue
 		}
 		if e.at > horizon {

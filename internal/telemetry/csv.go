@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteEventsCSV writes every retained flight-recorder event as CSV with the
+// header track,ts_ns,kind,act,arg,status,label — the raw form of the
+// Perfetto trace, for offline analysis with ordinary tooling. Rows appear in
+// track creation order, events oldest-first within a track.
+func (s *Sink) WriteEventsCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"track", "ts_ns", "kind", "act", "arg", "status", "label"}); err != nil {
+		return err
+	}
+	for _, t := range s.Rec.Tracks() {
+		for _, ev := range t.Events() {
+			rec := []string{
+				t.Name(),
+				strconv.FormatInt(ev.TS, 10),
+				ev.Kind.String(),
+				strconv.FormatUint(ev.Act, 10),
+				strconv.FormatInt(ev.Arg, 10),
+				strconv.Itoa(int(ev.Status)),
+				s.Rec.LabelName(ev.Label),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

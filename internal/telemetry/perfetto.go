@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePerfetto writes the flight-recorder contents as Chrome trace-event
+// JSON (the "JSON Array Format" with a traceEvents wrapper), loadable in
+// Perfetto and chrome://tracing. One thread track per recorder track, all
+// under a single "chainmon" process. Output is deterministic: tracks in
+// creation order, events in append order, fixed number formatting.
+func (s *Sink) WritePerfetto(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	emit(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"chainmon"}}`)
+	tracks := s.Rec.Tracks()
+	for i, t := range tracks {
+		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			i+1, jsonString(t.Name())))
+		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			i+1, i+1))
+	}
+
+	for i, t := range tracks {
+		tid := i + 1
+		for _, ev := range t.Events() {
+			name := ev.Kind.String()
+			if ev.Label != 0 {
+				name += "/" + s.Rec.LabelName(ev.Label)
+			}
+			switch ev.Kind {
+			case KindExcHandler, KindScan:
+				// Arg is the duration; the span ends at TS.
+				emit(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":%s,"args":{"act":%d,"status":%s}}`,
+					tid, micros(ev.TS-ev.Arg), micros(ev.Arg), jsonString(name),
+					ev.Act, jsonString(spanStatus(ev))))
+			case KindTimeoutQueue, KindKernelQueue, KindClockSync:
+				emit(fmt.Sprintf(`{"ph":"C","pid":1,"tid":%d,"ts":%s,"name":%s,"args":{"value":%d}}`,
+					tid, micros(ev.TS), jsonString(name), ev.Arg))
+			case KindRingPostStart, KindRingPostEnd:
+				emit(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":%s,"args":{"act":%d,"occupancy":%d}}`,
+					tid, micros(ev.TS), jsonString(name), ev.Act, ev.Arg))
+				occ := "ring-occupancy"
+				if ev.Label != 0 {
+					occ += "/" + s.Rec.LabelName(ev.Label)
+				}
+				emit(fmt.Sprintf(`{"ph":"C","pid":1,"tid":%d,"ts":%s,"name":%s,"args":{"value":%d}}`,
+					tid, micros(ev.TS), jsonString(occ), ev.Arg))
+			case KindVerdict:
+				emit(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":%s,"args":{"act":%d,"status":%s,"latency_ns":%d}}`,
+					tid, micros(ev.TS), jsonString(name), ev.Act,
+					jsonString(StatusName(ev.Status)), ev.Arg))
+			default:
+				emit(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":%s,"args":{"act":%d,"arg":%d}}`,
+					tid, micros(ev.TS), jsonString(name), ev.Act, ev.Arg))
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func spanStatus(ev Event) string {
+	if ev.Kind == KindScan {
+		return ""
+	}
+	switch ev.Status {
+	case OutcomeRecovered:
+		return "recovered"
+	case OutcomePropagated:
+		return "propagated"
+	}
+	return "unknown"
+}
+
+// micros renders nanoseconds as a decimal microsecond literal with fixed
+// three fractional digits ("1234.500"), avoiding float formatting entirely
+// so traces are byte-identical across runs and platforms.
+func micros(ns int64) string {
+	neg := ns < 0
+	if neg {
+		ns = -ns
+	}
+	s := fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+// jsonString quotes s as a JSON string. strconv.Quote is close but emits
+// \x escapes for some non-printables, which JSON forbids, so escape by hand.
+func jsonString(s string) string {
+	buf := make([]byte, 0, len(s)+2)
+	buf = append(buf, '"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		case '\r':
+			buf = append(buf, '\\', 'r')
+		case '\t':
+			buf = append(buf, '\\', 't')
+		default:
+			if r < 0x20 {
+				buf = append(buf, []byte(fmt.Sprintf(`\u%04x`, r))...)
+			} else {
+				buf = append(buf, string(r)...)
+			}
+		}
+	}
+	return string(append(buf, '"'))
+}
+
+// formatSeconds renders nanoseconds as seconds with enough precision for
+// Prometheus consumers, again without float rounding surprises.
+func formatSeconds(ns int64) string {
+	neg := ns < 0
+	if neg {
+		ns = -ns
+	}
+	s := fmt.Sprintf("%d.%09d", ns/1_000_000_000, ns%1_000_000_000)
+	// Trim trailing zeros but keep at least one fractional digit.
+	i := len(s) - 1
+	for i > 0 && s[i] == '0' && s[i-1] != '.' {
+		i--
+	}
+	s = s[:i+1]
+	if neg {
+		return "-" + s
+	}
+	return s
+}

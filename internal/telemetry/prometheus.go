@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WriteMetrics writes the registry in the Prometheus text exposition format
+// (version 0.0.4). Families are sorted by name and rows by label string, so
+// the dump is byte-identical for identical runs. Histogram buckets and sums
+// are rendered in seconds, as Prometheus convention expects.
+func (s *Sink) WriteMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r := s.Reg
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.fams[name]
+		keys := append([]string(nil), f.order...)
+		r.mu.Unlock()
+		sort.Strings(keys)
+
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range keys {
+			r.mu.Lock()
+			m := f.rows[key]
+			r.mu.Unlock()
+			switch v := m.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, key, strconv.FormatUint(v.Value(), 10))
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, key, strconv.FormatInt(v.Value(), 10))
+			case *Histogram:
+				var cum uint64
+				for i, b := range v.bounds {
+					cum += v.counts[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %s\n", f.name,
+						mergeLabel(key, "le", formatSeconds(b)),
+						strconv.FormatUint(cum, 10))
+				}
+				cum += v.counts[len(v.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %s\n", f.name,
+					mergeLabel(key, "le", "+Inf"), strconv.FormatUint(cum, 10))
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, key, formatSeconds(v.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %s\n", f.name, key,
+					strconv.FormatUint(v.Count(), 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// mergeLabel inserts an extra label into an existing "{a=...}" label string
+// (or creates one when the row has no labels).
+func mergeLabel(key, name, value string) string {
+	extra := fmt.Sprintf("%s=%q", name, value)
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return key[:len(key)-1] + "," + extra + "}"
+}
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format, for the -metrics-addr flag.
+func (s *Sink) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import "sync"
+
+// DefaultTrackCap is the per-track event capacity used when NewRecorder is
+// given a non-positive capacity: 64Ki events ≈ 2 MiB per track.
+const DefaultTrackCap = 1 << 16
+
+// Recorder owns the flight-recorder tracks and the label intern table.
+// Track creation and interning take a mutex (they happen at attach time);
+// appending to a track is wait-free and lock-free.
+type Recorder struct {
+	trackCap int
+
+	mu     sync.Mutex
+	tracks []*Track
+	byName map[string]*Track
+	labels []string
+	ids    map[string]uint16
+}
+
+// NewRecorder creates a recorder whose tracks hold trackCap events each,
+// rounded up to a power of two.
+func NewRecorder(trackCap int) *Recorder {
+	if trackCap <= 0 {
+		trackCap = DefaultTrackCap
+	}
+	cap := 1
+	for cap < trackCap {
+		cap <<= 1
+	}
+	return &Recorder{
+		trackCap: cap,
+		byName:   map[string]*Track{},
+		labels:   []string{""}, // id 0 is the empty label
+		ids:      map[string]uint16{"": 0},
+	}
+}
+
+// Track returns the named track, creating it on first use. Tracks are
+// single-writer: exactly one goroutine may Append to a given track. A nil
+// recorder returns a nil track, whose Append is a no-op.
+func (r *Recorder) Track(name string) *Track {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.byName[name]; ok {
+		return t
+	}
+	t := &Track{
+		name: name,
+		buf:  make([]Event, r.trackCap),
+		mask: uint64(r.trackCap - 1),
+	}
+	r.tracks = append(r.tracks, t)
+	r.byName[name] = t
+	return t
+}
+
+// Intern returns a stable id for the string, for use as Event.Label.
+// A nil recorder returns 0 (the empty label).
+func (r *Recorder) Intern(s string) uint16 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.ids[s]; ok {
+		return id
+	}
+	id := uint16(len(r.labels))
+	r.labels = append(r.labels, s)
+	r.ids[s] = id
+	return id
+}
+
+// LabelName resolves an interned label id.
+func (r *Recorder) LabelName(id uint16) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(id) < len(r.labels) {
+		return r.labels[id]
+	}
+	return ""
+}
+
+// Tracks returns the tracks in creation order.
+func (r *Recorder) Tracks() []*Track {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Track(nil), r.tracks...)
+}
+
+// Dropped returns the total number of overwritten (dropped-oldest) events
+// across all tracks.
+func (r *Recorder) Dropped() uint64 {
+	var total uint64
+	for _, t := range r.Tracks() {
+		total += t.Dropped()
+	}
+	return total
+}
+
+// Track is one fixed-capacity event ring with a single writer (one
+// goroutine / one simulated thread context). Append overwrites the oldest
+// event when the ring is full — the flight-recorder keeps the newest
+// window and counts what it dropped.
+type Track struct {
+	name string
+	buf  []Event
+	mask uint64
+	n    uint64
+}
+
+// Name returns the track name.
+func (t *Track) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Append records an event. It is wait-free: one slot store and one counter
+// increment, no allocation, no locks. Append must only be called by the
+// track's owning goroutine. A nil track ignores the event.
+func (t *Track) Append(ev Event) {
+	if t == nil {
+		return
+	}
+	t.buf[t.n&t.mask] = ev
+	t.n++
+}
+
+// Len returns the number of retained events (at most the track capacity).
+func (t *Track) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.n < uint64(len(t.buf)) {
+		return int(t.n)
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten because the ring was
+// full.
+func (t *Track) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	if t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Events returns the retained events in append order (oldest first). It
+// must not run concurrently with Append; exporters call it after the run.
+func (t *Track) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if t.n <= uint64(len(t.buf)) {
+		return append([]Event(nil), t.buf[:t.n]...)
+	}
+	head := t.n & t.mask
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[head:]...)
+	out = append(out, t.buf[:head]...)
+	return out
+}

@@ -1,0 +1,49 @@
+package vclock
+
+import (
+	"chainmon/internal/sim"
+	"chainmon/internal/telemetry"
+)
+
+// clockTel records the clock's PTP random-walk steps: one KindClockSync
+// event per correction interval (100 ms default — far below the event-ring
+// capacity) plus offset gauges.
+type clockTel struct {
+	track  *telemetry.Track
+	label  uint16
+	offset *telemetry.Gauge
+	absMax *telemetry.Gauge
+}
+
+// AttachTelemetry wires the clock to the sink. A nil sink leaves it dark.
+func (c *Clock) AttachTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	clock := telemetry.Label{Name: "clock", Value: c.name}
+	c.tel = &clockTel{
+		track: sink.Rec.Track("clock/" + c.name),
+		label: sink.Rec.Intern(c.name),
+		offset: sink.Reg.Gauge("chainmon_clock_offset_ns",
+			"Local-minus-global clock offset after the last sync step.", clock),
+		absMax: sink.Reg.Gauge("chainmon_clock_offset_abs_max_ns",
+			"Largest absolute clock offset observed.", clock),
+	}
+}
+
+func (t *clockTel) step(at sim.Time, offset sim.Duration) {
+	t.offset.Set(int64(offset))
+	abs := int64(offset)
+	if abs < 0 {
+		abs = -abs
+	}
+	// Single-writer (the sim goroutine), so a conditional Set keeps the
+	// exported value itself monotone — SetMax would only feed Max().
+	if abs > t.absMax.Value() {
+		t.absMax.Set(abs)
+	}
+	t.track.Append(telemetry.Event{
+		TS: int64(at), Arg: int64(offset),
+		Kind: telemetry.KindClockSync, Label: t.label,
+	})
+}

@@ -29,6 +29,8 @@ type Clock struct {
 	faultStep  sim.Duration
 	driftRate  float64 // injected drift, seconds per second
 	driftSince sim.Time
+
+	tel *clockTel // nil when uninstrumented
 }
 
 // Config parameterizes a clock.
@@ -80,6 +82,9 @@ func (c *Clock) At(global sim.Time) sim.Time {
 	for c.lastStep.Add(c.interval) <= global {
 		c.lastStep = c.lastStep.Add(c.interval)
 		c.walk.Next(c.rng)
+		if c.tel != nil {
+			c.tel.step(c.lastStep, c.walk.Value()+fault)
+		}
 	}
 	return global.Add(c.walk.Value() + fault)
 }
