@@ -21,7 +21,7 @@ import (
 // shorter run per iteration here).
 func BenchmarkFig9SegmentLatencies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunFig9(400, int64(i)+1)
+		r := experiments.RunFig9(400, int64(i)+1, 1)
 		if sim.Duration(r.ObjectsMon.Max()) > 105*sim.Millisecond {
 			b.Fatal("monitored latency bound violated")
 		}
@@ -33,7 +33,7 @@ func BenchmarkFig9SegmentLatencies(b *testing.B) {
 // temporal exception cases only.
 func BenchmarkFig10ExceptionLatencies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunFig9(400, int64(i)+1)
+		r := experiments.RunFig9(400, int64(i)+1, 1)
 		if r.ObjectsExc.Len() == 0 {
 			b.Fatal("no exception cases")
 		}
@@ -58,7 +58,7 @@ func BenchmarkFig11Overheads(b *testing.B) {
 // across load levels.
 func BenchmarkFig12RemoteExceptionEntry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.RunFig12(160, int64(i)+1, []float64{0, 0.9})
+		r := experiments.RunFig12(160, int64(i)+1, []float64{0, 0.9}, 1)
 		r.Report(io.Discard)
 	}
 }
@@ -67,7 +67,7 @@ func BenchmarkFig12RemoteExceptionEntry(b *testing.B) {
 // comparison of inter-arrival vs synchronization-based monitoring.
 func BenchmarkFig6RemoteMonitorComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.RunFig6(120, int64(i)+1)
+		rows := experiments.RunFig6(120, int64(i)+1, 1)
 		experiments.ReportFig6(io.Discard, rows)
 	}
 }
@@ -102,7 +102,7 @@ func BenchmarkBudgetSolver(b *testing.B) {
 func BenchmarkAblationEpsilon(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows := experiments.RunEpsilonAblation(150, int64(i)+1,
-			[]time.Duration{0, 200 * time.Microsecond, 500 * time.Microsecond})
+			[]time.Duration{0, 200 * time.Microsecond, 500 * time.Microsecond}, 1)
 		if rows[0].CompensatedFalsePos != 0 {
 			b.Fatal("false positives with the ε term")
 		}
@@ -113,14 +113,14 @@ func BenchmarkAblationEpsilon(b *testing.B) {
 func BenchmarkAblationDeadlineSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.RunDeadlineSweep(200, int64(i)+1,
-			[]time.Duration{60 * time.Millisecond, 100 * time.Millisecond, 140 * time.Millisecond})
+			[]time.Duration{60 * time.Millisecond, 100 * time.Millisecond, 140 * time.Millisecond}, 1)
 	}
 }
 
 // BenchmarkAblationBufferOrder runs the fixed-processing-order ablation.
 func BenchmarkAblationBufferOrder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.RunOrderAblation(200, int64(i)+1)
+		experiments.RunOrderAblation(200, int64(i)+1, 1)
 	}
 }
 

@@ -1,0 +1,161 @@
+// Command bench emits the repo's performance trajectory as machine-readable
+// JSON (BENCH_parallel.json in CI). It covers the two axes of the parallel
+// engine work:
+//
+//   - hot-path allocation cuts: kernel event scheduling with and without the
+//     pooled freelist, measured via testing.Benchmark;
+//   - parallel campaign throughput: the frozen 102-combo chaos matrix run
+//     serially and through the sharded worker pool, with the merged summaries
+//     byte-compared so the speedup number is only reported for identical
+//     output.
+//
+// The speedup is only meaningful on a multi-core host; the JSON therefore
+// records num_cpu and go_max_procs so a reader can tell a 1-CPU container
+// result (speedup ≈ 1×) from a real parallel run.
+//
+// Usage:
+//
+//	bench [-workers N] [-out BENCH_parallel.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"chainmon/internal/faultinject"
+	"chainmon/internal/sim"
+)
+
+type benchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type sweepResult struct {
+	Combos          int     `json:"combos"`
+	Workers         int     `json:"workers"`
+	SerialNs        int64   `json:"serial_ns"`
+	ParallelNs      int64   `json:"parallel_ns"`
+	Speedup         float64 `json:"speedup"`
+	IdenticalOutput bool    `json:"identical_output"`
+}
+
+type report struct {
+	GoVersion  string      `json:"go_version"`
+	NumCPU     int         `json:"num_cpu"`
+	GoMaxProcs int         `json:"go_max_procs"`
+	Benchmarks []benchRow  `json:"benchmarks"`
+	Sweep      sweepResult `json:"sweep"`
+}
+
+func main() {
+	workers := flag.Int("workers", 4, "worker pool size for the parallel sweep leg")
+	out := flag.String("out", "BENCH_parallel.json", "output JSON path (- for stdout)")
+	flag.Parse()
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		rep.Benchmarks = append(rep.Benchmarks, benchRow{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-24s %10.1f ns/op  %3d allocs/op  %4d B/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp(), r.AllocedBytesPerOp())
+	}
+
+	// Hot-path allocation cuts: the same self-rescheduling tick, first
+	// through the plain heap-allocating API, then through the freelist.
+	run("EventSchedule", func(b *testing.B) {
+		b.ReportAllocs()
+		k := sim.NewKernel()
+		n := 0
+		var tick sim.EventFunc
+		tick = func() {
+			if n++; n < b.N {
+				k.After(100, tick)
+			}
+		}
+		b.ResetTimer()
+		k.After(100, tick)
+		k.Run()
+	})
+	run("EventSchedulePooled", func(b *testing.B) {
+		b.ReportAllocs()
+		k := sim.NewKernel()
+		n := 0
+		var tick sim.EventFunc
+		tick = func() {
+			if n++; n < b.N {
+				k.AfterPooled(100, tick)
+			}
+		}
+		b.ResetTimer()
+		k.AfterPooled(100, tick)
+		k.Run()
+	})
+
+	// Campaign throughput on the frozen 102-combo reference matrix.
+	combos := faultinject.Matrix102()
+	fmt.Fprintf(os.Stderr, "sweep: %d combos, serial vs %d workers (GOMAXPROCS=%d)\n",
+		len(combos), *workers, runtime.GOMAXPROCS(0))
+
+	timeSweep := func(w int) (time.Duration, string) {
+		start := time.Now()
+		items := faultinject.RunSweep(combos, w)
+		elapsed := time.Since(start)
+		for _, it := range items {
+			if it.Err != nil {
+				log.Fatalf("sweep %s: %v", it.Combo, it.Err)
+			}
+		}
+		return elapsed, faultinject.MergedSummary(items)
+	}
+	// Warm up once so neither leg pays first-run costs, then measure.
+	timeSweep(1)
+	serialT, serialOut := timeSweep(1)
+	parT, parOut := timeSweep(*workers)
+
+	rep.Sweep = sweepResult{
+		Combos:          len(combos),
+		Workers:         *workers,
+		SerialNs:        serialT.Nanoseconds(),
+		ParallelNs:      parT.Nanoseconds(),
+		Speedup:         float64(serialT.Nanoseconds()) / float64(parT.Nanoseconds()),
+		IdenticalOutput: serialOut == parOut,
+	}
+	if !rep.Sweep.IdenticalOutput {
+		log.Fatal("parallel sweep output differs from serial — determinism broken, refusing to report a speedup")
+	}
+	fmt.Fprintf(os.Stderr, "sweep: serial %v, parallel %v, speedup %.2fx, identical output\n",
+		serialT, parT, rep.Sweep.Speedup)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -7,11 +7,13 @@
 //
 //	chainmon [-frames N] [-seed S] [-deadline D] [-loss P] [-full]
 //	         [-recover] [-trace out.json] [-faults campaign.json]
+//	         [-seeds N] [-parallel W]
 //	         [-telemetry-trace out.json] [-metrics-out metrics.prom]
 //	         [-telemetry-csv events.csv] [-metrics-addr :9090]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +24,7 @@ import (
 
 	"chainmon/internal/faultinject"
 	"chainmon/internal/monitor"
+	"chainmon/internal/parallel"
 	"chainmon/internal/perception"
 	"chainmon/internal/scenario"
 	"chainmon/internal/sim"
@@ -38,6 +41,8 @@ func main() {
 	traceOut := flag.String("trace", "", "also record an unmonitored trace to this JSON file")
 	configPath := flag.String("config", "", "JSON scenario file (flags are applied on top)")
 	faultsPath := flag.String("faults", "", "JSON fault-campaign file injected into the run (cross-checked by the ground-truth oracle with -full)")
+	seeds := flag.Int("seeds", 1, "run the scenario at N consecutive seeds starting at -seed; reports are merged in seed order")
+	workers := flag.Int("parallel", 0, "worker pool size for -seeds runs (0: GOMAXPROCS, 1: serial)")
 	telTrace := flag.String("telemetry-trace", "", "write the monitor's own flight-recorder trace (Chrome trace-event JSON, open in Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write the monitor's metrics as Prometheus text to this file after the run")
 	telCSV := flag.String("telemetry-csv", "", "write the flight-recorder events as CSV to this file")
@@ -106,9 +111,64 @@ func main() {
 		}
 	}
 
+	wantTelemetry := *telTrace != "" || *metricsOut != "" || *telCSV != "" || *metricsAddr != ""
+
+	if *seeds > 1 {
+		// Multi-seed sweep: each seed is an independent simulation sharded
+		// over the worker pool; the merged output is ordered by seed, so a
+		// parallel sweep prints exactly what the serial one would.
+		if wantTelemetry || *traceOut != "" {
+			log.Fatal("-telemetry-*/-metrics-*/-trace apply to a single run; drop them or use -seeds 1")
+		}
+		type outcome struct {
+			out   []byte
+			sound bool
+		}
+		results := parallel.Map(*workers, *seeds, func(shard int) outcome {
+			c := cfg
+			c.Seed = cfg.Seed + int64(shard)
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "### seed %d\n", c.Seed)
+			_, sound := runOne(c, camp, false, &buf)
+			return outcome{buf.Bytes(), sound}
+		})
+		allSound := true
+		for _, r := range results {
+			os.Stdout.Write(r.out)
+			allSound = allSound && r.sound
+		}
+		if !allSound {
+			os.Exit(1)
+		}
+		return
+	}
+
+	sink, sound := runOne(cfg, camp, wantTelemetry, os.Stdout)
+	if !sound {
+		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		writeTrace(*traceOut, cfg)
+	}
+
+	if sink != nil {
+		writeTelemetry(sink, *telTrace, *metricsOut, *telCSV)
+		if *metricsAddr != "" {
+			fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
+			http.Handle("/metrics", sink.Handler())
+			log.Fatal(http.ListenAndServe(*metricsAddr, nil))
+		}
+	}
+}
+
+// runOne builds the system for one configuration, runs it and writes the
+// full report to w. attachTel wires a telemetry sink (single-run only). The
+// returned flag is false when a fault-campaign oracle cross-check failed.
+func runOne(cfg perception.Config, camp faultinject.Campaign, attachTel bool, w io.Writer) (*telemetry.Sink, bool) {
 	s := perception.Build(cfg)
 	var sink *telemetry.Sink
-	if *telTrace != "" || *metricsOut != "" || *telCSV != "" || *metricsAddr != "" {
+	if attachTel {
 		sink = telemetry.NewSink(telemetry.DefaultTrackCap)
 		perception.AttachTelemetry(s, sink)
 	}
@@ -131,66 +191,55 @@ func main() {
 		if err := faultinject.NewInjector(sim.NewRNG(cfg.Seed)).Apply(camp, faultinject.TargetsOf(s)); err != nil {
 			log.Fatalf("applying fault campaign: %v", err)
 		}
-		fmt.Printf("fault campaign %q armed: %d faults\n", camp.Name, len(camp.Faults))
+		fmt.Fprintf(w, "fault campaign %q armed: %d faults\n", camp.Name, len(camp.Faults))
 	}
 	end := s.Run()
 
-	fmt.Printf("simulated %v of operation (%d frames at %v period)\n\n",
+	fmt.Fprintf(w, "simulated %v of operation (%d frames at %v period)\n\n",
 		sim.Duration(end), cfg.Frames, cfg.Period)
 
-	fmt.Println("evaluation segments on ECU2:")
+	fmt.Fprintln(w, "evaluation segments on ECU2:")
 	for _, seg := range []*monitor.LocalSegment{s.SegObjects, s.SegGround} {
 		st := seg.Stats()
-		fmt.Printf("  %s\n", st.Summary())
-		fmt.Printf("    %s\n", st.Latencies().Tukey().DurationRow("latency"))
+		fmt.Fprintf(w, "  %s\n", st.Summary())
+		fmt.Fprintf(w, "    %s\n", st.Latencies().Tukey().DurationRow("latency"))
 		if st.Exceptions() > 0 {
-			fmt.Printf("    %s\n", st.DetectionLatencies().Tukey().DurationRow("detection"))
+			fmt.Fprintf(w, "    %s\n", st.DetectionLatencies().Tukey().DurationRow("detection"))
 		}
 	}
 
-	fmt.Println("\nmonitor overheads (simulated):")
+	fmt.Fprintln(w, "\nmonitor overheads (simulated):")
 	for _, row := range s.MonECU2.Overheads().Rows() {
-		fmt.Printf("  %s\n", row)
+		fmt.Fprintf(w, "  %s\n", row)
 	}
 
 	if cfg.FullChain {
-		fmt.Println()
-		fmt.Print(s.ChainFront.Summary())
-		fmt.Print(s.ChainRear.Summary())
-		fmt.Printf("\nsupervisor final mode: %v\n", sup.Mode())
+		fmt.Fprintln(w)
+		fmt.Fprint(w, s.ChainFront.Summary())
+		fmt.Fprint(w, s.ChainRear.Summary())
+		fmt.Fprintf(w, "\nsupervisor final mode: %v\n", sup.Mode())
 		for _, ch := range sup.Changes() {
-			fmt.Printf("  %v  %v → %v (%s: %s)\n", ch.At, ch.From, ch.To, ch.Chain, ch.Reason)
+			fmt.Fprintf(w, "  %v  %v → %v (%s: %s)\n", ch.At, ch.From, ch.To, ch.Chain, ch.Reason)
 		}
 	}
 
+	sound := true
 	if oracle != nil {
 		rep := oracle.Check()
-		fmt.Println("\nground-truth oracle cross-check:")
+		fmt.Fprintln(w, "\nground-truth oracle cross-check:")
 		for _, sr := range rep.Segments {
-			fmt.Printf("  %s\n", sr)
+			fmt.Fprintf(w, "  %s\n", sr)
 		}
 		if rep.Ok() {
-			fmt.Println("  verdicts sound: no false negatives, exceptions within the ε-band")
+			fmt.Fprintln(w, "  verdicts sound: no false negatives, exceptions within the ε-band")
 		} else {
 			for _, v := range rep.Violations {
-				fmt.Printf("  VIOLATION %s\n", v)
+				fmt.Fprintf(w, "  VIOLATION %s\n", v)
 			}
-			os.Exit(1)
+			sound = false
 		}
 	}
-
-	if *traceOut != "" {
-		writeTrace(*traceOut, cfg)
-	}
-
-	if sink != nil {
-		writeTelemetry(sink, *telTrace, *metricsOut, *telCSV)
-		if *metricsAddr != "" {
-			fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
-			http.Handle("/metrics", sink.Handler())
-			log.Fatal(http.ListenAndServe(*metricsAddr, nil))
-		}
-	}
+	return sink, sound
 }
 
 // writeTelemetry dumps the sink to the requested files; an empty path skips

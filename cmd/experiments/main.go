@@ -23,6 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	fig := flag.String("fig", "all", "which figure to regenerate (3, 6, 9, 10, 11, 12, budget, ablations, all)")
 	fig11n := flag.Int("fig11n", 2000, "activations for the wall-clock Fig. 11 run")
+	workers := flag.Int("parallel", 0, "worker pool size for sharded runs (0: GOMAXPROCS, 1: serial)")
 	dump := flag.String("dump", "", "also dump raw samples as CSV files into this directory")
 	flag.Parse()
 
@@ -39,7 +40,7 @@ func main() {
 	}
 
 	if want("9") || want("10") {
-		r := experiments.RunFig9(*frames, *seed)
+		r := experiments.RunFig9(*frames, *seed, *workers)
 		if want("9") {
 			r.Report(w)
 		}
@@ -54,12 +55,12 @@ func main() {
 		dumpSamples(r.Samples())
 	}
 	if want("12") {
-		r := experiments.RunFig12(800, *seed, []float64{0, 0.5, 0.9})
+		r := experiments.RunFig12(800, *seed, []float64{0, 0.5, 0.9}, *workers)
 		r.Report(w)
 		dumpSamples(r.Samples())
 	}
 	if want("6") {
-		rows := experiments.RunFig6(500, *seed)
+		rows := experiments.RunFig6(500, *seed, *workers)
 		experiments.ReportFig6(w, rows)
 	}
 	if want("budget") {
@@ -72,12 +73,12 @@ func main() {
 	}
 	if want("ablations") {
 		experiments.ReportEpsilonAblation(w, experiments.RunEpsilonAblation(500, *seed,
-			[]time.Duration{0, 50 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond}))
+			[]time.Duration{0, 50 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond}, *workers))
 		experiments.ReportDeadlineSweep(w, experiments.RunDeadlineSweep(minInt(*frames, 1000), *seed,
 			[]time.Duration{60 * time.Millisecond, 80 * time.Millisecond, 100 * time.Millisecond,
-				120 * time.Millisecond, 140 * time.Millisecond}))
-		experiments.ReportOrderAblation(w, experiments.RunOrderAblation(minInt(*frames, 1000), *seed))
-		experiments.ReportMigrationAblation(w, experiments.RunMigrationAblation(minInt(*frames, 1000), *seed))
+				120 * time.Millisecond, 140 * time.Millisecond}, *workers))
+		experiments.ReportOrderAblation(w, experiments.RunOrderAblation(minInt(*frames, 1000), *seed, *workers))
+		experiments.ReportMigrationAblation(w, experiments.RunMigrationAblation(minInt(*frames, 1000), *seed, *workers))
 	}
 	if *fig != "all" && !isKnown(*fig) {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)

@@ -7,6 +7,7 @@ import (
 	"chainmon/internal/dds"
 	"chainmon/internal/monitor"
 	"chainmon/internal/netsim"
+	"chainmon/internal/parallel"
 	"chainmon/internal/perception"
 	"chainmon/internal/sim"
 	"chainmon/internal/stats"
@@ -35,7 +36,9 @@ type EpsilonRow struct {
 // false positives of the synchronization-based remote monitor with and
 // without the ε term in d_mon (the paper: d_mon = BCRT + J^R + J^a + ε).
 // All traffic is delivered on time, so every raised exception is spurious.
-func RunEpsilonAblation(activations int, seed int64, epsilons []sim.Duration) []EpsilonRow {
+// The sweep points are independent simulations and are sharded over the
+// worker pool (workers ≤ 0: GOMAXPROCS; 1: serial).
+func RunEpsilonAblation(activations int, seed int64, epsilons []sim.Duration, workers int) []EpsilonRow {
 	period := 100 * sim.Millisecond
 	// The link: fixed BCRT, bounded jitter. Slack beyond BCRT+J^R is tiny
 	// so that uncompensated clock error shows up immediately.
@@ -82,16 +85,14 @@ func RunEpsilonAblation(activations int, seed int64, epsilons []sim.Duration) []
 		return miss
 	}
 
-	var rows []EpsilonRow
-	for _, eps := range epsilons {
-		rows = append(rows, EpsilonRow{
+	return parallel.MapSlice(workers, epsilons, func(shard int, eps sim.Duration) EpsilonRow {
+		return EpsilonRow{
 			Epsilon:               eps,
 			CompensatedFalsePos:   run(eps, true),
 			UncompensatedFalsePos: run(eps, false),
 			Activations:           activations,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // ReportEpsilonAblation prints the sweep.
@@ -122,9 +123,10 @@ type DeadlineRow struct {
 // segments and reports the resulting miss counts — the trade-off between
 // reaction time and miss rate that the Section III-C budgeting resolves
 // against the (m,k) constraint.
-func RunDeadlineSweep(frames int, seed int64, deadlines []sim.Duration) []DeadlineRow {
-	var rows []DeadlineRow
-	for _, dmon := range deadlines {
+// The sweep points are independent simulations and are sharded over the
+// worker pool (workers ≤ 0: GOMAXPROCS; 1: serial).
+func RunDeadlineSweep(frames int, seed int64, deadlines []sim.Duration, workers int) []DeadlineRow {
+	return parallel.MapSlice(workers, deadlines, func(shard int, dmon sim.Duration) DeadlineRow {
 		cfg := perception.DefaultConfig()
 		cfg.Frames = frames
 		cfg.Seed = seed
@@ -133,15 +135,14 @@ func RunDeadlineSweep(frames int, seed int64, deadlines []sim.Duration) []Deadli
 		s.Run()
 		_, _, om := s.SegObjects.Stats().Counts()
 		_, _, gm := s.SegGround.Stats().Counts()
-		rows = append(rows, DeadlineRow{
+		return DeadlineRow{
 			DMon:          dmon,
 			ObjectsMisses: om,
 			GroundMisses:  gm,
 			Activations:   frames,
 			MaxLatency:    sim.Duration(s.SegObjects.Stats().Latencies().Max()),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // ReportDeadlineSweep prints the sweep.
@@ -170,7 +171,9 @@ type MigrationRow struct {
 // against two static partitions of ECU2: a balanced one (the heavy
 // services isolated on distinct cores) and a pathological colocated one
 // (all heavy services share a core).
-func RunMigrationAblation(frames int, seed int64) []MigrationRow {
+// The three runs are independent simulations and are sharded over the
+// worker pool (workers ≤ 0: GOMAXPROCS; 1: serial).
+func RunMigrationAblation(frames int, seed int64, workers int) []MigrationRow {
 	run := func(partition, name string) MigrationRow {
 		cfg := perception.DefaultConfig()
 		cfg.Frames = frames
@@ -192,11 +195,14 @@ func RunMigrationAblation(frames int, seed int64) []MigrationRow {
 			Activations:   obj.Len(),
 		}
 	}
-	return []MigrationRow{
-		run("", "global (migration, paper)"),
-		run("balanced", "partitioned, balanced"),
-		run("colocated", "partitioned, colocated"),
+	setups := []struct{ partition, name string }{
+		{"", "global (migration, paper)"},
+		{"balanced", "partitioned, balanced"},
+		{"colocated", "partitioned, colocated"},
 	}
+	return parallel.MapSlice(workers, setups, func(shard int, s struct{ partition, name string }) MigrationRow {
+		return run(s.partition, s.name)
+	})
 }
 
 // ReportMigrationAblation prints the comparison.
@@ -225,7 +231,9 @@ type OrderRow struct {
 // RunOrderAblation flips the monitor thread's fixed buffer processing order
 // (objects-first, as in the evaluation, vs ground-first) and measures which
 // segment's exception handling is delayed behind the other's.
-func RunOrderAblation(frames int, seed int64) []OrderRow {
+// The two runs are independent simulations and are sharded over the worker
+// pool (workers ≤ 0: GOMAXPROCS; 1: serial).
+func RunOrderAblation(frames int, seed int64, workers int) []OrderRow {
 	run := func(groundFirst bool) OrderRow {
 		cfg := perception.DefaultConfig()
 		cfg.Frames = frames
@@ -253,7 +261,9 @@ func RunOrderAblation(frames int, seed int64) []OrderRow {
 		}
 		return OrderRow{Order: name, MeanJointGap: sim.Duration(gaps.Mean()), JointCount: gaps.Len()}
 	}
-	return []OrderRow{run(false), run(true)}
+	return parallel.Map(workers, 2, func(shard int) OrderRow {
+		return run(shard == 1)
+	})
 }
 
 // ReportOrderAblation prints the comparison.

@@ -11,7 +11,7 @@ import (
 func TestEpsilonAblation(t *testing.T) {
 	rows := RunEpsilonAblation(200, 7, []sim.Duration{
 		0, 50 * sim.Microsecond, 200 * sim.Microsecond, 500 * sim.Microsecond,
-	})
+	}, 2)
 	for _, r := range rows {
 		// The paper's formula (ε included) never produces false positives.
 		if r.CompensatedFalsePos != 0 {
@@ -37,7 +37,7 @@ func TestEpsilonAblation(t *testing.T) {
 func TestDeadlineSweepMonotone(t *testing.T) {
 	rows := RunDeadlineSweep(200, 8, []sim.Duration{
 		60 * sim.Millisecond, 100 * sim.Millisecond, 140 * sim.Millisecond,
-	})
+	}, 2)
 	for i := 1; i < len(rows); i++ {
 		if rows[i].ObjectsMisses > rows[i-1].ObjectsMisses {
 			t.Errorf("objects misses rose with a looser deadline: %d@%v → %d@%v",
@@ -61,7 +61,7 @@ func TestDeadlineSweepMonotone(t *testing.T) {
 }
 
 func TestMigrationAblation(t *testing.T) {
-	rows := RunMigrationAblation(300, 10)
+	rows := RunMigrationAblation(300, 10, 1)
 	if len(rows) != 3 {
 		t.Fatal("want three rows")
 	}
@@ -88,7 +88,7 @@ func TestMigrationAblation(t *testing.T) {
 }
 
 func TestOrderAblationFlipsGap(t *testing.T) {
-	rows := RunOrderAblation(300, 9)
+	rows := RunOrderAblation(300, 9, 1)
 	if len(rows) != 2 {
 		t.Fatal("want two rows")
 	}

@@ -11,7 +11,7 @@ import (
 )
 
 func TestFig9ShapeHolds(t *testing.T) {
-	r := RunFig9(400, 1)
+	r := RunFig9(400, 1, 1)
 
 	// Claim 1: without monitoring, latencies show a heavy tail well above
 	// the deadline (paper: up to ~600 ms at a 100 ms deadline).
@@ -51,7 +51,7 @@ func TestFig9ShapeHolds(t *testing.T) {
 }
 
 func TestFig10ExceptionLatenciesBounded(t *testing.T) {
-	r := RunFig9(400, 2)
+	r := RunFig9(400, 2, 1)
 	if r.ObjectsExc.Len() == 0 || r.GroundExc.Len() == 0 {
 		t.Fatal("no exception cases")
 	}
@@ -115,7 +115,7 @@ func TestFig11RealOverheads(t *testing.T) {
 }
 
 func TestFig12VariantOrdering(t *testing.T) {
-	r := RunFig12(240, 3, []float64{0, 0.5, 0.9})
+	r := RunFig12(240, 3, []float64{0, 0.5, 0.9}, 1)
 	ddsLow := r.Entries["dds-context @ 0% load"]
 	ddsHigh := r.Entries["dds-context @ 90% load"]
 	monHigh := r.Entries["monitor-thread @ 90% load"]
@@ -148,7 +148,7 @@ func TestFig12VariantOrdering(t *testing.T) {
 }
 
 func TestFig6Claims(t *testing.T) {
-	rows := RunFig6(120, 4)
+	rows := RunFig6(120, 4, 1)
 	byName := map[string]Fig6Row{}
 	for _, r := range rows {
 		byName[r.Scenario] = r

@@ -7,6 +7,7 @@ import (
 	"chainmon/internal/dds"
 	"chainmon/internal/monitor"
 	"chainmon/internal/netsim"
+	"chainmon/internal/parallel"
 	"chainmon/internal/sim"
 	"chainmon/internal/stats"
 	"chainmon/internal/vclock"
@@ -28,14 +29,27 @@ type Fig12Result struct {
 // increasing interfering load for both placement variants. The paper
 // measures only the DDS-context variant (~100 µs median, outliers near
 // 2 ms under light load) and proposes the monitor-thread variant.
-func RunFig12(samples int, seed int64, loads []float64) Fig12Result {
-	res := Fig12Result{Loads: loads, Entries: make(map[string]*stats.Sample)}
+// The variant × load grid cells are independent simulations and are sharded
+// over the worker pool (workers ≤ 0: GOMAXPROCS; 1: serial).
+func RunFig12(samples int, seed int64, loads []float64, workers int) Fig12Result {
+	type cell struct {
+		variant monitor.RemoteVariant
+		load    float64
+	}
+	cells := make([]cell, 0, 2*len(loads))
 	for _, variant := range []monitor.RemoteVariant{monitor.VariantDDSContext, monitor.VariantMonitorThread} {
 		for _, load := range loads {
-			key := fmt.Sprintf("%s @ %.0f%% load", variant, load*100)
-			res.order = append(res.order, key)
-			res.Entries[key] = runFig12Once(samples, seed, variant, load)
+			cells = append(cells, cell{variant, load})
 		}
+	}
+	entries := parallel.MapSlice(workers, cells, func(shard int, c cell) *stats.Sample {
+		return runFig12Once(samples, seed, c.variant, c.load)
+	})
+	res := Fig12Result{Loads: loads, Entries: make(map[string]*stats.Sample, len(cells))}
+	for i, c := range cells {
+		key := fmt.Sprintf("%s @ %.0f%% load", c.variant, c.load*100)
+		res.order = append(res.order, key)
+		res.Entries[key] = entries[i]
 	}
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"chainmon/internal/dds"
 	"chainmon/internal/monitor"
 	"chainmon/internal/netsim"
+	"chainmon/internal/parallel"
 	"chainmon/internal/sim"
 	"chainmon/internal/vclock"
 	"chainmon/internal/weaklyhard"
@@ -63,7 +64,9 @@ type Fig6Row struct {
 // network lateness (each arrival within t_max of the previous one while the
 // absolute latency grows without bound — provably invisible to
 // inter-arrival supervision), and bursty loss.
-func RunFig6(activations int, seed int64) []Fig6Row {
+// The scenarios are independent simulations and are sharded over the worker
+// pool (workers ≤ 0: GOMAXPROCS; 1: serial).
+func RunFig6(activations int, seed int64, workers int) []Fig6Row {
 	period := 100 * sim.Millisecond
 	dmon := 20 * sim.Millisecond
 	scenarios := []Fig6Scenario{
@@ -83,11 +86,9 @@ func RunFig6(activations int, seed int64) []Fig6Row {
 			Drop:     func(n uint64) bool { return n%16 >= 12 }, // 4 consecutive lost per 16
 		},
 	}
-	var rows []Fig6Row
-	for _, sc := range scenarios {
-		rows = append(rows, runFig6Scenario(sc, activations, seed, period, dmon))
-	}
-	return rows
+	return parallel.MapSlice(workers, scenarios, func(shard int, sc Fig6Scenario) Fig6Row {
+		return runFig6Scenario(sc, activations, seed, period, dmon)
+	})
 }
 
 func runFig6Scenario(sc Fig6Scenario, activations int, seed int64, period, dmon sim.Duration) Fig6Row {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"chainmon/internal/parallel"
 	"chainmon/internal/perception"
 	"chainmon/internal/sim"
 	"chainmon/internal/stats"
@@ -42,7 +43,9 @@ type Fig9Result struct {
 // RunFig9 reproduces Figs. 9 and 10: segment latencies on ECU2 with and
 // without monitoring (one unmonitored recording run, one monitored run with
 // the paper's 100 ms segment deadline), and the exception-case latencies.
-func RunFig9(frames int, seed int64) Fig9Result {
+// The two runs are independent simulations and are sharded over the worker
+// pool (workers ≤ 0: GOMAXPROCS; 1: serial).
+func RunFig9(frames int, seed int64, workers int) Fig9Result {
 	base := perception.DefaultConfig()
 	base.Frames = frames
 	base.Seed = seed
@@ -50,13 +53,19 @@ func RunFig9(frames int, seed int64) Fig9Result {
 	unmon := base
 	unmon.Monitored = false
 	unmon.Record = true
-	su := perception.Build(unmon)
-	su.Run()
-	tr := su.Recorder.Trace()
-
 	mon := base
-	sm := perception.Build(mon)
-	sm.Run()
+
+	var su, sm *perception.System
+	parallel.ForEach(workers, 2, func(shard int) {
+		if shard == 0 {
+			su = perception.Build(unmon)
+			su.Run()
+		} else {
+			sm = perception.Build(mon)
+			sm.Run()
+		}
+	})
+	tr := su.Recorder.Trace()
 
 	gap := stats.NewSample()
 	objEntry := make(map[uint64]sim.Time)

@@ -20,7 +20,7 @@ var update = flag.Bool("update", false, "rewrite the golden files from the curre
 //	go test ./internal/experiments -run TestFig9DumpGolden -update
 func TestFig9DumpGolden(t *testing.T) {
 	dir := t.TempDir()
-	if err := DumpCSV(dir, RunFig9(30, 3).Samples()); err != nil {
+	if err := DumpCSV(dir, RunFig9(30, 3, 1).Samples()); err != nil {
 		t.Fatal(err)
 	}
 

@@ -22,7 +22,11 @@
 //     link (a retransmitting switch port; arrivals leave FIFO order, the
 //     stale-sample case for the remote monitor's activation matching);
 //   - duplicate: messages delivered twice on a netsim link (a DDS reliable-QoS
-//     retransmission racing its own ack — the late copy must be discarded).
+//     retransmission racing its own ack — the late copy must be discarded);
+//   - ptp-asym: an asymmetric PTP offset, stepping two clocks in opposite
+//     directions (an asymmetric-path delay error splitting the correction
+//     between master and slave — the relative error across the link is twice
+//     the per-clock offset, the worst case for remote timestamping).
 //
 // Campaigns are plain JSON so they can be stored next to scenarios and run
 // from the CLI (cmd/chainmon -faults). All randomness is drawn from RNG
@@ -72,6 +76,7 @@ const (
 	TypeSensorDropout = "sensor-dropout"
 	TypeReorder       = "reorder"
 	TypeDuplicate     = "duplicate"
+	TypePTPAsym       = "ptp-asym"
 )
 
 // Spec describes one fault. Type selects the fault; From/Until bound its
@@ -87,9 +92,11 @@ type Spec struct {
 	// dds.Domain.Link, e.g. "ecu1" → "ecu2" or "front-lidar" → "ecu1".
 	LinkFrom string `json:"link_from,omitempty"`
 	LinkTo   string `json:"link_to,omitempty"`
-	// Clock is the clock owner (clock-step, clock-drift): an ECU or device
-	// name.
-	Clock string `json:"clock,omitempty"`
+	// Clock is the clock owner (clock-step, clock-drift, ptp-asym): an ECU
+	// or device name. ClockPeer is the second clock of a ptp-asym fault; it
+	// is stepped by -Offset while Clock is stepped by +Offset.
+	Clock     string `json:"clock,omitempty"`
+	ClockPeer string `json:"clock_peer,omitempty"`
 	// ECU is the overload target.
 	ECU string `json:"ecu,omitempty"`
 	// Device is the sensor-dropout target.
@@ -198,6 +205,16 @@ func (s *Spec) Validate() error {
 		if s.DriftPPM == 0 {
 			return fmt.Errorf("faultinject: %s needs a non-zero drift_ppm", s.Type)
 		}
+	case TypePTPAsym:
+		if s.Clock == "" || s.ClockPeer == "" {
+			return fmt.Errorf("faultinject: %s needs clock and clock_peer targets", s.Type)
+		}
+		if s.Clock == s.ClockPeer {
+			return fmt.Errorf("faultinject: %s: clock and clock_peer are both %q", s.Type, s.Clock)
+		}
+		if s.Offset == 0 {
+			return fmt.Errorf("faultinject: %s needs a non-zero offset", s.Type)
+		}
 	case TypeOverload:
 		if s.ECU == "" {
 			return fmt.Errorf("faultinject: %s needs an ecu target", s.Type)
@@ -249,7 +266,10 @@ func (s *Spec) Validate() error {
 // window itself must be bounded for drift faults to contribute).
 func (s *Spec) maxClockError(horizon sim.Duration) sim.Duration {
 	switch s.Type {
-	case TypeClockStep:
+	case TypeClockStep, TypePTPAsym:
+		// ptp-asym steps each clock by |Offset|; the per-clock error the
+		// oracle bands against is |Offset| (the 2·|Offset| relative error
+		// across the link is covered by the oracle's 2·ε band structure).
 		return absDur(sim.Duration(s.Offset))
 	case TypeClockDrift:
 		win := horizon

@@ -9,54 +9,25 @@ import (
 	"chainmon/internal/sim"
 )
 
-// chaosFrames keeps a single campaign run at 12 s of virtual time.
-const chaosFrames = 120
-
-// interArrivalTMax is the supervision bound of the baseline inter-arrival
-// monitor attached to every chaos run: period plus enough headroom that the
-// nominal activation and link jitter never trips it (the paper's t_max
-// dilemma — any tighter bound false-positives on jitter).
-const interArrivalTMax = 135 * sim.Millisecond
-
-type chaosRun struct {
-	sys    *perception.System
-	oracle *Oracle
-	report Report
-	iam    *monitor.InterArrivalMonitor
-}
-
-// runCampaign builds a full-chain perception system, injects the campaign,
-// wires the ground-truth oracle and runs to completion.
-func runCampaign(t *testing.T, seed int64, camp Campaign, variant monitor.RemoteVariant) *chaosRun {
+// runCampaign is the test-side wrapper of RunCombo: build a full-chain
+// perception system, inject the campaign, wire the ground-truth oracle and
+// run to completion.
+func runCampaign(t *testing.T, seed int64, camp Campaign, variant monitor.RemoteVariant) *Run {
 	t.Helper()
-	cfg := perception.DefaultConfig()
-	cfg.Seed = seed
-	cfg.Frames = chaosFrames
-	cfg.FullChain = true
-	cfg.RemoteVariant = variant
-	sys := perception.Build(cfg)
-
-	iam := monitor.NewInterArrivalMonitor(sys.ClassifierSub, interArrivalTMax)
-	drain := sim.Time(cfg.Frames) * sim.Time(cfg.Period)
-	sys.K.At(drain.Add(5*sim.Second), iam.Stop)
-
-	orc := ForPerception(sys, camp)
-	if err := NewInjector(sim.NewRNG(seed)).Apply(camp, TargetsOf(sys)); err != nil {
-		t.Fatalf("apply campaign %q: %v", camp.Name, err)
+	run, err := RunCombo(Combo{Campaign: camp, Seed: seed, Variant: variant})
+	if err != nil {
+		t.Fatal(err)
 	}
-	sys.Run()
-	return &chaosRun{sys: sys, oracle: orc, report: orc.Check(), iam: iam}
+	return run
 }
 
 func segReport(t *testing.T, r Report, name string) SegmentReport {
 	t.Helper()
-	for _, s := range r.Segments {
-		if s.Name == name {
-			return s
-		}
+	s, ok := r.Segment(name)
+	if !ok {
+		t.Fatalf("no segment report %q", name)
 	}
-	t.Fatalf("no segment report %q", name)
-	return SegmentReport{}
+	return s
 }
 
 func segTruth(t *testing.T, o *Oracle, name string) *SegmentTruth {
@@ -70,128 +41,13 @@ func segTruth(t *testing.T, o *Oracle, name string) *SegmentTruth {
 	return nil
 }
 
-// chaosCampaigns is the fault matrix: one campaign per fault type plus a
-// combined one. The sanity check asserts that the campaign actually bit
-// (faults that do nothing would make the zero-false-negative assertion
-// vacuous).
-func chaosCampaigns() []struct {
-	camp   Campaign
-	sanity func(t *testing.T, run *chaosRun)
-} {
-	sec := func(n float64) Duration { return Duration(n * float64(sim.Second)) }
-	return []struct {
-		camp   Campaign
-		sanity func(t *testing.T, run *chaosRun)
-	}{
-		{
-			// Correlated loss bursts on the inter-ECU link: the fused
-			// remote segment must detect every lost sample.
-			camp: Campaign{Name: "burst-loss", Faults: []Spec{{
-				Type: TypeBurstLoss, From: sec(2), Until: sec(10),
-				LinkFrom: "ecu1", LinkTo: "ecu2",
-				PEnterBurst: 0.05, PExitBurst: 0.3,
-			}}},
-			sanity: func(t *testing.T, run *chaosRun) {
-				s := segReport(t, run.report, perception.SegFusedRemote)
-				if s.Lost == 0 {
-					t.Errorf("burst-loss campaign lost nothing on %s", s.Name)
-				}
-			},
-		},
-		{
-			// A constant latency shift beyond the remote deadline: arrivals
-			// stay periodic while every sample is late — the consecutive-miss
-			// pattern of §IV-B.
-			camp: Campaign{Name: "latency-shift", Faults: []Spec{{
-				Type: TypeLatencySpike, From: sec(1),
-				LinkFrom: "ecu1", LinkTo: "ecu2",
-				Delay: Duration(30 * sim.Millisecond),
-			}}},
-			sanity: func(t *testing.T, run *chaosRun) {
-				s := segReport(t, run.report, perception.SegFusedRemote)
-				if s.Exception < 50 {
-					t.Errorf("latency-shift: expected ≥50 detections, got %+v", s)
-				}
-			},
-		},
-		{
-			// A mis-ranked grandmaster steps the ECU1 clock by more than the
-			// remote deadline: the front/rear remote monitors must fire (the
-			// perceived latency includes the clock error), and the oracle's
-			// widened slack band must absorb the pessimism.
-			camp: Campaign{Name: "clock-step", Faults: []Spec{{
-				Type: TypeClockStep, From: sec(3), Until: sec(9),
-				Clock: "ecu1", Offset: Duration(25 * sim.Millisecond),
-			}}},
-			sanity: func(t *testing.T, run *chaosRun) {
-				s := segReport(t, run.report, perception.SegFrontRemote)
-				if s.Exception == 0 {
-					t.Errorf("clock-step: expected detections on %s", s.Name)
-				}
-			},
-		},
-		{
-			// An unmodelled frequency error on the front lidar clock: stays
-			// within the widened bands, no verdict may flip.
-			camp: Campaign{Name: "clock-drift", Faults: []Spec{{
-				Type: TypeClockDrift, From: sec(2), Until: sec(10),
-				Clock: "front-lidar", DriftPPM: 500,
-			}}},
-			sanity: func(t *testing.T, run *chaosRun) {},
-		},
-		{
-			// Transient ECU2 overload: high-priority interference starves the
-			// receive path and the executors; the monitor thread (highest
-			// priority) must keep detecting.
-			camp: Campaign{Name: "overload", Faults: []Spec{{
-				Type: TypeOverload, From: sec(4), Until: sec(7),
-				ECU: "ecu2", Utilization: 0.9,
-			}}},
-			sanity: func(t *testing.T, run *chaosRun) {
-				total := 0
-				for _, s := range run.report.Segments {
-					total += s.Exception
-				}
-				if total == 0 {
-					t.Errorf("overload campaign caused no detections at all")
-				}
-			},
-		},
-		{
-			// The front lidar blanks out for 1.5 s: the front remote monitor
-			// must convert the sequence gap into per-activation exceptions.
-			camp: Campaign{Name: "sensor-dropout", Faults: []Spec{{
-				Type: TypeSensorDropout, From: sec(5), Until: sec(6.5),
-				Device: "front-lidar",
-			}}},
-			sanity: func(t *testing.T, run *chaosRun) {
-				s := segReport(t, run.report, perception.SegFrontRemote)
-				if s.Exception < 10 {
-					t.Errorf("sensor-dropout: expected ≥10 detections on %s, got %d", s.Name, s.Exception)
-				}
-			},
-		},
-		{
-			// Everything at once, at survivable magnitudes.
-			camp: Campaign{Name: "kitchen-sink", Faults: []Spec{
-				{Type: TypeBurstLoss, From: sec(2), Until: sec(8),
-					LinkFrom: "front-lidar", LinkTo: "ecu1",
-					PEnterBurst: 0.08, PExitBurst: 0.4},
-				{Type: TypeClockStep, From: sec(2), Until: sec(8),
-					Clock: "ecu1", Offset: Duration(sim.Millisecond)},
-				{Type: TypeLatencySpike, From: sec(3), Until: sec(5),
-					LinkFrom: "ecu1", LinkTo: "ecu2",
-					Delay: Duration(5 * sim.Millisecond), DelayJitter: Duration(5 * sim.Millisecond)},
-				{Type: TypeOverload, From: sec(6), Until: sec(8),
-					ECU: "ecu2", Utilization: 0.5},
-			}},
-			sanity: func(t *testing.T, run *chaosRun) {
-				s := segReport(t, run.report, perception.SegFrontRemote)
-				if s.Lost == 0 && s.Exception == 0 {
-					t.Errorf("kitchen-sink: front link bursts had no effect")
-				}
-			},
-		},
+func checkSanity(t *testing.T, e MatrixEntry, run *Run) {
+	t.Helper()
+	if e.Sanity == nil {
+		return
+	}
+	if err := e.Sanity(run); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -203,16 +59,16 @@ func TestChaosMatrix(t *testing.T) {
 		t.Skip("chaos matrix is not a -short test")
 	}
 	seeds := []int64{11, 22, 33}
-	for _, c := range chaosCampaigns() {
+	for _, e := range ChaosCampaigns() {
 		for _, seed := range seeds {
-			c, seed := c, seed
-			t.Run(fmt.Sprintf("%s/seed%d", c.camp.Name, seed), func(t *testing.T) {
+			e, seed := e, seed
+			t.Run(fmt.Sprintf("%s/seed%d", e.Campaign.Name, seed), func(t *testing.T) {
 				t.Parallel()
-				run := runCampaign(t, seed, c.camp, monitor.VariantMonitorThread)
-				if !run.report.Ok() {
-					t.Errorf("oracle invariants violated:\n%s", run.report.Summary())
+				run := runCampaign(t, seed, e.Campaign, monitor.VariantMonitorThread)
+				if !run.Report.Ok() {
+					t.Errorf("oracle invariants violated:\n%s", run.Report.Summary())
 				}
-				c.sanity(t, run)
+				checkSanity(t, e, run)
 			})
 		}
 	}
@@ -225,19 +81,18 @@ func TestChaosDDSContext(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos matrix is not a -short test")
 	}
-	all := chaosCampaigns()
-	for _, c := range all {
-		if c.camp.Name != "burst-loss" && c.camp.Name != "latency-shift" {
+	for _, e := range ChaosCampaigns() {
+		if e.Campaign.Name != "burst-loss" && e.Campaign.Name != "latency-shift" {
 			continue
 		}
-		c := c
-		t.Run(c.camp.Name, func(t *testing.T) {
+		e := e
+		t.Run(e.Campaign.Name, func(t *testing.T) {
 			t.Parallel()
-			run := runCampaign(t, 11, c.camp, monitor.VariantDDSContext)
-			if !run.report.Ok() {
-				t.Errorf("oracle invariants violated:\n%s", run.report.Summary())
+			run := runCampaign(t, 11, e.Campaign, monitor.VariantDDSContext)
+			if !run.Report.Ok() {
+				t.Errorf("oracle invariants violated:\n%s", run.Report.Summary())
 			}
-			c.sanity(t, run)
+			checkSanity(t, e, run)
 		})
 	}
 }
@@ -247,15 +102,15 @@ func TestChaosDDSContext(t *testing.T) {
 // (losses still occur and must still be detected).
 func TestOracleCleanRun(t *testing.T) {
 	run := runCampaign(t, 5, Campaign{Name: "none"}, monitor.VariantMonitorThread)
-	if !run.report.Ok() {
-		t.Errorf("oracle invariants violated on a fault-free run:\n%s", run.report.Summary())
+	if !run.Report.Ok() {
+		t.Errorf("oracle invariants violated on a fault-free run:\n%s", run.Report.Summary())
 	}
 	checked := 0
-	for _, s := range run.report.Segments {
+	for _, s := range run.Report.Segments {
 		checked += s.Checked
 	}
 	if checked < 5*chaosFrames {
-		t.Errorf("oracle checked only %d activations across %d segments", checked, len(run.report.Segments))
+		t.Errorf("oracle checked only %d activations across %d segments", checked, len(run.Report.Segments))
 	}
 }
 
@@ -270,12 +125,12 @@ func TestInterArrivalBlindSpot(t *testing.T) {
 		Delay: Duration(30 * sim.Millisecond),
 	}}}
 	run := runCampaign(t, 7, camp, monitor.VariantMonitorThread)
-	if !run.report.Ok() {
-		t.Errorf("oracle invariants violated:\n%s", run.report.Summary())
+	if !run.Report.Ok() {
+		t.Errorf("oracle invariants violated:\n%s", run.Report.Summary())
 	}
 
-	fused := segTruth(t, run.oracle, perception.SegFusedRemote)
-	audit := AuditInterArrival(fused, run.iam, sim.Time(2*sim.Second), sim.Time(12*sim.Second))
+	fused := segTruth(t, run.Oracle, perception.SegFusedRemote)
+	audit := AuditInterArrival(fused, run.IAM, sim.Time(2*sim.Second), sim.Time(12*sim.Second))
 	if audit.TrueViolations < 50 {
 		t.Fatalf("latency shift produced only %d true violations", audit.TrueViolations)
 	}
@@ -285,7 +140,7 @@ func TestInterArrivalBlindSpot(t *testing.T) {
 	}
 	// The synchronization-based monitor, by contrast, flagged them all
 	// (guaranteed by the oracle's false-negative check above).
-	s := segReport(t, run.report, perception.SegFusedRemote)
+	s := segReport(t, run.Report, perception.SegFusedRemote)
 	if s.TrueLate < 50 {
 		t.Errorf("expected ≥50 contract-late activations, got %+v", s)
 	}

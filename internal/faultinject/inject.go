@@ -83,6 +83,8 @@ func (in *Injector) Apply(c Campaign, tgt Targets) error {
 			err = in.applyLatencySpike(s, tgt, rng)
 		case TypeClockStep, TypeClockDrift:
 			err = in.applyClockFault(s, tgt)
+		case TypePTPAsym:
+			err = in.applyPTPAsym(s, tgt)
 		case TypeOverload:
 			err = in.applyOverload(s, tgt, i)
 		case TypeSensorDropout:
@@ -191,6 +193,36 @@ func (in *Injector) applyClockFault(s *Spec, tgt Targets) error {
 	}
 	if until != sim.MaxTime {
 		tgt.Kernel.At(until, c.ClearFault)
+	}
+	return nil
+}
+
+// applyPTPAsym steps the two clocks of a synchronization pair in opposite
+// directions at the window start (Clock by +Offset, ClockPeer by -Offset)
+// and re-converges both at the window end. The per-clock error stays
+// |Offset|, matching the oracle band, while the relative error across the
+// link is 2·|Offset| — timestamps crossing it in one direction look early
+// and in the other late, the signature of an asymmetric-path PTP error.
+func (in *Injector) applyPTPAsym(s *Spec, tgt Targets) error {
+	ca, ok := tgt.Clocks[s.Clock]
+	if !ok {
+		return fmt.Errorf("faultinject: no clock %q", s.Clock)
+	}
+	cb, ok := tgt.Clocks[s.ClockPeer]
+	if !ok {
+		return fmt.Errorf("faultinject: no clock %q", s.ClockPeer)
+	}
+	from, until := s.window()
+	off := sim.Duration(s.Offset)
+	tgt.Kernel.At(from, func() {
+		ca.InjectStep(off)
+		cb.InjectStep(-off)
+	})
+	if until != sim.MaxTime {
+		tgt.Kernel.At(until, func() {
+			ca.ClearFault()
+			cb.ClearFault()
+		})
 	}
 	return nil
 }

@@ -521,6 +521,16 @@ type Report struct {
 // Ok reports whether every oracle invariant held.
 func (r Report) Ok() bool { return len(r.Violations) == 0 }
 
+// Segment returns the report of the named segment.
+func (r Report) Segment(name string) (SegmentReport, bool) {
+	for _, s := range r.Segments {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SegmentReport{}, false
+}
+
 // Summary renders the per-segment cross-check table and all violations.
 func (r Report) Summary() string {
 	var b strings.Builder

@@ -1,0 +1,70 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"chainmon/internal/monitor"
+	"chainmon/internal/perception"
+	"chainmon/internal/sim"
+)
+
+// TestPTPAsymCampaign cross-checks the asymmetric PTP offset against the
+// ground-truth oracle: ECU1 steps back and ECU2 steps forward by 12 ms each,
+// so inter-ECU timestamps look 24 ms late — beyond the 20 ms remote deadline
+// — while each individual clock stays within the oracle's widened band. The
+// fused remote monitor must fire throughout the window; the lidar→ECU1
+// segments see the opposite sign (samples look early) and must stay quiet;
+// and no verdict may flip against the ground truth.
+func TestPTPAsymCampaign(t *testing.T) {
+	e := PTPAsymEntry()
+	for _, seed := range []int64{11, 22, 33} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			run := runCampaign(t, seed, e.Campaign, monitor.VariantMonitorThread)
+			if !run.Report.Ok() {
+				t.Errorf("oracle invariants violated under asymmetric PTP offset:\n%s", run.Report.Summary())
+			}
+			checkSanity(t, e, run)
+			// The fault window is 6 s = 60 frames; nearly all of them must
+			// trip the fused remote monitor.
+			fused := segReport(t, run.Report, perception.SegFusedRemote)
+			if fused.Exception < 40 {
+				t.Errorf("ptp-asym: expected ≥40 detections on %s, got %+v", fused.Name, fused)
+			}
+			// The lidar→ECU1 direction sees timestamps that look early, not
+			// late: the front remote monitor must not storm.
+			front := segReport(t, run.Report, perception.SegFrontRemote)
+			if front.Exception > front.Checked/10 {
+				t.Errorf("ptp-asym: front remote should look early, got %d exceptions of %d checked",
+					front.Exception, front.Checked)
+			}
+		})
+	}
+}
+
+// TestPTPAsymValidation pins the spec-level checks of the new fault type.
+func TestPTPAsymValidation(t *testing.T) {
+	base := Spec{Type: TypePTPAsym, Clock: "ecu1", ClockPeer: "ecu2", Offset: Duration(12 * sim.Millisecond)}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Spec){
+		"missing clock":      func(s *Spec) { s.Clock = "" },
+		"missing clock_peer": func(s *Spec) { s.ClockPeer = "" },
+		"same clocks":        func(s *Spec) { s.ClockPeer = s.Clock },
+		"zero offset":        func(s *Spec) { s.Offset = 0 },
+	} {
+		s := base
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+	// The oracle band widens by the per-clock step magnitude.
+	c := Campaign{Name: "x", Faults: []Spec{base}}
+	if got := c.MaxClockError(0); got != 12*sim.Millisecond {
+		t.Errorf("MaxClockError = %v, want %v", got, 12*sim.Millisecond)
+	}
+}

@@ -1,0 +1,407 @@
+// Sweep is the sharded campaign engine: the chaos matrices (campaign × seed
+// × monitor variant) are expressed as plain combo lists and fanned out over
+// the parallel worker pool. Every combo builds its own kernel, RNG streams
+// and telemetry from its seed — nothing is shared between shards — and the
+// results are merged in combo order, so a parallel sweep produces output
+// byte-identical to a serial one.
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+
+	"chainmon/internal/monitor"
+	"chainmon/internal/parallel"
+	"chainmon/internal/perception"
+	"chainmon/internal/sim"
+)
+
+// chaosFrames keeps a single campaign run at 12 s of virtual time.
+const chaosFrames = 120
+
+// interArrivalTMax is the supervision bound of the baseline inter-arrival
+// monitor attached to every chaos run: period plus enough headroom that the
+// nominal activation and link jitter never trips it (the paper's t_max
+// dilemma — any tighter bound false-positives on jitter).
+const interArrivalTMax = 135 * sim.Millisecond
+
+// Run bundles one fully executed campaign run: the system under test, the
+// ground-truth oracle, its cross-check report and the baseline inter-arrival
+// supervisor.
+type Run struct {
+	Sys    *perception.System
+	Oracle *Oracle
+	Report Report
+	IAM    *monitor.InterArrivalMonitor
+}
+
+// Combo is one cell of a sweep: a campaign run at a seed under a monitor
+// variant.
+type Combo struct {
+	Campaign Campaign
+	Seed     int64
+	Variant  monitor.RemoteVariant
+}
+
+// String renders the combo as a stable sweep-cell label.
+func (c Combo) String() string {
+	return fmt.Sprintf("%s/seed%d/%s", c.Campaign.Name, c.Seed, c.Variant)
+}
+
+// RunCombo builds a full-chain perception system for the combo's seed,
+// injects the campaign, wires the ground-truth oracle and runs to
+// completion. Each call constructs everything from the seed, so combos can
+// run on any goroutine in any order.
+func RunCombo(c Combo) (*Run, error) {
+	cfg := perception.DefaultConfig()
+	cfg.Seed = c.Seed
+	cfg.Frames = chaosFrames
+	cfg.FullChain = true
+	cfg.RemoteVariant = c.Variant
+	sys := perception.Build(cfg)
+
+	iam := monitor.NewInterArrivalMonitor(sys.ClassifierSub, interArrivalTMax)
+	drain := sim.Time(cfg.Frames) * sim.Time(cfg.Period)
+	sys.K.At(drain.Add(5*sim.Second), iam.Stop)
+
+	orc := ForPerception(sys, c.Campaign)
+	if err := NewInjector(sim.NewRNG(c.Seed)).Apply(c.Campaign, TargetsOf(sys)); err != nil {
+		return nil, fmt.Errorf("apply campaign %q: %w", c.Campaign.Name, err)
+	}
+	sys.Run()
+	return &Run{Sys: sys, Oracle: orc, Report: orc.Check(), IAM: iam}, nil
+}
+
+// SweepItem is the retained outcome of one combo: the oracle report plus any
+// sanity-check or application error. The system itself is discarded on the
+// worker, so a thousand-combo sweep does not hold a thousand kernels alive.
+type SweepItem struct {
+	Combo  Combo
+	Report Report
+	// Sanity is the campaign's did-the-fault-bite check result (nil when the
+	// campaign has none or it passed).
+	Sanity error
+	// Err is a combo construction/application failure.
+	Err error
+}
+
+// Ok reports whether the combo ran, its oracle invariants held and its
+// sanity check passed.
+func (it SweepItem) Ok() bool { return it.Err == nil && it.Sanity == nil && it.Report.Ok() }
+
+// sanityFor maps campaign names to their bite checks, so sweeps can apply
+// them regardless of how the combo list was assembled.
+func sanityFor(name string) func(*Run) error {
+	for _, e := range AllCampaigns() {
+		if e.Campaign.Name == name && e.Sanity != nil {
+			return e.Sanity
+		}
+	}
+	return nil
+}
+
+// RunSweep executes every combo, fanning out over the given worker count
+// (≤ 0: GOMAXPROCS), and returns the outcomes in combo order. Sanity checks
+// run only for monitor-thread combos, matching the historical matrix tests
+// (dds-context runs check the soundness contract alone).
+func RunSweep(combos []Combo, workers int) []SweepItem {
+	return parallel.MapSlice(workers, combos, func(shard int, c Combo) SweepItem {
+		it := SweepItem{Combo: c}
+		run, err := RunCombo(c)
+		if err != nil {
+			it.Err = err
+			return it
+		}
+		it.Report = run.Report
+		if c.Variant == monitor.VariantMonitorThread {
+			if sanity := sanityFor(c.Campaign.Name); sanity != nil {
+				it.Sanity = sanity(run)
+			}
+		}
+		return it
+	})
+}
+
+// MergedSummary renders the sweep outcome as one deterministic text report:
+// one block per combo, in combo order. Serial and parallel sweeps of the
+// same combo list produce byte-identical output.
+func MergedSummary(items []SweepItem) string {
+	var b strings.Builder
+	for _, it := range items {
+		status := "ok"
+		if !it.Ok() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "=== %s [%s]\n", it.Combo, status)
+		if it.Err != nil {
+			fmt.Fprintf(&b, "error: %v\n", it.Err)
+			continue
+		}
+		if it.Sanity != nil {
+			fmt.Fprintf(&b, "sanity: %v\n", it.Sanity)
+		}
+		b.WriteString(it.Report.Summary())
+	}
+	return b.String()
+}
+
+// MatrixEntry pairs a campaign with its sanity check: an assertion that the
+// campaign actually bit (faults that do nothing would make the
+// zero-false-negative assertion vacuous).
+type MatrixEntry struct {
+	Campaign Campaign
+	Sanity   func(*Run) error
+}
+
+func sec(n float64) Duration { return Duration(n * float64(sim.Second)) }
+
+// ChaosCampaigns is the core fault matrix: one campaign per original fault
+// type plus a combined one.
+func ChaosCampaigns() []MatrixEntry {
+	return []MatrixEntry{
+		{
+			// Correlated loss bursts on the inter-ECU link: the fused
+			// remote segment must detect every lost sample.
+			Campaign: Campaign{Name: "burst-loss", Faults: []Spec{{
+				Type: TypeBurstLoss, From: sec(2), Until: sec(10),
+				LinkFrom: "ecu1", LinkTo: "ecu2",
+				PEnterBurst: 0.05, PExitBurst: 0.3,
+			}}},
+			Sanity: func(run *Run) error {
+				if s, _ := run.Report.Segment(perception.SegFusedRemote); s.Lost == 0 {
+					return fmt.Errorf("burst-loss campaign lost nothing on %s", s.Name)
+				}
+				return nil
+			},
+		},
+		{
+			// A constant latency shift beyond the remote deadline: arrivals
+			// stay periodic while every sample is late — the consecutive-miss
+			// pattern of §IV-B.
+			Campaign: Campaign{Name: "latency-shift", Faults: []Spec{{
+				Type: TypeLatencySpike, From: sec(1),
+				LinkFrom: "ecu1", LinkTo: "ecu2",
+				Delay: Duration(30 * sim.Millisecond),
+			}}},
+			Sanity: func(run *Run) error {
+				if s, _ := run.Report.Segment(perception.SegFusedRemote); s.Exception < 50 {
+					return fmt.Errorf("latency-shift: expected ≥50 detections, got %+v", s)
+				}
+				return nil
+			},
+		},
+		{
+			// A mis-ranked grandmaster steps the ECU1 clock by more than the
+			// remote deadline: the front/rear remote monitors must fire (the
+			// perceived latency includes the clock error), and the oracle's
+			// widened slack band must absorb the pessimism.
+			Campaign: Campaign{Name: "clock-step", Faults: []Spec{{
+				Type: TypeClockStep, From: sec(3), Until: sec(9),
+				Clock: "ecu1", Offset: Duration(25 * sim.Millisecond),
+			}}},
+			Sanity: func(run *Run) error {
+				if s, _ := run.Report.Segment(perception.SegFrontRemote); s.Exception == 0 {
+					return fmt.Errorf("clock-step: expected detections on %s", s.Name)
+				}
+				return nil
+			},
+		},
+		{
+			// An unmodelled frequency error on the front lidar clock: stays
+			// within the widened bands, no verdict may flip.
+			Campaign: Campaign{Name: "clock-drift", Faults: []Spec{{
+				Type: TypeClockDrift, From: sec(2), Until: sec(10),
+				Clock: "front-lidar", DriftPPM: 500,
+			}}},
+		},
+		{
+			// Transient ECU2 overload: high-priority interference starves the
+			// receive path and the executors; the monitor thread (highest
+			// priority) must keep detecting.
+			Campaign: Campaign{Name: "overload", Faults: []Spec{{
+				Type: TypeOverload, From: sec(4), Until: sec(7),
+				ECU: "ecu2", Utilization: 0.9,
+			}}},
+			Sanity: func(run *Run) error {
+				total := 0
+				for _, s := range run.Report.Segments {
+					total += s.Exception
+				}
+				if total == 0 {
+					return fmt.Errorf("overload campaign caused no detections at all")
+				}
+				return nil
+			},
+		},
+		{
+			// The front lidar blanks out for 1.5 s: the front remote monitor
+			// must convert the sequence gap into per-activation exceptions.
+			Campaign: Campaign{Name: "sensor-dropout", Faults: []Spec{{
+				Type: TypeSensorDropout, From: sec(5), Until: sec(6.5),
+				Device: "front-lidar",
+			}}},
+			Sanity: func(run *Run) error {
+				if s, _ := run.Report.Segment(perception.SegFrontRemote); s.Exception < 10 {
+					return fmt.Errorf("sensor-dropout: expected ≥10 detections on %s, got %d", s.Name, s.Exception)
+				}
+				return nil
+			},
+		},
+		{
+			// Everything at once, at survivable magnitudes.
+			Campaign: Campaign{Name: "kitchen-sink", Faults: []Spec{
+				{Type: TypeBurstLoss, From: sec(2), Until: sec(8),
+					LinkFrom: "front-lidar", LinkTo: "ecu1",
+					PEnterBurst: 0.08, PExitBurst: 0.4},
+				{Type: TypeClockStep, From: sec(2), Until: sec(8),
+					Clock: "ecu1", Offset: Duration(sim.Millisecond)},
+				{Type: TypeLatencySpike, From: sec(3), Until: sec(5),
+					LinkFrom: "ecu1", LinkTo: "ecu2",
+					Delay: Duration(5 * sim.Millisecond), DelayJitter: Duration(5 * sim.Millisecond)},
+				{Type: TypeOverload, From: sec(6), Until: sec(8),
+					ECU: "ecu2", Utilization: 0.5},
+			}},
+			Sanity: func(run *Run) error {
+				if s, _ := run.Report.Segment(perception.SegFrontRemote); s.Lost == 0 && s.Exception == 0 {
+					return fmt.Errorf("kitchen-sink: front link bursts had no effect")
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// ReorderEntry holds inter-ECU messages 150 ms — longer than the 100 ms
+// period, so later fused frames overtake the held one and arrivals leave
+// FIFO order. The remote monitor must treat the stale arrival as already
+// resolved (its timeout fired first) and the verdicts must stay sound.
+func ReorderEntry() MatrixEntry {
+	return MatrixEntry{
+		Campaign: Campaign{Name: "reorder", Faults: []Spec{{
+			Type: TypeReorder, From: Duration(2 * sim.Second), Until: Duration(10 * sim.Second),
+			LinkFrom: "ecu1", LinkTo: "ecu2",
+			HoldProb: 0.15, Delay: Duration(150 * sim.Millisecond),
+		}}},
+		Sanity: func(run *Run) error {
+			if held := run.Sys.Domain.Link("ecu1", "ecu2").Held(); held == 0 {
+				return fmt.Errorf("reorder campaign held no messages")
+			}
+			if s, _ := run.Report.Segment(perception.SegFusedRemote); s.Exception == 0 {
+				return fmt.Errorf("reorder: a 150ms hold beyond the 20ms remote deadline must cause detections on %s", s.Name)
+			}
+			return nil
+		},
+	}
+}
+
+// DuplicateEntry delivers ~20% of inter-ECU messages twice, the copy 5 ms
+// after the original. The first copy resolves the activation; the second
+// must be discarded without perturbing any verdict.
+func DuplicateEntry() MatrixEntry {
+	return MatrixEntry{
+		Campaign: Campaign{Name: "duplicate", Faults: []Spec{{
+			Type: TypeDuplicate, From: Duration(2 * sim.Second), Until: Duration(10 * sim.Second),
+			LinkFrom: "ecu1", LinkTo: "ecu2",
+			DupProb: 0.2, Delay: Duration(5 * sim.Millisecond),
+		}}},
+		Sanity: func(run *Run) error {
+			if dup := run.Sys.Domain.Link("ecu1", "ecu2").Duplicated(); dup == 0 {
+				return fmt.Errorf("duplicate campaign duplicated no messages")
+			}
+			return nil
+		},
+	}
+}
+
+// PTPAsymEntry steps the ECU1 clock back and the ECU2 clock forward by 12 ms
+// each: the per-clock error stays within the oracle band, but timestamps
+// crossing the inter-ECU link look 24 ms late — beyond the 20 ms remote
+// deadline, so the fused remote monitor must fire throughout the window
+// while the lidar→ECU1 segments (which look early) stay quiet.
+func PTPAsymEntry() MatrixEntry {
+	return MatrixEntry{
+		Campaign: Campaign{Name: "ptp-asym", Faults: []Spec{{
+			Type: TypePTPAsym, From: sec(3), Until: sec(9),
+			Clock: "ecu1", ClockPeer: "ecu2",
+			Offset: Duration(-12 * sim.Millisecond),
+		}}},
+		Sanity: func(run *Run) error {
+			if s, _ := run.Report.Segment(perception.SegFusedRemote); s.Exception < 10 {
+				return fmt.Errorf("ptp-asym: a 24ms relative clock error must trip the fused remote monitor, got %+v", s)
+			}
+			return nil
+		},
+	}
+}
+
+// AllCampaigns is the full campaign set: the core matrix plus reorder,
+// duplicate and the asymmetric PTP offset.
+func AllCampaigns() []MatrixEntry {
+	entries := ChaosCampaigns()
+	return append(entries, ReorderEntry(), DuplicateEntry(), PTPAsymEntry())
+}
+
+// cross builds the campaign-major combo grid, pre-sized to its exact length.
+func cross(entries []MatrixEntry, seeds []int64, v monitor.RemoteVariant) []Combo {
+	combos := make([]Combo, 0, len(entries)*len(seeds))
+	for _, e := range entries {
+		for _, seed := range seeds {
+			combos = append(combos, Combo{Campaign: e.Campaign, Seed: seed, Variant: v})
+		}
+	}
+	return combos
+}
+
+// seedSeq returns n seeds 11, 22, 33, … matching the historical matrices.
+func seedSeq(n int) []int64 {
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(11 * (i + 1))
+	}
+	return seeds
+}
+
+// Matrix102 is the historical nightly matrix: the nine pre-PTP campaigns ×
+// eleven seeds plus three dds-context runs — 102 combos. It is kept stable
+// as the reference workload of the parallel-speedup benchmark
+// (BENCH_parallel.json compares serial vs parallel wall time on exactly
+// this list).
+func Matrix102() []Combo {
+	entries := append(ChaosCampaigns(), ReorderEntry(), DuplicateEntry())
+	combos := cross(entries, seedSeq(11), monitor.VariantMonitorThread)
+	for _, e := range []MatrixEntry{ReorderEntry(), DuplicateEntry(), ChaosCampaigns()[0]} {
+		combos = append(combos, Combo{Campaign: e.Campaign, Seed: 11, Variant: monitor.VariantDDSContext})
+	}
+	return combos
+}
+
+// PRMatrix is the 23-combo matrix of the PR test job: the seven core
+// campaigns × three seeds plus the two dds-context-safe campaigns under
+// dds-context.
+func PRMatrix() []Combo {
+	combos := cross(ChaosCampaigns(), seedSeq(3), monitor.VariantMonitorThread)
+	for _, e := range ChaosCampaigns()[:2] { // burst-loss, latency-shift
+		combos = append(combos, Combo{Campaign: e.Campaign, Seed: 11, Variant: monitor.VariantDDSContext})
+	}
+	return combos
+}
+
+// GrownNightlyMatrix is the ~1000-combo sweep the parallel engine makes
+// affordable: all ten campaigns (including ptp-asym) × ninety-nine seeds
+// plus ten dds-context runs drawn from the campaigns that leave the
+// middleware thread schedulable.
+func GrownNightlyMatrix() []Combo {
+	combos := cross(AllCampaigns(), seedSeq(99), monitor.VariantMonitorThread)
+	ddsSafe := []MatrixEntry{ReorderEntry(), DuplicateEntry(), ChaosCampaigns()[0], ChaosCampaigns()[1]}
+	for _, seed := range seedSeq(2) {
+		for _, e := range ddsSafe {
+			combos = append(combos, Combo{Campaign: e.Campaign, Seed: seed, Variant: monitor.VariantDDSContext})
+		}
+	}
+	// 10×99 + 2×4 = 998; top up with the historical dds-context pair.
+	combos = append(combos,
+		Combo{Campaign: ReorderEntry().Campaign, Seed: 33, Variant: monitor.VariantDDSContext},
+		Combo{Campaign: DuplicateEntry().Campaign, Seed: 33, Variant: monitor.VariantDDSContext},
+	)
+	return combos
+}

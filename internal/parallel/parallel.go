@@ -1,0 +1,108 @@
+// Package parallel is the bounded fan-out engine behind every sharded
+// evaluation in the repository: chaos-matrix sweeps, ablation grids and
+// per-figure experiment repetitions. Independent deterministic simulations
+// are distributed over a worker pool sized to GOMAXPROCS; each shard builds
+// its own kernel, RNG streams and telemetry, so no mutable structure is ever
+// shared between workers, and every result is written into the slot of its
+// shard index — the merge order is the shard order, never the completion
+// order, which makes parallel output byte-identical to serial output.
+//
+// The scheduling is a work-stealing counter, not a static partition: shards
+// have wildly different costs (a kitchen-sink campaign vs a clean run), and
+// a static split would leave workers idle behind the slowest stripe.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values ≤ 0 select
+// GOMAXPROCS (the -parallel flag default), everything else is returned
+// unchanged. Worker counts above the shard count are harmless — ForEach
+// never spawns more goroutines than shards.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(shard) for every shard in [0, n), fanning out over at
+// most workers goroutines. With workers ≤ 1 (or a single shard) everything
+// runs inline on the calling goroutine in shard order — the serial path that
+// parallel runs are compared against. A panic in any shard is re-raised on
+// the calling goroutine after the pool drains, so a deterministic modelling
+// bug surfaces identically in serial and parallel runs.
+func ForEach(workers, n int, fn func(shard int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value // first shard panic, re-raised by the caller
+	)
+	run := func(shard int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, shardPanic{shard, r})
+			}
+		}()
+		fn(shard)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				shard := int(next.Add(1)) - 1
+				if shard >= n {
+					return
+				}
+				run(shard)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		sp := p.(shardPanic)
+		panic(fmt.Sprintf("parallel: shard %d panicked: %v", sp.shard, sp.value))
+	}
+}
+
+type shardPanic struct {
+	shard int
+	value any
+}
+
+// Map runs fn over n shards and returns the results ordered by shard index
+// — the deterministic merge. fn must not touch anything outside its shard.
+func Map[T any](workers, n int, fn func(shard int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(shard int) {
+		out[shard] = fn(shard)
+	})
+	return out
+}
+
+// MapSlice is Map over an explicit work list: fn receives the shard index
+// and its item, results keep the item order.
+func MapSlice[In, Out any](workers int, items []In, fn func(shard int, item In) Out) []Out {
+	return Map(workers, len(items), func(shard int) Out {
+		return fn(shard, items[shard])
+	})
+}

@@ -1,0 +1,111 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestForEachCoversEveryShardOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 100} {
+		const n = 57
+		var hits [n]atomic.Int64
+		ForEach(workers, n, func(shard int) {
+			hits[shard].Add(1)
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: shard %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("fn called for zero shards") })
+}
+
+// TestMapMergeIsShardOrdered pins the determinism guarantee: no matter how
+// the workers interleave, the merged result is ordered by shard index and
+// identical to the serial run.
+func TestMapMergeIsShardOrdered(t *testing.T) {
+	square := func(shard int) int { return shard * shard }
+	serial := Map(1, 200, square)
+	for _, workers := range []int{2, 3, 8} {
+		par := Map(workers, 200, square)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: slot %d = %d, serial %d", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMapSliceKeepsItemOrder(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e"}
+	got := MapSlice(4, items, func(shard int, item string) string {
+		return strings.ToUpper(item)
+	})
+	want := []string{"A", "B", "C", "D", "E"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestForEachPropagatesPanic requires a shard panic to surface on the
+// calling goroutine, for serial and parallel pools alike.
+func TestForEachPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: shard panic was swallowed", workers)
+				}
+				if !strings.Contains(r.(string), "boom") {
+					t.Fatalf("workers=%d: panic value %v lost the cause", workers, r)
+				}
+			}()
+			ForEach(workers, 8, func(shard int) {
+				if shard == 5 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestForEachBoundsConcurrency verifies the pool never runs more shards at
+// once than the requested worker count.
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	ForEach(workers, 64, func(int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d shards in flight, cap is %d", p, workers)
+	}
+}

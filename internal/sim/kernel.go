@@ -19,6 +19,10 @@ type Event struct {
 	fn       EventFunc
 	index    int // heap index; -1 once removed
 	canceled bool
+	// pooled events return to the kernel freelist once fired or canceled;
+	// inFree guards against double-release.
+	pooled bool
+	inFree bool
 }
 
 // At returns the virtual time at which the event is (or was) scheduled.
@@ -77,6 +81,11 @@ type Kernel struct {
 	// mutation (push, pop, remove). It is a plain callback rather than a
 	// telemetry type so sim stays free of telemetry imports.
 	queueProbe func(depth int)
+	// free is the Event freelist feeding the *Pooled scheduling calls. The
+	// queue under periodic load stays shallow (max depth ~4 in the overload
+	// churn benchmark), so a handful of recycled events serves the entire
+	// run and the per-event heap allocation disappears from the hot path.
+	free []*Event
 }
 
 // NewKernel returns a kernel with the clock at time zero.
@@ -107,6 +116,10 @@ func (k *Kernel) At(t Time, fn EventFunc) *Event {
 // AtPriority schedules fn at time t with an explicit tie-break priority
 // (higher priority fires first among events at the same instant).
 func (k *Kernel) AtPriority(t Time, priority int, fn EventFunc) *Event {
+	return k.schedule(t, priority, fn, false)
+}
+
+func (k *Kernel) schedule(t Time, priority int, fn EventFunc, pooled bool) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
@@ -114,12 +127,30 @@ func (k *Kernel) AtPriority(t Time, priority int, fn EventFunc) *Event {
 		panic("sim: nil event function")
 	}
 	k.seq++
-	e := &Event{at: t, priority: priority, seq: k.seq, fn: fn}
+	var e *Event
+	if pooled && len(k.free) > 0 {
+		e = k.free[len(k.free)-1]
+		k.free[len(k.free)-1] = nil
+		k.free = k.free[:len(k.free)-1]
+		*e = Event{at: t, priority: priority, seq: k.seq, fn: fn, pooled: true}
+	} else {
+		e = &Event{at: t, priority: priority, seq: k.seq, fn: fn, pooled: pooled}
+	}
 	heap.Push(&k.queue, e)
 	if k.queueProbe != nil {
 		k.queueProbe(len(k.queue))
 	}
 	return e
+}
+
+// release returns a pooled event to the freelist once it can no longer fire.
+func (k *Kernel) release(e *Event) {
+	if !e.pooled || e.inFree {
+		return
+	}
+	e.fn = nil
+	e.inFree = true
+	k.free = append(k.free, e)
 }
 
 // After schedules fn to run d after the current time.
@@ -129,6 +160,37 @@ func (k *Kernel) After(d Duration, fn EventFunc) *Event {
 	}
 	return k.At(k.now.Add(d), fn)
 }
+
+// AtPooled schedules fn like At, drawing the Event from the kernel freelist
+// and returning it there as soon as it fires or is canceled. The contract:
+// the caller must drop its reference before the event fires — a retained
+// handle ends up aliasing whatever event reuses the slot, so Cancel on a
+// stale pooled handle targets the wrong event and Reschedule panics (the
+// recycled fn is nil). Use the pooled calls for fire-and-forget scheduling
+// on hot paths (self-rescheduling periodic loads, dispatch completions); use
+// At/After when the handle outlives the event.
+func (k *Kernel) AtPooled(t Time, fn EventFunc) *Event {
+	return k.schedule(t, 0, fn, true)
+}
+
+// AfterPooled schedules fn to run d after the current time on a pooled
+// event; see AtPooled for the handle contract.
+func (k *Kernel) AfterPooled(d Duration, fn EventFunc) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.AtPooled(k.now.Add(d), fn)
+}
+
+// AtPriorityPooled schedules fn like AtPriority on a pooled event; see
+// AtPooled for the handle contract.
+func (k *Kernel) AtPriorityPooled(t Time, priority int, fn EventFunc) *Event {
+	return k.schedule(t, priority, fn, true)
+}
+
+// FreeEvents returns the current freelist length (pooled events parked
+// between firings), for allocation assertions in tests.
+func (k *Kernel) FreeEvents() int { return len(k.free) }
 
 // Cancel removes a scheduled event. Canceling an already-fired or
 // already-canceled event is a no-op.
@@ -144,6 +206,7 @@ func (k *Kernel) Cancel(e *Event) {
 	if k.queueProbe != nil {
 		k.queueProbe(len(k.queue))
 	}
+	k.release(e)
 }
 
 // Reschedule moves a pending event to a new time, preserving its priority.
@@ -172,6 +235,7 @@ func (k *Kernel) Step() bool {
 			k.queueProbe(len(k.queue))
 		}
 		if e.canceled {
+			k.release(e)
 			continue
 		}
 		if e.at < k.now {
@@ -179,7 +243,13 @@ func (k *Kernel) Step() bool {
 		}
 		k.now = e.at
 		k.executed++
-		e.fn()
+		fn := e.fn
+		// Recycle before firing: the contract forbids the caller from
+		// touching the handle once the event is due, and releasing first
+		// lets fn's own rescheduling reuse the slot immediately (the
+		// self-perpetuating periodic pattern runs entirely allocation-free).
+		k.release(e)
+		fn()
 		return true
 	}
 	return false
@@ -207,6 +277,7 @@ func (k *Kernel) RunUntil(horizon Time) {
 			if k.queueProbe != nil {
 				k.queueProbe(len(k.queue))
 			}
+			k.release(e)
 			continue
 		}
 		if e.at > horizon {

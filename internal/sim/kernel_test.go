@@ -211,3 +211,73 @@ func TestTimeHelpers(t *testing.T) {
 		t.Errorf("String() = %q", Time(1500).String())
 	}
 }
+
+func TestPooledEventRecycled(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.AtPooled(10, func() { fired++ })
+	if k.FreeEvents() != 0 {
+		t.Fatalf("freelist %d before firing", k.FreeEvents())
+	}
+	k.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if k.FreeEvents() != 1 {
+		t.Fatalf("freelist %d after firing, want 1", k.FreeEvents())
+	}
+	// The next pooled schedule reuses the slot instead of growing the list.
+	k.AtPooled(20, func() { fired++ })
+	if k.FreeEvents() != 0 {
+		t.Fatalf("freelist %d after reuse, want 0", k.FreeEvents())
+	}
+	k.Run()
+	if fired != 2 || k.FreeEvents() != 1 {
+		t.Fatalf("fired = %d, freelist = %d", fired, k.FreeEvents())
+	}
+}
+
+func TestPooledEventCancelRecycles(t *testing.T) {
+	k := NewKernel()
+	e := k.AtPooled(10, func() { t.Fatal("canceled event fired") })
+	k.Cancel(e)
+	if k.FreeEvents() != 1 {
+		t.Fatalf("freelist %d after cancel, want 1", k.FreeEvents())
+	}
+	// Double cancel must not double-release.
+	k.Cancel(e)
+	if k.FreeEvents() != 1 {
+		t.Fatalf("freelist %d after double cancel, want 1", k.FreeEvents())
+	}
+	k.Run()
+}
+
+func TestPooledEventUnpooledUntouched(t *testing.T) {
+	k := NewKernel()
+	k.At(10, func() {})
+	e := k.At(20, func() {})
+	k.Cancel(e)
+	k.Run()
+	if k.FreeEvents() != 0 {
+		t.Fatalf("unpooled events leaked into freelist: %d", k.FreeEvents())
+	}
+}
+
+// TestPooledScheduleAllocFree is the allocs/op assertion behind the ISSUE 3
+// allocation cuts: once the freelist is primed, a self-rescheduling pooled
+// event runs its schedule+fire cycle without any heap allocation.
+func TestPooledScheduleAllocFree(t *testing.T) {
+	k := NewKernel()
+	var tick func()
+	tick = func() { k.AfterPooled(Millisecond, tick) }
+	k.AtPooled(0, tick)
+	k.Step() // prime the freelist
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !k.Step() {
+			t.Fatal("queue drained")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled schedule+fire cycle allocates %.1f/op, want 0", allocs)
+	}
+}

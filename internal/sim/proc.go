@@ -50,6 +50,9 @@ type Thread struct {
 	dispatched Time // when the thread last got a core
 	readySince Time
 	completion *Event
+	// completeFn is the bound t.complete method value, created once so
+	// every dispatch does not allocate a fresh closure.
+	completeFn EventFunc
 
 	busy      Duration // accumulated executed CPU time
 	completed uint64
@@ -101,6 +104,7 @@ func (p *Processor) RNG() *RNG { return p.rng }
 // NewThread registers a thread on this processor.
 func (p *Processor) NewThread(name string, priority int) *Thread {
 	t := &Thread{proc: p, Name: name, Priority: priority, pinned: -1}
+	t.completeFn = t.complete
 	p.threads = append(p.threads, t)
 	return t
 }
@@ -144,7 +148,7 @@ func (t *Thread) Enqueue(label string, cost Duration, fn func()) *WorkItem {
 	}
 	w := &WorkItem{Label: label, Cost: cost, Fn: fn, enqueued: t.proc.k.Now()}
 	wake := t.proc.Wakeup.Sample(t.proc.rng)
-	t.proc.k.After(wake, func() {
+	t.proc.k.AfterPooled(wake, func() {
 		w.ready = t.proc.k.Now()
 		if len(t.queue) == 0 && t.current == nil {
 			t.readySince = w.ready
@@ -280,7 +284,9 @@ func (t *Thread) dispatch(now Time) {
 	t.remaining += t.proc.CtxSwitch.Sample(t.proc.rng)
 	t.running = true
 	t.dispatched = now
-	t.completion = t.proc.k.AtPriority(now.Add(t.remaining), t.Priority, t.complete)
+	// Pooled: t.completion is nil'd in both complete() and preempt() before
+	// the event can be recycled, so no stale handle survives.
+	t.completion = t.proc.k.AtPriorityPooled(now.Add(t.remaining), t.Priority, t.completeFn)
 }
 
 func (t *Thread) complete() {
@@ -309,9 +315,9 @@ func (p *Processor) PeriodicLoad(t *Thread, label string, offset Time, period Du
 	var arm func()
 	arm = func() {
 		t.Enqueue(label, cost.Sample(p.rng), nil)
-		p.k.After(period, arm)
+		p.k.AfterPooled(period, arm)
 	}
-	p.k.At(offset, arm)
+	p.k.AtPooled(offset, arm)
 }
 
 // PeriodicLoadWindow drives a thread with periodic background work only
@@ -328,7 +334,7 @@ func (p *Processor) PeriodicLoadWindow(t *Thread, label string, from, until Time
 			return
 		}
 		t.Enqueue(label, cost.Sample(p.rng), nil)
-		p.k.After(period, arm)
+		p.k.AfterPooled(period, arm)
 	}
-	p.k.At(from, arm)
+	p.k.AtPooled(from, arm)
 }

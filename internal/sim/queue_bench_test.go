@@ -96,3 +96,32 @@ func BenchmarkKernelQueueChurnNoProbe(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEventSchedule measures a bare schedule+fire cycle through the
+// unpooled API: every cycle heap-allocates a fresh Event.
+func BenchmarkEventSchedule(b *testing.B) {
+	k := sim.NewKernel()
+	var tick func()
+	tick = func() { k.After(sim.Millisecond, tick) }
+	k.At(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}
+
+// BenchmarkEventSchedulePooled is the same cycle through the freelist API;
+// after the first lap the Event is recycled and the loop runs allocation-free
+// (asserted by TestPooledScheduleAllocFree).
+func BenchmarkEventSchedulePooled(b *testing.B) {
+	k := sim.NewKernel()
+	var tick func()
+	tick = func() { k.AfterPooled(sim.Millisecond, tick) }
+	k.AtPooled(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+}

@@ -22,9 +22,20 @@ type Sample struct {
 // NewSample returns an empty sample.
 func NewSample() *Sample { return &Sample{} }
 
+// NewSampleCap returns an empty sample with capacity for n measurements, so
+// hot loops of known size fill it without growth reallocations.
+func NewSampleCap(n int) *Sample { return &Sample{values: make([]float64, 0, n)} }
+
+// Reset empties the sample but keeps the underlying buffer, so a sample can
+// be reused across runs without reallocating.
+func (s *Sample) Reset() {
+	s.values = s.values[:0]
+	s.sorted = false
+}
+
 // FromDurations builds a sample from durations.
 func FromDurations(ds []time.Duration) *Sample {
-	s := NewSample()
+	s := NewSampleCap(len(ds))
 	for _, d := range ds {
 		s.AddDuration(d)
 	}
@@ -33,7 +44,7 @@ func FromDurations(ds []time.Duration) *Sample {
 
 // FromFloats builds a sample from raw values.
 func FromFloats(vs []float64) *Sample {
-	s := NewSample()
+	s := NewSampleCap(len(vs))
 	for _, v := range vs {
 		s.Add(v)
 	}

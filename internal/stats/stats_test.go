@@ -206,3 +206,25 @@ func TestHistogramDegenerate(t *testing.T) {
 		t.Error("empty histogram should still render")
 	}
 }
+
+func TestSampleResetKeepsBuffer(t *testing.T) {
+	s := NewSampleCap(8)
+	for i := 0; i < 8; i++ {
+		s.Add(float64(i))
+	}
+	if s.Median() != 3.5 {
+		t.Fatalf("median = %v", s.Median())
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Reset()
+		for i := 0; i < 8; i++ {
+			s.Add(float64(i * 2))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+refill allocates %.1f/op, want 0", allocs)
+	}
+	if s.Len() != 8 || s.Median() != 7 {
+		t.Fatalf("after reuse: len=%d median=%v", s.Len(), s.Median())
+	}
+}
