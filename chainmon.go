@@ -44,10 +44,12 @@ import (
 	"chainmon/internal/monitor"
 	"chainmon/internal/netsim"
 	"chainmon/internal/perception"
+	"chainmon/internal/realtime"
 	"chainmon/internal/rta"
 	"chainmon/internal/shmring"
 	"chainmon/internal/sim"
 	"chainmon/internal/stats"
+	"chainmon/internal/telemetry"
 	"chainmon/internal/trace"
 	"chainmon/internal/vclock"
 	"chainmon/internal/weaklyhard"
@@ -194,6 +196,12 @@ type (
 	RealRing = shmring.Ring
 	// RealMonitor is the wall-clock monitor goroutine.
 	RealMonitor = shmring.Monitor
+	// RealtimeConfig parameterizes a wall-clock monitor run.
+	RealtimeConfig = realtime.Config
+	// RealtimeResult is the outcome of a wall-clock monitor run.
+	RealtimeResult = realtime.Result
+	// MetricsRegistry is the lock-free live-metrics table.
+	MetricsRegistry = telemetry.Registry
 )
 
 // Statuses and variants.
@@ -307,6 +315,18 @@ func DefaultPerceptionConfig() PerceptionConfig { return perception.DefaultConfi
 
 // NewRealMonitor creates the wall-clock shared-memory monitor.
 func NewRealMonitor() *RealMonitor { return shmring.NewMonitor() }
+
+// RunRealtime executes the wall-clock monitor scenario; reg (may be nil)
+// receives live metrics and is safe to scrape concurrently during the run.
+func RunRealtime(cfg RealtimeConfig, reg *MetricsRegistry) (RealtimeResult, error) {
+	return realtime.Run(cfg, reg)
+}
+
+// DefaultRealtimeConfig is sized for a ~1 s smoke run.
+func DefaultRealtimeConfig() RealtimeConfig { return realtime.DefaultConfig() }
+
+// NewMetricsRegistry creates an empty live-metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // EthernetLink returns the default inter-ECU link configuration.
 func EthernetLink() LinkConfig { return netsim.Ethernet() }

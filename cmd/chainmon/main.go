@@ -10,6 +10,13 @@
 //	         [-seeds N] [-parallel W]
 //	         [-telemetry-trace out.json] [-metrics-out metrics.prom]
 //	         [-telemetry-csv events.csv] [-metrics-addr :9090]
+//	chainmon -realtime [-frames N] [-seed S] [-metrics-addr :9090]
+//	         [-metrics-out metrics.prom]
+//
+// With -realtime the monitor core runs on the wall clock instead of the
+// simulation: a real producer goroutine, real deadlines, and /metrics
+// served live *during* the run (the simulation mode serves metrics only
+// after the run finished).
 package main
 
 import (
@@ -18,14 +25,17 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"chainmon/internal/faultinject"
 	"chainmon/internal/monitor"
 	"chainmon/internal/parallel"
 	"chainmon/internal/perception"
+	"chainmon/internal/realtime"
 	"chainmon/internal/scenario"
 	"chainmon/internal/sim"
 	"chainmon/internal/telemetry"
@@ -46,8 +56,33 @@ func main() {
 	telTrace := flag.String("telemetry-trace", "", "write the monitor's own flight-recorder trace (Chrome trace-event JSON, open in Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write the monitor's metrics as Prometheus text to this file after the run")
 	telCSV := flag.String("telemetry-csv", "", "write the flight-recorder events as CSV to this file")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address after the run (blocks; ctrl-C to exit)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address after the run (blocks; ctrl-C to exit). With -realtime: serve live during the run")
+	rtMode := flag.Bool("realtime", false, "run the monitor core on the wall clock (real goroutines and deadlines) instead of the simulation")
 	flag.Parse()
+
+	if *rtMode {
+		// A wall-clock run has no seeds to sweep, no faults to inject and
+		// no virtual network: every simulation-only flag is a user error,
+		// rejected loudly instead of silently ignored.
+		rcfg := realtime.DefaultConfig()
+		var bad []string
+		flag.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "frames":
+				rcfg.Frames = *frames
+			case "seed":
+				rcfg.Seed = *seed
+			case "realtime", "metrics-addr", "metrics-out":
+			default:
+				bad = append(bad, "-"+fl.Name)
+			}
+		})
+		if len(bad) > 0 {
+			log.Fatalf("-realtime is a wall-clock run; it cannot combine with the simulation-only flags %s", strings.Join(bad, ", "))
+		}
+		runRealtime(rcfg, *metricsAddr, *metricsOut)
+		return
+	}
 
 	cfg := perception.DefaultConfig()
 	var camp faultinject.Campaign
@@ -285,4 +320,35 @@ func writeTrace(path string, cfg perception.Config) {
 		log.Fatalf("writing trace: %v", err)
 	}
 	fmt.Printf("\nunmonitored trace written to %s\n", path)
+}
+
+// runRealtime executes the wall-clock scenario. Unlike the simulation path,
+// the metrics endpoint is bound *before* the run starts and serves the live
+// registry while frames are still in flight; the process exits once the run
+// and the final exports are done.
+func runRealtime(cfg realtime.Config, metricsAddr, metricsOut string) {
+	reg := telemetry.NewRegistry()
+	sink := &telemetry.Sink{Reg: reg}
+
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			log.Fatalf("binding metrics listener: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", sink.Handler())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				log.Printf("metrics server stopped: %v", err)
+			}
+		}()
+		fmt.Printf("serving live metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	res, err := realtime.Run(cfg, reg)
+	if err != nil {
+		log.Fatalf("wall-clock run failed: %v", err)
+	}
+	res.Summary(os.Stdout)
+	writeTelemetry(sink, "", metricsOut, "")
 }

@@ -26,7 +26,14 @@
 //   - ptp-asym: an asymmetric PTP offset, stepping two clocks in opposite
 //     directions (an asymmetric-path delay error splitting the correction
 //     between master and slave — the relative error across the link is twice
-//     the per-clock offset, the worst case for remote timestamping).
+//     the per-clock offset, the worst case for remote timestamping);
+//   - executor-starvation: one node's executor thread suspended for the
+//     window (a lost lock or hung blocking call) while the rest of the ECU
+//     stays schedulable — the monitor must convert the stalled callbacks
+//     into per-activation exceptions even though the ECU shows no overload;
+//   - gm-failover: a grandmaster failover on a vclock — a step error at the
+//     window start, then a PTP servo slewing the clock back into sync over
+//     the window (piecewise-decaying drift), fully re-converged at the end.
 //
 // Campaigns are plain JSON so they can be stored next to scenarios and run
 // from the CLI (cmd/chainmon -faults). All randomness is drawn from RNG
@@ -77,6 +84,9 @@ const (
 	TypeReorder       = "reorder"
 	TypeDuplicate     = "duplicate"
 	TypePTPAsym       = "ptp-asym"
+
+	TypeExecutorStarvation = "executor-starvation"
+	TypeGMFailover         = "gm-failover"
 )
 
 // Spec describes one fault. Type selects the fault; From/Until bound its
@@ -101,6 +111,9 @@ type Spec struct {
 	ECU string `json:"ecu,omitempty"`
 	// Device is the sensor-dropout target.
 	Device string `json:"device,omitempty"`
+	// Node is the executor-starvation target: a DDS node name whose
+	// executor thread is suspended for the window.
+	Node string `json:"node,omitempty"`
 
 	// Gilbert-Elliott parameters (burst-loss). Each transmission first
 	// performs the state transition, then samples loss in the current
@@ -232,6 +245,20 @@ func (s *Spec) Validate() error {
 		if err := checkProb("drop_prob", s.DropProb); err != nil {
 			return err
 		}
+	case TypeExecutorStarvation:
+		if s.Node == "" {
+			return fmt.Errorf("faultinject: %s needs a node target", s.Type)
+		}
+	case TypeGMFailover:
+		if s.Clock == "" {
+			return fmt.Errorf("faultinject: %s needs a clock target", s.Type)
+		}
+		if s.Offset == 0 {
+			return fmt.Errorf("faultinject: %s needs a non-zero offset", s.Type)
+		}
+		if s.Until == 0 {
+			return fmt.Errorf("faultinject: %s needs a bounded window (the servo re-converges over [from, until))", s.Type)
+		}
 	case TypeReorder:
 		if s.LinkFrom == "" || s.LinkTo == "" {
 			return fmt.Errorf("faultinject: %s needs link_from and link_to", s.Type)
@@ -266,10 +293,12 @@ func (s *Spec) Validate() error {
 // window itself must be bounded for drift faults to contribute).
 func (s *Spec) maxClockError(horizon sim.Duration) sim.Duration {
 	switch s.Type {
-	case TypeClockStep, TypePTPAsym:
+	case TypeClockStep, TypePTPAsym, TypeGMFailover:
 		// ptp-asym steps each clock by |Offset|; the per-clock error the
 		// oracle bands against is |Offset| (the 2·|Offset| relative error
 		// across the link is covered by the oracle's 2·ε band structure).
+		// gm-failover's error is |Offset| at the step and only decays from
+		// there, so the step bounds it.
 		return absDur(sim.Duration(s.Offset))
 	case TypeClockDrift:
 		win := horizon

@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"chainmon/internal/monitor"
+	"chainmon/internal/perception"
+	"chainmon/internal/sim"
+	"chainmon/internal/vclock"
+)
+
+// TestGMFailoverServoDecay pins the fault's shape on a bare clock: the
+// injected error is |Offset| right after the step, decays monotonically as
+// the piecewise servo slews the clock back, never exceeds the step (the
+// oracle band), and is exactly zero after the window.
+func TestGMFailoverServoDecay(t *testing.T) {
+	k := sim.NewKernel()
+	c := vclock.New(k, sim.NewRNG(1), "ecu1", vclock.Config{})
+	spec := Spec{
+		Type: TypeGMFailover, Clock: "ecu1",
+		From: Duration(sim.Second), Until: Duration(5 * sim.Second),
+		Offset: Duration(20 * sim.Millisecond),
+	}
+	tgt := Targets{Kernel: k, Clocks: map[string]*vclock.Clock{"ecu1": c}}
+	if err := NewInjector(sim.NewRNG(1)).Apply(Campaign{Name: "gm", Faults: []Spec{spec}}, tgt); err != nil {
+		t.Fatal(err)
+	}
+
+	var offsets []sim.Duration
+	// Sample just after the step, at each stage boundary, and after Until.
+	for _, at := range []sim.Duration{
+		sim.Second + sim.Millisecond, 2 * sim.Second, 3 * sim.Second,
+		4 * sim.Second, 5*sim.Second - sim.Millisecond, 5*sim.Second + sim.Millisecond,
+	} {
+		k.AtPriority(sim.Time(at), -1000, func() {
+			offsets = append(offsets, c.FaultOffset())
+		})
+	}
+	k.Run()
+
+	if len(offsets) != 6 {
+		t.Fatalf("sampled %d offsets, want 6", len(offsets))
+	}
+	step := 20 * sim.Millisecond
+	if offsets[0] < step*9/10 || offsets[0] > step {
+		t.Errorf("offset just after the step = %v, want ≈%v", offsets[0], step)
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] > offsets[i-1] {
+			t.Errorf("offset grew from %v to %v at sample %d; the servo must only slew toward sync",
+				offsets[i-1], offsets[i], i)
+		}
+		if offsets[i] > step {
+			t.Errorf("offset %v at sample %d exceeds the step %v (the oracle band)", offsets[i], i, step)
+		}
+	}
+	if got := offsets[len(offsets)-1]; got != 0 {
+		t.Errorf("offset after the window = %v, want 0 (fully re-converged)", got)
+	}
+}
+
+// TestGMFailoverCampaign cross-checks the grandmaster failover against the
+// ground-truth oracle: the 25 ms step trips the lidar→ECU1 remote monitors
+// until the servo slews the error below the 20 ms remote deadline, and no
+// verdict may flip against the widened band.
+func TestGMFailoverCampaign(t *testing.T) {
+	e := GMFailoverEntry()
+	for _, seed := range []int64{11, 22, 33} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			run := runCampaign(t, seed, e.Campaign, monitor.VariantMonitorThread)
+			if !run.Report.Ok() {
+				t.Errorf("oracle invariants violated under grandmaster failover:\n%s", run.Report.Summary())
+			}
+			checkSanity(t, e, run)
+			// Only the first servo stage (1.5 s ≈ 15 frames) carries an error
+			// beyond the deadline; detections must be transient, not a storm
+			// across the whole 6 s window.
+			front := segReport(t, run.Report, perception.SegFrontRemote)
+			if front.Exception == 0 || front.Exception > 40 {
+				t.Errorf("gm-failover: expected a transient burst of detections on %s, got %+v", front.Name, front)
+			}
+		})
+	}
+}
+
+// TestGMFailoverValidation pins the spec-level checks of the new fault type.
+func TestGMFailoverValidation(t *testing.T) {
+	base := Spec{Type: TypeGMFailover, Clock: "ecu1",
+		From: Duration(sim.Second), Until: Duration(5 * sim.Second),
+		Offset: Duration(25 * sim.Millisecond)}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Spec){
+		"missing clock":    func(s *Spec) { s.Clock = "" },
+		"zero offset":      func(s *Spec) { s.Offset = 0 },
+		"unbounded window": func(s *Spec) { s.Until = 0 },
+	} {
+		s := base
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+	// The oracle band widens by the step magnitude.
+	c := Campaign{Name: "x", Faults: []Spec{base}}
+	if got := c.MaxClockError(0); got != 25*sim.Millisecond {
+		t.Errorf("MaxClockError = %v, want %v", got, 25*sim.Millisecond)
+	}
+}

@@ -29,6 +29,9 @@ type Targets struct {
 	Clocks  map[string]*vclock.Clock
 	Procs   map[string]*sim.Processor
 	Devices map[string]*dds.Device
+	// Exec maps node names to their executor threads (the
+	// executor-starvation targets).
+	Exec map[string]*sim.Thread
 }
 
 // TargetsOf exposes the injectable surfaces of a perception system.
@@ -49,6 +52,13 @@ func TargetsOf(s *perception.System) Targets {
 		Devices: map[string]*dds.Device{
 			s.FrontLidar.Name: s.FrontLidar,
 			s.RearLidar.Name:  s.RearLidar,
+		},
+		Exec: map[string]*sim.Thread{
+			"fusion":      s.Fusion.Exec,
+			"classifier":  s.Classifier.Exec,
+			"detection":   s.Detection.Exec,
+			"plan":        s.Plan.Exec,
+			"plan-ground": s.PlanGround.Exec,
 		},
 	}
 }
@@ -89,6 +99,10 @@ func (in *Injector) Apply(c Campaign, tgt Targets) error {
 			err = in.applyOverload(s, tgt, i)
 		case TypeSensorDropout:
 			err = in.applySensorDropout(s, tgt, rng)
+		case TypeExecutorStarvation:
+			err = in.applyExecutorStarvation(s, tgt)
+		case TypeGMFailover:
+			err = in.applyGMFailover(s, tgt)
 		case TypeReorder:
 			err = in.applyReorder(s, tgt, rng)
 		case TypeDuplicate:
@@ -249,6 +263,58 @@ func (in *Injector) applyOverload(s *Spec, tgt Targets, idx int) error {
 		th := p.NewThread(s.ECU+"/"+label, OverloadPriority)
 		p.PeriodicLoadWindow(th, label, from, until, period, sim.Constant(cost))
 	}
+	return nil
+}
+
+// applyExecutorStarvation suspends the target node's executor thread for
+// the window. Unlike overload, no CPU is consumed: the thread simply stops
+// competing for cores (a lost lock, a hung blocking call), its queue
+// accumulates, and the rest of the ECU stays schedulable — so the monitor
+// thread keeps running and must convert the stalled callbacks into
+// exceptions.
+func (in *Injector) applyExecutorStarvation(s *Spec, tgt Targets) error {
+	th, ok := tgt.Exec[s.Node]
+	if !ok {
+		return fmt.Errorf("faultinject: no executor thread for node %q", s.Node)
+	}
+	from, until := s.window()
+	tgt.Kernel.At(from, th.Block)
+	if until != sim.MaxTime {
+		tgt.Kernel.At(until, th.Unblock)
+	}
+	return nil
+}
+
+// gmFailoverStages is the number of piecewise-constant slew segments the
+// gm-failover servo uses to re-converge: each stage removes half of the
+// remaining offset (the last removes all of it), approximating the
+// exponential pull-in of a real PTP servo.
+const gmFailoverStages = 4
+
+// applyGMFailover injects a grandmaster-failover transient: a step error at
+// the window start (the new grandmaster's offset), then a decaying slew
+// back into sync across the window, and an exact re-convergence at the
+// window end. The error is |Offset| at its worst and only shrinks, so the
+// oracle band derived from the step covers the whole transient.
+func (in *Injector) applyGMFailover(s *Spec, tgt Targets) error {
+	c, ok := tgt.Clocks[s.Clock]
+	if !ok {
+		return fmt.Errorf("faultinject: no clock %q", s.Clock)
+	}
+	from, until := s.window()
+	stage := until.Sub(from) / gmFailoverStages
+	tgt.Kernel.At(from, func() { c.InjectStep(sim.Duration(s.Offset)) })
+	remaining := sim.Duration(s.Offset)
+	for i := 0; i < gmFailoverStages; i++ {
+		correct := remaining / 2
+		if i == gmFailoverStages-1 {
+			correct = remaining
+		}
+		rate := -float64(correct) / float64(stage) * 1e6 // ppm
+		tgt.Kernel.At(from.Add(stage*sim.Duration(i)), func() { c.SetDrift(rate) })
+		remaining -= correct
+	}
+	tgt.Kernel.At(until, c.ClearFault)
 	return nil
 }
 

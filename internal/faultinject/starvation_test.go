@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"chainmon/internal/monitor"
+	"chainmon/internal/perception"
+	"chainmon/internal/sim"
+)
+
+// TestExecutorStarvationCampaign cross-checks the executor stall against
+// the ground-truth oracle: the detection executor is suspended for 2.5 s,
+// so non-ground clouds queue unprocessed and the objects segment misses
+// frame after frame while the rest of ECU2 — including the ground path and
+// the monitor thread — keeps running. Zero false negatives must hold and
+// the ground segment must not storm.
+func TestExecutorStarvationCampaign(t *testing.T) {
+	e := ExecutorStarvationEntry()
+	for _, seed := range []int64{11, 22, 33} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			run := runCampaign(t, seed, e.Campaign, monitor.VariantMonitorThread)
+			if !run.Report.Ok() {
+				t.Errorf("oracle invariants violated under executor starvation:\n%s", run.Report.Summary())
+			}
+			checkSanity(t, e, run)
+			// The stall window is 2.5 s = 25 frames; the objects segment
+			// must catch most of them.
+			objects := segReport(t, run.Report, perception.SegObjectsLocal)
+			if objects.Exception < 15 {
+				t.Errorf("executor-starvation: expected ≥15 misses on %s, got %+v", objects.Name, objects)
+			}
+			// The ground path bypasses the detection node entirely: it must
+			// see far fewer misses than the stalled objects path.
+			ground := segReport(t, run.Report, perception.SegGroundLocal)
+			if ground.Exception >= objects.Exception {
+				t.Errorf("executor-starvation: ground path (%d misses) should be mostly unaffected vs objects (%d)",
+					ground.Exception, objects.Exception)
+			}
+			// The thread must be schedulable again after the window.
+			if run.Sys.Detection.Exec.Blocked() {
+				t.Error("executor-starvation: detection executor still blocked after the run")
+			}
+		})
+	}
+}
+
+// TestExecutorStarvationValidation pins the spec-level checks.
+func TestExecutorStarvationValidation(t *testing.T) {
+	base := Spec{Type: TypeExecutorStarvation, Node: "detection",
+		From: Duration(sim.Second), Until: Duration(2 * sim.Second)}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	missing := base
+	missing.Node = ""
+	if err := missing.Validate(); err == nil {
+		t.Error("missing node: expected a validation error")
+	}
+	// Starving an executor injects no clock error.
+	c := Campaign{Name: "x", Faults: []Spec{base}}
+	if got := c.MaxClockError(0); got != 0 {
+		t.Errorf("MaxClockError = %v, want 0", got)
+	}
+	// An unknown node must fail at apply time.
+	sys := perception.Build(perception.DefaultConfig())
+	bad := Campaign{Name: "bad", Faults: []Spec{{Type: TypeExecutorStarvation, Node: "nonesuch"}}}
+	if err := NewInjector(sim.NewRNG(1)).Apply(bad, TargetsOf(sys)); err == nil {
+		t.Error("unknown node: expected an apply error")
+	}
+}
+
+// TestThreadBlockSuspendsWithoutCPU pins the scheduler-level semantics the
+// fault relies on: a blocked thread consumes no CPU and releases its core,
+// queued work survives the block, and an in-flight item resumes where it
+// left off on Unblock.
+func TestThreadBlockSuspendsWithoutCPU(t *testing.T) {
+	k := sim.NewKernel()
+	p := sim.NewProcessor(k, sim.NewRNG(1), "ecu", 1)
+	victim := p.NewThread("victim", 10)
+	other := p.NewThread("other", 5)
+
+	var victimDone, otherDone sim.Time
+	victim.Enqueue("long", 10*sim.Millisecond, func() { victimDone = k.Now() })
+	k.At(sim.Time(2*sim.Millisecond), victim.Block)
+	// While the victim holds the only core blocked-free, the lower-priority
+	// thread must be able to run.
+	k.At(sim.Time(3*sim.Millisecond), func() {
+		other.Enqueue("short", sim.Millisecond, func() { otherDone = k.Now() })
+	})
+	k.At(sim.Time(20*sim.Millisecond), victim.Unblock)
+	k.Run()
+
+	if otherDone != sim.Time(4*sim.Millisecond) {
+		t.Errorf("other thread finished at %v, want 4ms (core freed by the blocked victim)", otherDone)
+	}
+	// 2ms ran before the block; the remaining 8ms resume at 20ms.
+	if victimDone != sim.Time(28*sim.Millisecond) {
+		t.Errorf("victim finished at %v, want 28ms (2ms before the block + 8ms after)", victimDone)
+	}
+	if got := victim.BusyTime(); got != 10*sim.Millisecond {
+		t.Errorf("victim busy time = %v, want 10ms (blocking consumes no CPU)", got)
+	}
+}

@@ -334,11 +334,53 @@ func PTPAsymEntry() MatrixEntry {
 	}
 }
 
+// ExecutorStarvationEntry suspends the detection node's executor thread for
+// 2.5 s: non-ground clouds pile up unprocessed while the rest of ECU2 stays
+// schedulable, so the objects segment must miss its local deadline frame
+// after frame even though the processor shows no overload (the failure mode
+// a utilization watchdog cannot see).
+func ExecutorStarvationEntry() MatrixEntry {
+	return MatrixEntry{
+		Campaign: Campaign{Name: "executor-starvation", Faults: []Spec{{
+			Type: TypeExecutorStarvation, From: sec(4), Until: sec(6.5),
+			Node: "detection",
+		}}},
+		Sanity: func(run *Run) error {
+			if s, _ := run.Report.Segment(perception.SegObjectsLocal); s.Exception < 10 {
+				return fmt.Errorf("executor-starvation: a 2.5s executor stall must miss ≥10 local deadlines on %s, got %d", s.Name, s.Exception)
+			}
+			return nil
+		},
+	}
+}
+
+// GMFailoverEntry injects a grandmaster failover on the ECU1 clock: a 25 ms
+// step at 3 s, slewed back into sync by 9 s. The lidar→fusion remote
+// monitors must fire while the error exceeds the 20 ms remote deadline and
+// fall silent as the servo re-converges; the oracle's step-derived band
+// must absorb the whole transient.
+func GMFailoverEntry() MatrixEntry {
+	return MatrixEntry{
+		Campaign: Campaign{Name: "gm-failover", Faults: []Spec{{
+			Type: TypeGMFailover, From: sec(3), Until: sec(9),
+			Clock: "ecu1", Offset: Duration(25 * sim.Millisecond),
+		}}},
+		Sanity: func(run *Run) error {
+			if s, _ := run.Report.Segment(perception.SegFrontRemote); s.Exception == 0 {
+				return fmt.Errorf("gm-failover: a 25ms step must trip %s before the servo re-converges", s.Name)
+			}
+			return nil
+		},
+	}
+}
+
 // AllCampaigns is the full campaign set: the core matrix plus reorder,
-// duplicate and the asymmetric PTP offset.
+// duplicate, the asymmetric PTP offset, the executor stall and the
+// grandmaster failover.
 func AllCampaigns() []MatrixEntry {
 	entries := ChaosCampaigns()
-	return append(entries, ReorderEntry(), DuplicateEntry(), PTPAsymEntry())
+	return append(entries, ReorderEntry(), DuplicateEntry(), PTPAsymEntry(),
+		ExecutorStarvationEntry(), GMFailoverEntry())
 }
 
 // cross builds the campaign-major combo grid, pre-sized to its exact length.
@@ -386,10 +428,10 @@ func PRMatrix() []Combo {
 	return combos
 }
 
-// GrownNightlyMatrix is the ~1000-combo sweep the parallel engine makes
-// affordable: all ten campaigns (including ptp-asym) × ninety-nine seeds
-// plus ten dds-context runs drawn from the campaigns that leave the
-// middleware thread schedulable.
+// GrownNightlyMatrix is the ~1200-combo sweep the parallel engine makes
+// affordable: all twelve campaigns (including ptp-asym, executor-starvation
+// and gm-failover) × ninety-nine seeds plus ten dds-context runs drawn from
+// the campaigns that leave the middleware thread schedulable.
 func GrownNightlyMatrix() []Combo {
 	combos := cross(AllCampaigns(), seedSeq(99), monitor.VariantMonitorThread)
 	ddsSafe := []MatrixEntry{ReorderEntry(), DuplicateEntry(), ChaosCampaigns()[0], ChaosCampaigns()[1]}
@@ -398,7 +440,7 @@ func GrownNightlyMatrix() []Combo {
 			combos = append(combos, Combo{Campaign: e.Campaign, Seed: seed, Variant: monitor.VariantDDSContext})
 		}
 	}
-	// 10×99 + 2×4 = 998; top up with the historical dds-context pair.
+	// 12×99 + 2×4 = 1196; top up with the historical dds-context pair.
 	combos = append(combos,
 		Combo{Campaign: ReorderEntry().Campaign, Seed: 33, Variant: monitor.VariantDDSContext},
 		Combo{Campaign: DuplicateEntry().Campaign, Seed: 33, Variant: monitor.VariantDDSContext},

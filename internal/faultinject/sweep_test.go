@@ -11,7 +11,7 @@ func TestMatrixSizes(t *testing.T) {
 	if n := len(PRMatrix()); n != 23 {
 		t.Errorf("PRMatrix has %d combos", n)
 	}
-	if n := len(GrownNightlyMatrix()); n != 1000 {
+	if n := len(GrownNightlyMatrix()); n != 1198 {
 		t.Errorf("GrownNightlyMatrix has %d combos", n)
 	}
 	for _, c := range GrownNightlyMatrix() {

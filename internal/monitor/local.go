@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"chainmon/internal/dds"
+	rt "chainmon/internal/runtime"
+	"chainmon/internal/runtime/simtime"
 	"chainmon/internal/sim"
 	"chainmon/internal/telemetry"
 	"chainmon/internal/weaklyhard"
@@ -16,11 +18,27 @@ import (
 // highest scheduling priority, is woken through a semaphore on start events,
 // drains the buffers in a fixed order, maintains a timeout queue, and raises
 // temporal exceptions whose handlers execute on the monitor thread.
+//
+// The ring-drain/timeout-queue algorithm itself lives in runtime.Core; this
+// type adds the verdict bookkeeping (skip propagation, (m,k) accounting,
+// Algorithm 2 decisions) and binds the core to a timebase. NewLocalMonitor
+// builds it on the deterministic simulation runtime; NewWallclockMonitor
+// builds the same logic on the wall-clock runtime (real rings, real
+// goroutines — see internal/runtime/walltime).
 type LocalMonitor struct {
-	ECU    *dds.ECU
-	Thread *sim.Thread
+	ECU    *dds.ECU    // nil on the wall-clock runtime
+	Thread *sim.Thread // nil on the wall-clock runtime
+
+	clock rt.Clock
+	exec  rt.Executor
+	sched rt.Waker
+	// armTimer arms a scan at the deadline (simtime kernel timer); nil when
+	// the host loop sleeps on Core.NextDeadline instead (walltime).
+	armTimer func(deadline rt.Time, fire func()) rt.Timer
+	newRing  func() rt.EventRing
 
 	rng      *sim.RNG
+	core     *rt.Core
 	segments []*LocalSegment
 
 	// PostCost is the overhead of posting one event into a ring buffer
@@ -29,7 +47,6 @@ type LocalMonitor struct {
 	// ScanCost is the execution time of one monitor-thread drain pass.
 	ScanCost sim.Dist
 
-	scanQueued bool
 	overheads  *OverheadStats
 	skipTables map[*dds.Publisher]map[uint64]bool
 
@@ -38,11 +55,13 @@ type LocalMonitor struct {
 }
 
 // NewLocalMonitor creates the monitor thread of an ECU at the highest
-// scheduling priority.
+// scheduling priority, on the deterministic simulation runtime.
 func NewLocalMonitor(ecu *dds.ECU) *LocalMonitor {
-	return &LocalMonitor{
+	k := ecu.Proc.Kernel()
+	m := &LocalMonitor{
 		ECU:    ecu,
 		Thread: ecu.Proc.NewThread(ecu.Name+"/monitor", dds.PrioMonitor),
+		clock:  simtime.Clock{K: k},
 		rng:    ecu.Proc.RNG().Derive("localmon"),
 		PostCost: sim.LogNormalDist{
 			Median: 15 * sim.Microsecond, Sigma: 0.5,
@@ -52,9 +71,45 @@ func NewLocalMonitor(ecu *dds.ECU) *LocalMonitor {
 			Median: 20 * sim.Microsecond, Sigma: 0.4,
 			Shift: 5 * sim.Microsecond, Max: 150 * sim.Microsecond,
 		},
+		core:       rt.NewCore(),
 		overheads:  NewOverheadStats(),
 		skipTables: make(map[*dds.Publisher]map[uint64]bool),
+		newRing:    func() rt.EventRing { return &rt.SliceRing{} },
 	}
+	m.exec = simtime.Executor{T: m.Thread}
+	m.sched = &simScheduler{m: m}
+	timers := simtime.TimerHost{K: k}
+	m.armTimer = func(deadline rt.Time, fire func()) rt.Timer {
+		return timers.At(deadline, dds.PrioMonitor, fire)
+	}
+	return m
+}
+
+// NewWallclockMonitor runs the same local-monitor logic on a wall-clock
+// runtime: waker is the monitor semaphore, newRing supplies the per-segment
+// SPSC rings, and exception handlers run inline on the goroutine that calls
+// ScanNow (the walltime.Loop). There are no per-activation timers — the
+// host loop sleeps until Core().NextDeadline().
+//
+// Concurrency contract: StartInjected/EndInjected must come from a single
+// producer goroutine per segment; ScanNow and PropagateInto belong to the
+// monitor goroutine. Cost models default to zero (on a real clock the
+// costs are real) and must stay RNG-free on the producer path; telemetry
+// attachment is not supported on this runtime.
+func NewWallclockMonitor(clock rt.Clock, waker rt.Waker, newRing func() rt.EventRing, seed int64) *LocalMonitor {
+	m := &LocalMonitor{
+		clock:      clock,
+		rng:        sim.NewRNG(seed).Derive("localmon"),
+		PostCost:   sim.Constant(0),
+		ScanCost:   sim.Constant(0),
+		core:       rt.NewCore(),
+		overheads:  NewOverheadStats(),
+		skipTables: make(map[*dds.Publisher]map[uint64]bool),
+		newRing:    newRing,
+		sched:      waker,
+	}
+	m.exec = inlineExecutor{clock: clock}
+	return m
 }
 
 // Overheads returns the Fig. 11 overhead collectors of this monitor.
@@ -63,34 +118,73 @@ func (m *LocalMonitor) Overheads() *OverheadStats { return m.overheads }
 // Segments returns the registered segments in their fixed processing order.
 func (m *LocalMonitor) Segments() []*LocalSegment { return m.segments }
 
-// ringEvent is one posted start or end event.
-type ringEvent struct {
-	act    uint64
-	ts     sim.Time // event time (global)
-	posted sim.Time // when it was placed into the ring
+// Core exposes the shared monitor core (the wall-clock loop sleeps on its
+// NextDeadline).
+func (m *LocalMonitor) Core() *rt.Core { return m.core }
+
+// ScanNow runs one monitor pass at the current clock time. The wall-clock
+// loop calls it after a semaphore wake or deadline sleep; on the simulation
+// runtime scans are scheduled through the wake path instead.
+func (m *LocalMonitor) ScanNow() { m.scan() }
+
+// scanScheduler is the simtime rt.Waker: it queues scan passes on the
+// simulated monitor thread with a sampled scan cost, coalescing wakes while
+// one pass is outstanding.
+type simScheduler struct {
+	m      *LocalMonitor
+	queued bool
 }
 
-// armedTimeout tracks one outstanding segment activation.
-type armedTimeout struct {
-	act      uint64
-	start    sim.Time
-	deadline sim.Time
-	timer    *sim.Event
+// Wake raises the monitor semaphore: one scan pass is queued on the monitor
+// thread unless one is already outstanding.
+func (sc *simScheduler) Wake() {
+	if sc.queued {
+		return
+	}
+	sc.queued = true
+	sc.queue()
 }
+
+// ForceWake queues a scan unconditionally; timeout timers use it so that a
+// scan that is already queued but might run before the deadline cannot
+// swallow the timeout.
+func (sc *simScheduler) ForceWake() {
+	sc.queued = true
+	sc.queue()
+}
+
+func (sc *simScheduler) queue() {
+	m := sc.m
+	cost := m.ScanCost.Sample(m.rng)
+	m.overheads.MonExec.AddDuration(cost)
+	if m.tel != nil {
+		m.lastScanCost = cost
+	}
+	m.Thread.Enqueue("monitor/scan", cost, func() {
+		sc.queued = false
+		m.scan()
+	})
+}
+
+// inlineExecutor runs handler work immediately on the calling goroutine —
+// on the wall-clock runtime that is the monitor goroutine itself, matching
+// the paper's "handlers execute on the monitor thread".
+type inlineExecutor struct{ clock rt.Clock }
+
+func (e inlineExecutor) Exec(_ string, _ rt.Duration, fn func(rt.Time))       { fn(e.clock.Now()) }
+func (e inlineExecutor) ExecDirect(_ string, _ rt.Duration, fn func(rt.Time)) { fn(e.clock.Now()) }
 
 // LocalSegment is one monitored local segment: it starts with a receive
 // event and ends with a publication event — or, as in the evaluation's rviz
 // setup, with a reception — on the same ECU. A segment may span several
 // processes.
 type LocalSegment struct {
-	cfg SegmentConfig
-	mon *LocalMonitor
+	cfg  SegmentConfig
+	mon  *LocalMonitor
+	core *rt.Segment
 
-	startRing []ringEvent
-	endRing   []ringEvent
-	pending   map[uint64]*armedTimeout
-	excepted  map[uint64]bool
-	resolved  map[uint64]bool
+	excepted map[uint64]bool
+	resolved map[uint64]bool
 
 	counter *weaklyhard.Counter
 	reorder *reorderBuf
@@ -101,8 +195,7 @@ type LocalSegment struct {
 	// Nil when the segment ends at a reception.
 	endPub *dds.Publisher
 	tel    *segTel // nil when uninstrumented
-	// endSub is the subscription used by remote recovery handlers; set
-	// when the segment starts at this subscription.
+	// propagateTo receives error propagation events for unrecovered misses.
 	propagateTo Propagator
 	onResolve   []ResolveFunc
 }
@@ -120,7 +213,6 @@ func (m *LocalMonitor) AddSegment(cfg SegmentConfig) *LocalSegment {
 	s := &LocalSegment{
 		cfg:      cfg,
 		mon:      m,
-		pending:  make(map[uint64]*armedTimeout),
 		excepted: make(map[uint64]bool),
 		resolved: make(map[uint64]bool),
 		counter:  weaklyhard.NewCounter(cfg.Constraint),
@@ -135,6 +227,45 @@ func (m *LocalMonitor) AddSegment(cfg SegmentConfig) *LocalSegment {
 		for _, fn := range s.onResolve {
 			fn(r)
 		}
+	})
+	s.core = m.core.AddSegment(cfg.Name, cfg.DMon, m.newRing(), m.newRing(), rt.SegmentHooks{
+		DrainLatency: func(lat rt.Duration) {
+			m.overheads.MonLatency.AddDuration(lat)
+		},
+		SkipArm: func(act uint64) bool {
+			return s.resolved[act] || s.excepted[act]
+		},
+		Arm: func(act uint64, start, deadline, now rt.Time) rt.Timer {
+			if s.tel != nil {
+				s.tel.track.Append(telemetry.Event{
+					TS: int64(now), Act: act, Arg: int64(deadline),
+					Kind: telemetry.KindTimeoutArm, Label: s.tel.label,
+				})
+			}
+			if m.armTimer != nil && deadline > now {
+				return m.armTimer(deadline, m.sched.ForceWake)
+			}
+			return nil
+		},
+		OK: func(act uint64, start, end rt.Time) {
+			s.resolve(Resolution{
+				Activation: act,
+				Status:     StatusOK,
+				Start:      sim.Time(start),
+				End:        sim.Time(end),
+				Latency:    end.Sub(start),
+			})
+		},
+		Expire: func(act uint64, start, deadline, now rt.Time) {
+			s.excepted[act] = true
+			if s.tel != nil {
+				s.tel.track.Append(telemetry.Event{
+					TS: int64(now), Act: act,
+					Kind: telemetry.KindTimeoutFire, Label: s.tel.label,
+				})
+			}
+			s.raiseException(act, sim.Time(start), sim.Time(deadline), false)
+		},
 	})
 	if m.tel != nil {
 		s.tel = newSegTel(m.tel.sink, m.tel.track, s.cfg.Name)
@@ -171,8 +302,12 @@ func (s *LocalSegment) StartOnDeliver(sub *dds.Subscription) {
 }
 
 // StartInjected posts a start event directly (used by recovery paths that
-// issue substitute receive events).
+// issue substitute receive events, and by wall-clock scenario drivers).
 func (s *LocalSegment) StartInjected(act uint64) { s.postStart(act) }
+
+// EndInjected posts an end event directly (the wall-clock counterpart of an
+// instrumented publication).
+func (s *LocalSegment) EndInjected(act uint64) { s.postEnd(act) }
 
 // EndOnPublish makes publications of the publisher this segment's end
 // events, and installs the skip-next-publication veto used for propagation.
@@ -229,12 +364,12 @@ func (m *LocalMonitor) markSkip(pub *dds.Publisher, act uint64) {
 // postStart models the instrumented subscriber: post into the start ring,
 // record the posting overhead, and raise the monitor semaphore.
 func (s *LocalSegment) postStart(act uint64) {
-	now := s.mon.ECU.Proc.Kernel().Now()
+	now := s.mon.clock.Now()
 	s.mon.overheads.StartPost.AddDuration(s.mon.PostCost.Sample(s.mon.rng))
-	s.startRing = append(s.startRing, ringEvent{act: act, ts: now, posted: now})
+	s.core.StartRing().Post(rt.Event{Act: act, TS: now})
 	if s.tel != nil {
 		s.tel.track.Append(telemetry.Event{
-			TS: int64(now), Act: act, Arg: int64(len(s.startRing)),
+			TS: int64(now), Act: act, Arg: int64(s.core.StartRing().Len()),
 			Kind: telemetry.KindRingPostStart, Label: s.tel.label,
 		})
 	}
@@ -245,62 +380,29 @@ func (s *LocalSegment) postStart(act uint64) {
 // waking the monitor (processing end events is not time critical, saving a
 // context switch).
 func (s *LocalSegment) postEnd(act uint64) {
-	now := s.mon.ECU.Proc.Kernel().Now()
+	now := s.mon.clock.Now()
 	s.mon.overheads.EndPost.AddDuration(s.mon.PostCost.Sample(s.mon.rng))
-	s.endRing = append(s.endRing, ringEvent{act: act, ts: now, posted: now})
+	s.core.EndRing().Post(rt.Event{Act: act, TS: now})
 	if s.tel != nil {
 		s.tel.track.Append(telemetry.Event{
-			TS: int64(now), Act: act, Arg: int64(len(s.endRing)),
+			TS: int64(now), Act: act, Arg: int64(s.core.EndRing().Len()),
 			Kind: telemetry.KindRingPostEnd, Label: s.tel.label,
 		})
 	}
 }
 
-// wake raises the monitor semaphore: one scan pass is queued on the monitor
-// thread unless one is already outstanding.
-func (m *LocalMonitor) wake() {
-	if m.scanQueued {
-		return
-	}
-	m.scanQueued = true
-	m.queueScan()
-}
+// wake raises the monitor semaphore.
+func (m *LocalMonitor) wake() { m.sched.Wake() }
 
-// forceWake queues a scan unconditionally; timeout timers use it so that a
-// scan that is already queued but might run before the deadline cannot
-// swallow the timeout.
-func (m *LocalMonitor) forceWake() {
-	m.scanQueued = true
-	m.queueScan()
-}
-
-func (m *LocalMonitor) queueScan() {
-	cost := m.ScanCost.Sample(m.rng)
-	m.overheads.MonExec.AddDuration(cost)
-	if m.tel != nil {
-		m.lastScanCost = cost
-	}
-	m.Thread.Enqueue("monitor/scan", cost, m.scan)
-}
-
-// scan is one monitor-thread pass: drain all rings in the fixed segment
-// order, arm timeouts for new start events, resolve completed activations,
-// and fire due temporal exceptions.
+// scan is one monitor-thread pass, delegated to the shared core: drain all
+// rings in the fixed segment order, arm timeouts for new start events,
+// resolve completed activations, and fire due temporal exceptions.
 func (m *LocalMonitor) scan() {
-	m.scanQueued = false
-	now := m.ECU.Proc.Kernel().Now()
-	for _, s := range m.segments {
-		s.drain(now)
-	}
-	for _, s := range m.segments {
-		s.fireDue(now)
-	}
+	now := m.clock.Now()
+	m.core.Scan(now)
 	if m.tel != nil {
 		m.tel.scans.Inc()
-		depth := 0
-		for _, s := range m.segments {
-			depth += len(s.pending)
-		}
+		depth := m.core.PendingTimeouts()
 		m.tel.depth.Set(int64(depth))
 		m.tel.track.Append(telemetry.Event{
 			TS: int64(now), Arg: int64(m.lastScanCost), Kind: telemetry.KindScan,
@@ -311,88 +413,19 @@ func (m *LocalMonitor) scan() {
 	}
 }
 
-func (s *LocalSegment) drain(now sim.Time) {
-	k := s.mon.ECU.Proc.Kernel()
-	for _, ev := range s.startRing {
-		s.mon.overheads.MonLatency.AddDuration(now.Sub(ev.posted))
-		if s.resolved[ev.act] || s.excepted[ev.act] {
-			continue // propagated-in activation that was already handled
-		}
-		a := &armedTimeout{act: ev.act, start: ev.ts, deadline: ev.ts.Add(s.cfg.DMon)}
-		s.pending[ev.act] = a
-		if s.tel != nil {
-			s.tel.track.Append(telemetry.Event{
-				TS: int64(now), Act: ev.act, Arg: int64(a.deadline),
-				Kind: telemetry.KindTimeoutArm, Label: s.tel.label,
-			})
-		}
-		if a.deadline > now {
-			a.timer = k.AtPriority(a.deadline, dds.PrioMonitor, s.mon.forceWake)
-		}
-		// Deadlines already in the past are picked up by fireDue below.
-	}
-	s.startRing = s.startRing[:0]
-	for _, ev := range s.endRing {
-		if a, ok := s.pending[ev.act]; ok {
-			if a.timer != nil {
-				k.Cancel(a.timer)
-			}
-			delete(s.pending, ev.act)
-			s.resolve(Resolution{
-				Activation: ev.act,
-				Status:     StatusOK,
-				Start:      a.start,
-				End:        ev.ts,
-				Latency:    ev.ts.Sub(a.start),
-			})
-		}
-		// End events for excepted activations are discarded; end events
-		// without a start cannot occur (causality).
-	}
-	s.endRing = s.endRing[:0]
-}
-
-// fireDue raises temporal exceptions for all armed activations whose
-// monitored deadline has passed without an end event.
-func (s *LocalSegment) fireDue(now sim.Time) {
-	var due []*armedTimeout
-	for _, a := range s.pending {
-		if a.deadline <= now {
-			due = append(due, a)
-		}
-	}
-	// Deterministic order by activation.
-	for i := 1; i < len(due); i++ {
-		for j := i; j > 0 && due[j].act < due[j-1].act; j-- {
-			due[j], due[j-1] = due[j-1], due[j]
-		}
-	}
-	for _, a := range due {
-		delete(s.pending, a.act)
-		s.excepted[a.act] = true
-		if s.tel != nil {
-			s.tel.track.Append(telemetry.Event{
-				TS: int64(now), Act: a.act,
-				Kind: telemetry.KindTimeoutFire, Label: s.tel.label,
-			})
-		}
-		s.raiseException(a.act, a.start, a.deadline, false)
-	}
-}
-
-// raiseException queues the exception handling on the monitor thread
-// (highest priority, bounded cost) and performs the Algorithm 2 decision at
-// handler completion.
+// raiseException dispatches the exception handling onto the monitor's
+// execution context (highest priority, bounded cost) and performs the
+// Algorithm 2 decision at handler completion.
 func (s *LocalSegment) raiseException(act uint64, start, deadline sim.Time, propagated bool) {
-	k := s.mon.ECU.Proc.Kernel()
-	raisedAt := k.Now()
-	cost := s.cfg.handlerCost(s.mon.rng)
+	m := s.mon
+	raisedAt := sim.Time(m.clock.Now())
+	cost := s.cfg.handlerCost(m.rng)
 	// The monitor thread dispatches the handler to itself (no wakeup):
 	// handlers of simultaneous exceptions run back to back in the fixed
 	// segment order.
-	var w *sim.WorkItem
-	w = s.mon.Thread.EnqueueDirect("exc/"+s.cfg.Name, cost, func() {
-		now := k.Now()
+	m.exec.ExecDirect("exc/"+s.cfg.Name, cost, func(started rt.Time) {
+		now := sim.Time(m.clock.Now())
+		entry := sim.Time(started)
 		ctx := &ExceptionContext{
 			Segment:    s.cfg.Name,
 			Activation: act,
@@ -410,14 +443,14 @@ func (s *LocalSegment) raiseException(act uint64, start, deadline sim.Time, prop
 			Start:        start,
 			End:          now,
 			Exception:    true,
-			HandlerEntry: w.Started(),
+			HandlerEntry: entry,
 			HandlerDone:  now,
 		}
 		if start != 0 {
 			r.Latency = now.Sub(start)
 		}
 		if !propagated {
-			r.DetectionLatency = w.Started().Sub(deadline)
+			r.DetectionLatency = entry.Sub(deadline)
 		}
 		if rec != nil {
 			// Recovery (Algorithm 2, line 4): publish the recovered data
@@ -443,7 +476,7 @@ func (s *LocalSegment) raiseException(act uint64, start, deadline sim.Time, prop
 			}
 		}
 		if s.tel != nil {
-			s.tel.handlerDone(act, w.Started(), now, rec != nil)
+			s.tel.handlerDone(act, entry, now, rec != nil)
 		}
 		s.resolve(r)
 	})

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"chainmon/internal/dds"
+	rt "chainmon/internal/runtime"
+	"chainmon/internal/runtime/simtime"
 	"chainmon/internal/sim"
 	"chainmon/internal/telemetry"
 	"chainmon/internal/weaklyhard"
@@ -41,12 +43,21 @@ func (v RemoteVariant) String() string {
 // subscriber. Samples that arrive after their exception are discarded to
 // keep the constant-rate assumption needed for chain composability and
 // reliable (m,k) accounting.
+//
+// Like the local monitor it is compiled against the runtime abstraction —
+// clock reads, timer programming and timeout dispatch go through
+// runtime.Clock, runtime.TimerHost, runtime.SyncClock and runtime.Executor;
+// the simulation experiments bind the simtime adapters.
 type RemoteMonitor struct {
 	cfg     SegmentConfig
 	variant RemoteVariant
 	sub     *dds.Subscription
-	thread  *sim.Thread
 	rng     *sim.RNG
+
+	clock  rt.Clock     // local-ECU time
+	timers rt.TimerHost // deadline timer programming
+	sync   rt.SyncClock // sender-deadline → local-delay conversion
+	exec   rt.Executor  // timeout-routine dispatch (variant's thread)
 
 	// TimeoutRoutineCost is the execution cost of the timeout routine
 	// before the handler decision runs.
@@ -55,7 +66,7 @@ type RemoteMonitor struct {
 	started       bool
 	expected      uint64
 	deadlineLocal sim.Time // local-clock deadline for the expected activation
-	timer         *sim.Event
+	timer         rt.Timer
 	writer        string // the writer this monitor supervises (from samples)
 
 	counter *weaklyhard.Counter
@@ -94,11 +105,16 @@ func newDetachedRemoteMonitor(sub *dds.Subscription, cfg SegmentConfig, variant 
 	if !cfg.Constraint.Valid() {
 		cfg.Constraint = weaklyhard.Constraint{M: 0, K: 1}
 	}
+	ecu := sub.Node().ECU
+	k := ecu.Proc.Kernel()
 	m := &RemoteMonitor{
 		cfg:     cfg,
 		variant: variant,
 		sub:     sub,
-		rng:     sub.Node().ECU.Proc.RNG().Derive("remotemon/" + cfg.Name),
+		rng:     ecu.Proc.RNG().Derive("remotemon/" + cfg.Name),
+		clock:   simtime.Clock{K: k},
+		timers:  simtime.TimerHost{K: k},
+		sync:    simtime.SyncClock{C: ecu.Clock},
 		TimeoutRoutineCost: sim.LogNormalDist{
 			Median: 10 * sim.Microsecond, Sigma: 0.4,
 			Shift: 2 * sim.Microsecond, Max: 100 * sim.Microsecond,
@@ -111,9 +127,9 @@ func newDetachedRemoteMonitor(sub *dds.Subscription, cfg SegmentConfig, variant 
 		if lm == nil {
 			panic("monitor: VariantMonitorThread needs a LocalMonitor")
 		}
-		m.thread = lm.Thread
+		m.exec = simtime.Executor{T: lm.Thread}
 	case VariantDDSContext:
-		m.thread = sub.Node().Middleware
+		m.exec = simtime.Executor{T: sub.Node().Middleware}
 	}
 	m.reorder = newReorderBuf(func(r Resolution) {
 		m.counter.Record(r.Status == StatusMissed)
@@ -239,20 +255,12 @@ func (m *RemoteMonitor) Start(first uint64, deadlineLocal sim.Time) {
 	m.armTimer()
 }
 
-func (m *RemoteMonitor) clock() interface{ GlobalAfter(sim.Time) sim.Duration } {
-	return m.sub.Node().ECU.Clock
-}
-
-func (m *RemoteMonitor) kernel() *sim.Kernel {
-	return m.sub.Node().ECU.Proc.Kernel()
-}
-
 // onDeliver is the monitor's hook in the DDS subscriber.
 func (m *RemoteMonitor) onDeliver(s *dds.Sample) bool {
 	if s.Recovered {
 		return true // our own issued receive event
 	}
-	now := m.kernel().Now()
+	now := sim.Time(m.clock.Now())
 	m.writer = s.Writer
 	if !m.started {
 		m.started = true
@@ -305,30 +313,29 @@ func (m *RemoteMonitor) resolveOK(s *dds.Sample, now sim.Time) {
 func (m *RemoteMonitor) Stop() {
 	m.stopped = true
 	if m.timer != nil {
-		m.kernel().Cancel(m.timer)
+		m.timer.Cancel()
 		m.timer = nil
 	}
 }
 
 // armTimer programs the deadline timer for the expected activation.
 func (m *RemoteMonitor) armTimer() {
-	k := m.kernel()
 	if m.timer != nil {
-		k.Cancel(m.timer)
+		m.timer.Cancel()
 	}
 	if m.stopped {
 		return
 	}
-	delay := m.clock().GlobalAfter(m.deadlineLocal)
+	delay := m.sync.GlobalAfter(rt.Time(m.deadlineLocal))
 	if delay < 0 {
 		delay = 0
 	}
 	act := m.expected
-	m.timer = k.After(delay, func() { m.onTimeout(act) })
+	m.timer = m.timers.After(delay, func() { m.onTimeout(act) })
 	if m.tel != nil {
 		m.tel.programs.Inc()
 		m.tel.track.Append(telemetry.Event{
-			TS: int64(k.Now()), Act: act, Arg: int64(m.deadlineLocal),
+			TS: int64(m.clock.Now()), Act: act, Arg: int64(m.deadlineLocal),
 			Kind: telemetry.KindTimerProgram, Label: m.tel.label,
 		})
 	}
@@ -337,14 +344,13 @@ func (m *RemoteMonitor) armTimer() {
 // onTimeout dispatches the timeout routine onto the variant's thread. The
 // latency from here to the routine's entry is the Fig. 12 measurement.
 func (m *RemoteMonitor) onTimeout(act uint64) {
-	deadlineGlobal := m.kernel().Now()
+	deadlineGlobal := sim.Time(m.clock.Now())
 	cost := m.TimeoutRoutineCost.Sample(m.rng)
-	var w *sim.WorkItem
-	w = m.thread.Enqueue("rtimeout/"+m.cfg.Name, cost, func() {
+	m.exec.Exec("rtimeout/"+m.cfg.Name, cost, func(started rt.Time) {
 		if m.expected != act {
 			return // the sample slipped in between deadline and entry
 		}
-		m.handleTimeout(act, w.Started().Sub(deadlineGlobal))
+		m.handleTimeout(act, sim.Time(started).Sub(deadlineGlobal))
 	})
 }
 
@@ -369,7 +375,7 @@ func (m *RemoteMonitor) handleTimeout(act uint64, detection sim.Duration) {
 // detection latency marks violations proven by a later in-order arrival
 // rather than a timer expiry.
 func (m *RemoteMonitor) runHandler(act uint64, detection sim.Duration) {
-	now := m.kernel().Now()
+	now := sim.Time(m.clock.Now())
 	ctx := &ExceptionContext{
 		Segment:    m.cfg.Name,
 		Activation: act,
@@ -431,7 +437,9 @@ type InterArrivalMonitor struct {
 	sub  *dds.Subscription
 	TMax sim.Duration
 
-	timer      *sim.Event
+	clock      rt.Clock
+	timers     rt.TimerHost
+	timer      rt.Timer
 	arrivals   uint64
 	detections []sim.Time
 	onDetect   func(sim.Time)
@@ -441,7 +449,12 @@ type InterArrivalMonitor struct {
 // NewInterArrivalMonitor attaches an inter-arrival supervisor to the
 // subscription with the given maximum inter-arrival time t_max.
 func NewInterArrivalMonitor(sub *dds.Subscription, tMax sim.Duration) *InterArrivalMonitor {
-	m := &InterArrivalMonitor{sub: sub, TMax: tMax}
+	k := sub.Node().ECU.Proc.Kernel()
+	m := &InterArrivalMonitor{
+		sub: sub, TMax: tMax,
+		clock:  simtime.Clock{K: k},
+		timers: simtime.TimerHost{K: k},
+	}
 	sub.OnDeliver = append([]func(*dds.Sample) bool{m.onDeliver}, sub.OnDeliver...)
 	return m
 }
@@ -455,15 +468,11 @@ func (m *InterArrivalMonitor) Arrivals() uint64 { return m.arrivals }
 // Detections returns the times at which the inter-arrival timer expired.
 func (m *InterArrivalMonitor) Detections() []sim.Time { return m.detections }
 
-func (m *InterArrivalMonitor) kernel() *sim.Kernel {
-	return m.sub.Node().ECU.Proc.Kernel()
-}
-
 // Stop disarms the supervisor.
 func (m *InterArrivalMonitor) Stop() {
 	m.stopped = true
 	if m.timer != nil {
-		m.kernel().Cancel(m.timer)
+		m.timer.Cancel()
 		m.timer = nil
 	}
 }
@@ -475,18 +484,17 @@ func (m *InterArrivalMonitor) onDeliver(s *dds.Sample) bool {
 }
 
 func (m *InterArrivalMonitor) arm() {
-	k := m.kernel()
 	if m.timer != nil {
-		k.Cancel(m.timer)
+		m.timer.Cancel()
 	}
 	if m.stopped {
 		return
 	}
-	m.timer = k.After(m.TMax, m.expire)
+	m.timer = m.timers.After(m.TMax, m.expire)
 }
 
 func (m *InterArrivalMonitor) expire() {
-	now := m.kernel().Now()
+	now := sim.Time(m.clock.Now())
 	m.detections = append(m.detections, now)
 	if m.onDetect != nil {
 		m.onDetect(now)
@@ -496,5 +504,5 @@ func (m *InterArrivalMonitor) expire() {
 	}
 	// Like the DDS deadline QoS, the supervision continues: the next
 	// detection is due t_max later unless a sample arrives first.
-	m.timer = m.kernel().After(m.TMax, m.expire)
+	m.timer = m.timers.After(m.TMax, m.expire)
 }

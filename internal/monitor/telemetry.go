@@ -86,6 +86,9 @@ func (m *LocalMonitor) AttachTelemetry(sink *telemetry.Sink) {
 	if sink == nil {
 		return
 	}
+	if m.ECU == nil {
+		panic("monitor: telemetry is not supported on the wall-clock runtime (tracks would be shared across goroutines)")
+	}
 	track := sink.Rec.Track(m.ECU.Name + "/monitor")
 	ecu := telemetry.Label{Name: "ecu", Value: m.ECU.Name}
 	m.tel = &monTel{

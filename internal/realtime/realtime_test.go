@@ -1,0 +1,110 @@
+package realtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"chainmon/internal/monitor"
+	"chainmon/internal/telemetry"
+)
+
+// testConfig keeps the wall-clock run short but with generous margins, so
+// scheduling jitter on a loaded CI machine (and under -race) cannot flip a
+// verdict: nominal work is 2 ms against a 20 ms deadline, and the stalled
+// end arrives a full 10 ms after the deadline.
+func testConfig() Config {
+	return Config{
+		Frames:    8,
+		Period:    30 * time.Millisecond,
+		Deadline:  20 * time.Millisecond,
+		Work:      2 * time.Millisecond,
+		LateEvery: 4,
+		RingCap:   256,
+		Seed:      1,
+	}
+}
+
+func TestRunVerdicts(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	res, err := Run(testConfig(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) != 2 {
+		t.Fatalf("got %d segments, want 2", len(res.Segments))
+	}
+	objects, ground := res.Segments[0], res.Segments[1]
+	if objects.OK != 8 || objects.Missed != 0 {
+		t.Errorf("objects: ok=%d missed=%d, want 8/0", objects.OK, objects.Missed)
+	}
+	// Frames 3 and 7 stall past the deadline.
+	if ground.OK != 6 || ground.Missed != 2 {
+		t.Errorf("ground: ok=%d missed=%d, want 6/2", ground.OK, ground.Missed)
+	}
+	// Resolutions arrive in activation order (the reorder buffer's
+	// guarantee holds on the wall clock too).
+	for i, r := range ground.Resolutions {
+		if r.Activation != uint64(i) {
+			t.Fatalf("ground resolution %d is activation %d; want in-order delivery", i, r.Activation)
+		}
+	}
+	for _, r := range ground.Resolutions {
+		late := r.Activation%4 == 3
+		if late && r.Status != monitor.StatusMissed {
+			t.Errorf("activation %d: status %v, want missed", r.Activation, r.Status)
+		}
+		if !late && r.Status != monitor.StatusOK {
+			t.Errorf("activation %d: status %v, want ok", r.Activation, r.Status)
+		}
+	}
+	if res.Scans == 0 {
+		t.Error("no monitor passes recorded")
+	}
+
+	// The live registry must reflect the run in Prometheus text form.
+	var b strings.Builder
+	sink := &telemetry.Sink{Reg: reg}
+	if err := sink.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`chainmon_realtime_frames_total 8`,
+		`chainmon_segment_resolutions_total{segment="rt/objects",status="ok"} 8`,
+		`chainmon_segment_resolutions_total{segment="rt/ground",status="missed"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunNilRegistry proves the run works dark (no instrumentation).
+func TestRunNilRegistry(t *testing.T) {
+	cfg := testConfig()
+	cfg.Frames = 3
+	cfg.LateEvery = 0
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Segments[1].OK; got != 3 {
+		t.Errorf("ground ok=%d, want 3", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for name, mut := range map[string]func(*Config){
+		"zero frames":        func(c *Config) { c.Frames = 0 },
+		"deadline >= period": func(c *Config) { c.Deadline = c.Period },
+		"work >= deadline":   func(c *Config) { c.Work = c.Deadline },
+		"ring not power2":    func(c *Config) { c.RingCap = 300 },
+	} {
+		cfg := testConfig()
+		mut(&cfg)
+		if _, err := Run(cfg, nil); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package runtime
+
+import "container/heap"
+
+// SegmentHooks customizes one Segment of a Core without the Core knowing
+// anything about verdict bookkeeping, telemetry or the timebase. All hooks
+// are optional (nil disables them) and run synchronously inside Scan, on the
+// monitor's execution context.
+type SegmentHooks struct {
+	// DrainLatency observes the post → processed latency of every start
+	// event, before SkipArm can discard it (Fig. 11 "monitor latency").
+	DrainLatency func(lat Duration)
+	// SkipArm vetoes arming a timeout for the activation. The local monitor
+	// uses it to drop start events of activations that were already handled
+	// (propagated-in exceptions).
+	SkipArm func(act uint64) bool
+	// Arm is invoked when a timeout was armed for the activation. It may
+	// return a Timer whose expiry guarantees a scan pass at the deadline
+	// (the simtime path arms a kernel timer; walltime returns nil because
+	// its loop already sleeps until NextDeadline). Timers are cancelled when
+	// the activation completes in time.
+	Arm func(act uint64, start, deadline, now Time) Timer
+	// OK is invoked when the end event arrived within the deadline.
+	OK func(act uint64, start, end Time)
+	// Expire is invoked when the deadline passed without an end event — the
+	// temporal exception of the paper.
+	Expire func(act uint64, start, deadline, now Time)
+}
+
+// pendingTimeout is one armed activation of a segment.
+type pendingTimeout struct {
+	act      uint64
+	start    Time
+	deadline Time
+	timer    Timer
+}
+
+// Segment is one monitored local segment inside a Core: a start ring, an
+// end ring and a monitored deadline.
+type Segment struct {
+	Name string
+	DMon Duration
+
+	start   EventRing
+	end     EventRing
+	hooks   SegmentHooks
+	pending map[uint64]*pendingTimeout
+}
+
+// StartRing returns the ring the instrumented subscriber posts into.
+func (s *Segment) StartRing() EventRing { return s.start }
+
+// EndRing returns the ring the instrumented publisher posts into.
+func (s *Segment) EndRing() EventRing { return s.end }
+
+// Pending returns the number of armed timeouts of this segment.
+func (s *Segment) Pending() int { return len(s.pending) }
+
+// Core is the timebase-independent monitor algorithm of the paper (Fig. 4):
+// per-segment start/end rings drained in fixed registration order, a
+// timeout queue, and temporal exceptions for activations whose end event
+// did not arrive within the monitored deadline.
+//
+// The Core is not a goroutine or a thread — it is driven by its host:
+// the simtime LocalMonitor calls Scan from a kernel work item, the
+// walltime loop calls it after a semaphore wake or deadline sleep. Scan
+// takes the current time as an argument so the Core itself never reads a
+// clock; that property is what lets one implementation serve both a
+// deterministic simulation and a wall-clock run.
+type Core struct {
+	segments []*Segment
+	deadline deadlineHeap
+}
+
+// NewCore creates an empty monitor core.
+func NewCore() *Core { return &Core{} }
+
+// AddSegment registers a segment. Registration order is the fixed order in
+// which Scan processes the per-segment rings — the source of the Fig. 10
+// asymmetry between the objects and ground segments.
+func (c *Core) AddSegment(name string, dMon Duration, start, end EventRing, hooks SegmentHooks) *Segment {
+	s := &Segment{
+		Name:    name,
+		DMon:    dMon,
+		start:   start,
+		end:     end,
+		hooks:   hooks,
+		pending: make(map[uint64]*pendingTimeout),
+	}
+	c.segments = append(c.segments, s)
+	return s
+}
+
+// Segments returns the registered segments in their fixed processing order.
+func (c *Core) Segments() []*Segment { return c.segments }
+
+// PendingTimeouts returns the total number of armed timeouts.
+func (c *Core) PendingTimeouts() int {
+	n := 0
+	for _, s := range c.segments {
+		n += len(s.pending)
+	}
+	return n
+}
+
+// Scan is one monitor pass: drain all rings in the fixed segment order,
+// arm timeouts for new start events, resolve completed activations, then
+// fire due temporal exceptions (again in fixed segment order, by
+// activation within a segment).
+func (c *Core) Scan(now Time) {
+	for _, s := range c.segments {
+		c.drain(s, now)
+	}
+	for _, s := range c.segments {
+		c.fireDue(s, now)
+	}
+}
+
+func (c *Core) drain(s *Segment, now Time) {
+	for {
+		ev, ok := s.start.Pop()
+		if !ok {
+			break
+		}
+		if s.hooks.DrainLatency != nil {
+			s.hooks.DrainLatency(now.Sub(ev.TS))
+		}
+		if s.hooks.SkipArm != nil && s.hooks.SkipArm(ev.Act) {
+			continue // propagated-in activation that was already handled
+		}
+		p := &pendingTimeout{act: ev.Act, start: ev.TS, deadline: ev.TS.Add(s.DMon)}
+		s.pending[ev.Act] = p
+		heap.Push(&c.deadline, deadlineEntry{at: p.deadline, seg: s, act: ev.Act})
+		if s.hooks.Arm != nil {
+			p.timer = s.hooks.Arm(ev.Act, p.start, p.deadline, now)
+		}
+		// Deadlines already in the past are picked up by fireDue below.
+	}
+	for {
+		ev, ok := s.end.Pop()
+		if !ok {
+			break
+		}
+		p, armed := s.pending[ev.Act]
+		if !armed {
+			// End events for excepted activations are discarded; end events
+			// without a start cannot occur (causality).
+			continue
+		}
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+		delete(s.pending, ev.Act)
+		if s.hooks.OK != nil {
+			s.hooks.OK(ev.Act, p.start, ev.TS)
+		}
+	}
+}
+
+// fireDue raises temporal exceptions for all armed activations of the
+// segment whose monitored deadline has passed without an end event. Fired
+// entries stay in the deadline heap (lazy deletion) and their scan timers
+// are left to expire: a stale ForceWake causes one extra empty pass, which
+// is harmless and mirrors the paper's semaphore semantics.
+func (c *Core) fireDue(s *Segment, now Time) {
+	var due []*pendingTimeout
+	for _, p := range s.pending {
+		if p.deadline <= now {
+			due = append(due, p)
+		}
+	}
+	// Deterministic order by activation.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j].act < due[j-1].act; j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	for _, p := range due {
+		delete(s.pending, p.act)
+		if s.hooks.Expire != nil {
+			s.hooks.Expire(p.act, p.start, p.deadline, now)
+		}
+	}
+}
+
+// NextDeadline returns the earliest armed deadline, dropping stale heap
+// entries of activations that completed or already fired. The walltime
+// loop sleeps until this time (sem_timedwait in the paper); the simtime
+// path does not need it because every armed timeout carries a kernel
+// timer.
+func (c *Core) NextDeadline() (Time, bool) {
+	for len(c.deadline) > 0 {
+		e := c.deadline[0]
+		if p, ok := e.seg.pending[e.act]; ok && p.deadline == e.at {
+			return e.at, true
+		}
+		heap.Pop(&c.deadline)
+	}
+	return 0, false
+}
+
+// deadlineEntry is one (deadline, segment, activation) record of the lazy
+// timeout heap.
+type deadlineEntry struct {
+	at  Time
+	seg *Segment
+	act uint64
+}
+
+type deadlineHeap []deadlineEntry
+
+func (h deadlineHeap) Len() int           { return len(h) }
+func (h deadlineHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(deadlineEntry)) }
+func (h *deadlineHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,174 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+type fakeTimer struct{ cancelled bool }
+
+func (t *fakeTimer) Cancel() { t.cancelled = true }
+
+type rec struct {
+	oks     []uint64
+	expired []uint64
+	skipped map[uint64]bool
+	armed   []*fakeTimer
+	lats    []Duration
+}
+
+func (r *rec) hooks() SegmentHooks {
+	return SegmentHooks{
+		DrainLatency: func(lat Duration) { r.lats = append(r.lats, lat) },
+		SkipArm: func(act uint64) bool {
+			return r.skipped != nil && r.skipped[act]
+		},
+		Arm: func(act uint64, start, deadline, now Time) Timer {
+			t := &fakeTimer{}
+			r.armed = append(r.armed, t)
+			return t
+		},
+		OK:     func(act uint64, start, end Time) { r.oks = append(r.oks, act) },
+		Expire: func(act uint64, start, deadline, now Time) { r.expired = append(r.expired, act) },
+	}
+}
+
+func TestCoreOKWithinDeadline(t *testing.T) {
+	c := NewCore()
+	r := &rec{}
+	s := c.AddSegment("s", 10*time.Millisecond, &SliceRing{}, &SliceRing{}, r.hooks())
+	s.StartRing().Post(Event{Act: 1, TS: 0})
+	c.Scan(1e6)
+	if s.Pending() != 1 || len(r.armed) != 1 {
+		t.Fatalf("pending=%d armed=%d, want 1,1", s.Pending(), len(r.armed))
+	}
+	s.EndRing().Post(Event{Act: 1, TS: 2e6})
+	c.Scan(3e6)
+	if len(r.oks) != 1 || r.oks[0] != 1 {
+		t.Errorf("oks = %v, want [1]", r.oks)
+	}
+	if !r.armed[0].cancelled {
+		t.Error("OK did not cancel the armed timer")
+	}
+	if len(r.expired) != 0 {
+		t.Errorf("expired = %v, want none", r.expired)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d after OK", s.Pending())
+	}
+}
+
+func TestCoreExpireAfterDeadline(t *testing.T) {
+	c := NewCore()
+	r := &rec{}
+	s := c.AddSegment("s", 10*time.Millisecond, &SliceRing{}, &SliceRing{}, r.hooks())
+	s.StartRing().Post(Event{Act: 3, TS: 0})
+	c.Scan(0)
+	c.Scan(10e6) // exactly at the deadline: due
+	if len(r.expired) != 1 || r.expired[0] != 3 {
+		t.Fatalf("expired = %v, want [3]", r.expired)
+	}
+	// A late end event is discarded silently.
+	s.EndRing().Post(Event{Act: 3, TS: 11e6})
+	c.Scan(12e6)
+	if len(r.oks) != 0 {
+		t.Errorf("late end resolved OK: %v", r.oks)
+	}
+}
+
+func TestCoreFireOrderPerSegmentByActivation(t *testing.T) {
+	c := NewCore()
+	type fired struct {
+		seg string
+		act uint64
+	}
+	var order []fired
+	mk := func(name string) SegmentHooks {
+		return SegmentHooks{Expire: func(act uint64, _, _, _ Time) {
+			order = append(order, fired{name, act})
+		}}
+	}
+	a := c.AddSegment("a", time.Millisecond, &SliceRing{}, &SliceRing{}, mk("a"))
+	b := c.AddSegment("b", time.Millisecond, &SliceRing{}, &SliceRing{}, mk("b"))
+	// Post out of activation order, with b's deadline earlier than a's.
+	a.StartRing().Post(Event{Act: 9, TS: 5})
+	a.StartRing().Post(Event{Act: 2, TS: 5})
+	b.StartRing().Post(Event{Act: 7, TS: 0})
+	c.Scan(10)
+	c.Scan(20e6)
+	want := []fired{{"a", 2}, {"a", 9}, {"b", 7}}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCoreSkipArm(t *testing.T) {
+	c := NewCore()
+	r := &rec{skipped: map[uint64]bool{5: true}}
+	s := c.AddSegment("s", time.Millisecond, &SliceRing{}, &SliceRing{}, r.hooks())
+	s.StartRing().Post(Event{Act: 5, TS: 0})
+	s.StartRing().Post(Event{Act: 6, TS: 0})
+	c.Scan(100)
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (act 5 skipped)", s.Pending())
+	}
+	// The drain latency is observed even for skipped events (the monitor
+	// still popped them from the ring).
+	if len(r.lats) != 2 {
+		t.Errorf("drain latencies = %d, want 2", len(r.lats))
+	}
+}
+
+func TestCoreNextDeadlineLazyHeap(t *testing.T) {
+	c := NewCore()
+	r := &rec{}
+	s := c.AddSegment("s", 10*time.Millisecond, &SliceRing{}, &SliceRing{}, r.hooks())
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("NextDeadline on empty core")
+	}
+	s.StartRing().Post(Event{Act: 1, TS: 0})
+	s.StartRing().Post(Event{Act: 2, TS: 5e6})
+	c.Scan(6e6)
+	if dl, ok := c.NextDeadline(); !ok || dl != 10e6 {
+		t.Fatalf("NextDeadline = %v,%v want 10e6", dl, ok)
+	}
+	// Completing act 1 must skip its stale heap entry.
+	s.EndRing().Post(Event{Act: 1, TS: 7e6})
+	c.Scan(8e6)
+	if dl, ok := c.NextDeadline(); !ok || dl != 15e6 {
+		t.Fatalf("NextDeadline after OK = %v,%v want 15e6", dl, ok)
+	}
+	c.Scan(20e6)
+	if _, ok := c.NextDeadline(); ok {
+		t.Error("NextDeadline non-empty after all fired")
+	}
+	if c.PendingTimeouts() != 0 {
+		t.Errorf("PendingTimeouts = %d", c.PendingTimeouts())
+	}
+}
+
+func TestSliceRingReuse(t *testing.T) {
+	r := &SliceRing{}
+	for round := 0; round < 3; round++ {
+		for i := uint64(0); i < 4; i++ {
+			r.Post(Event{Act: i})
+		}
+		if r.Len() != 4 {
+			t.Fatalf("len = %d", r.Len())
+		}
+		for i := uint64(0); i < 4; i++ {
+			ev, ok := r.Pop()
+			if !ok || ev.Act != i {
+				t.Fatalf("pop %d = %v,%v", i, ev, ok)
+			}
+		}
+		if _, ok := r.Pop(); ok {
+			t.Fatal("pop on empty ring")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package runtime defines the timebase abstraction under the latency
+// monitors: a clock, timers, an event ring and a wake primitive. The same
+// monitor core (see Core) runs against two implementations:
+//
+//   - internal/runtime/simtime adapts the deterministic discrete-event
+//     kernel (internal/sim) and the synchronized virtual clocks
+//     (internal/vclock). Every chain experiment runs on it, bit-for-bit
+//     reproducibly for a given seed.
+//   - internal/runtime/walltime provides a monotonic wall clock, the
+//     wait-free SPSC ring and a semaphore for real goroutines. The Fig. 11
+//     microbenchmarks (internal/shmring) and `cmd/chainmon -realtime` run
+//     on it.
+//
+// The contract that keeps the simtime path deterministic is documented in
+// docs/runtime.md: implementations must not introduce hidden clock reads or
+// reorder the calls the core makes; Scan takes the current time as an
+// argument instead of sampling a clock internally.
+package runtime
+
+import "time"
+
+// Time is a point in time in nanoseconds since an implementation-defined
+// epoch: simulation start for simtime, monitor creation for walltime. It is
+// layout-compatible with sim.Time.
+type Time int64
+
+// Duration is a span of time in nanoseconds, identical to time.Duration
+// (and therefore to sim.Duration).
+type Duration = time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Event is one start or end event posted by instrumented middleware code:
+// the activation index and the posting timestamp.
+type Event struct {
+	Act uint64
+	TS  Time
+}
+
+// EventRing is the transport between the instrumented producer and the
+// monitor. Post is called by a single producer and must never block; it
+// returns false when the ring is full (a monitoring overload fault). Pop is
+// called only by the monitor.
+type EventRing interface {
+	Post(Event) bool
+	Pop() (Event, bool)
+	Len() int
+}
+
+// Timer is an armed one-shot timer handle. Cancel is idempotent and may be
+// called after the timer fired.
+type Timer interface {
+	Cancel()
+}
+
+// TimerHost arms one-shot timers. At schedules at an absolute time with a
+// scheduling priority (simtime runs timer callbacks at that processor
+// priority; walltime ignores it). After schedules relative to now.
+type TimerHost interface {
+	After(d Duration, fn func()) Timer
+	At(t Time, priority int, fn func()) Timer
+}
+
+// Clock reads the current time of the timebase.
+type Clock interface {
+	Now() Time
+}
+
+// SyncClock is a PTP-style synchronized clock: GlobalAfter converts a
+// deadline on the *sender's* clock into a local delay, the operation the
+// sync-based remote monitor needs to program its reception timer.
+type SyncClock interface {
+	GlobalAfter(localDeadline Time) Duration
+}
+
+// Waker is the monitor wake primitive (the paper's semaphore). Wake may
+// coalesce with an already-pending wake; ForceWake must guarantee one more
+// scan pass strictly after the call (timeout timers use it so that a scan
+// already queued, but possibly running before the deadline, cannot swallow
+// the timeout).
+type Waker interface {
+	Wake()
+	ForceWake()
+}
+
+// Executor dispatches bounded-cost work onto the monitor's execution
+// context. Exec models a regular wakeup (queue + context switch); ExecDirect
+// models the monitor thread dispatching to itself (no wakeup — handlers of
+// simultaneous exceptions run back to back). fn receives the time the work
+// actually started executing.
+type Executor interface {
+	Exec(label string, cost Duration, fn func(started Time))
+	ExecDirect(label string, cost Duration, fn func(started Time))
+}
+
+// SliceRing is the unbounded, allocation-reusing EventRing of the simtime
+// path. The virtual-time model has no producer/consumer concurrency, so the
+// ring never rejects a post; storage is reused once drained.
+type SliceRing struct {
+	buf  []Event
+	head int
+}
+
+// Post appends the event; it always succeeds.
+func (r *SliceRing) Post(ev Event) bool {
+	r.buf = append(r.buf, ev)
+	return true
+}
+
+// Pop removes the oldest event; the backing storage is reused after the
+// ring runs empty.
+func (r *SliceRing) Pop() (Event, bool) {
+	if r.head >= len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+		return Event{}, false
+	}
+	ev := r.buf[r.head]
+	r.head++
+	return ev, true
+}
+
+// Len returns the number of buffered events.
+func (r *SliceRing) Len() int { return len(r.buf) - r.head }

@@ -1,0 +1,84 @@
+package walltime
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	rt "chainmon/internal/runtime"
+)
+
+type slot struct {
+	seq atomic.Uint64
+	ev  rt.Event
+}
+
+// Ring is a wait-free single-producer/single-consumer ring buffer of
+// events — the paper's shared-memory transport between the instrumented
+// middleware and the monitor thread. The zero value is not usable; create
+// rings with NewRing.
+//
+// The implementation uses per-slot sequence numbers (à la Vyukov) so that
+// the producer never waits for the consumer: Post returns false when the
+// ring is full, which the caller must treat as a monitoring overload fault.
+//
+// In the paper, the rings live in POSIX shared memory between processes;
+// here producer and consumer are goroutines in one address space, which
+// exercises the same algorithm with the same memory ordering concerns.
+type Ring struct {
+	_    [8]uint64 // keep hot fields off the same cache line as callers
+	head atomic.Uint64
+	_    [7]uint64
+	tail atomic.Uint64
+	_    [7]uint64
+	mask uint64
+	buf  []slot
+}
+
+// NewRing creates a ring with the given capacity, which must be a power of
+// two.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("walltime: capacity %d is not a power of two", capacity))
+	}
+	r := &Ring{mask: uint64(capacity - 1), buf: make([]slot, capacity)}
+	for i := range r.buf {
+		r.buf[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Post appends an event. It must be called by a single producer. It returns
+// false when the ring is full (the event is dropped).
+func (r *Ring) Post(ev rt.Event) bool {
+	tail := r.tail.Load()
+	s := &r.buf[tail&r.mask]
+	if s.seq.Load() != tail {
+		return false // slot not yet consumed: ring full
+	}
+	s.ev = ev
+	s.seq.Store(tail + 1) // release: publish the event
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Pop removes the oldest event. It must be called by a single consumer.
+func (r *Ring) Pop() (rt.Event, bool) {
+	head := r.head.Load()
+	s := &r.buf[head&r.mask]
+	if s.seq.Load() != head+1 {
+		return rt.Event{}, false // empty
+	}
+	ev := s.ev
+	s.seq.Store(head + uint64(len(r.buf))) // mark consumed for the producer
+	r.head.Store(head + 1)
+	return ev, true
+}
+
+// Len returns the approximate number of buffered events (exact when called
+// from either the producer or the consumer).
+func (r *Ring) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}

@@ -1,0 +1,95 @@
+package walltime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rt "chainmon/internal/runtime"
+)
+
+func TestClockMonotonic(t *testing.T) {
+	c := NewClock()
+	a := c.Now()
+	time.Sleep(time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Errorf("clock not monotonic: %d then %d", a, b)
+	}
+}
+
+func TestSemCoalesces(t *testing.T) {
+	s := NewSem()
+	s.Wake()
+	s.Wake()
+	s.ForceWake()
+	n := 0
+	for {
+		select {
+		case <-s.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Errorf("pending wakes = %d, want 1", n)
+	}
+}
+
+// The loop must run a scan for a semaphore wake, sleep until the earliest
+// core deadline, and serialize injected functions with scans.
+func TestLoopDrivesCoreDeadlines(t *testing.T) {
+	clock := NewClock()
+	sem := NewSem()
+	core := rt.NewCore()
+	var expired atomic.Uint64
+	injected := make(chan uint64, 1)
+	seg := core.AddSegment("s", 20*time.Millisecond, NewRing(16), NewRing(16), rt.SegmentHooks{
+		Expire: func(act uint64, _, _, _ rt.Time) { expired.Add(1) },
+	})
+	loop := NewLoop(clock, sem)
+	loop.Scan = func() { core.Scan(clock.Now()) }
+	loop.Next = core.NextDeadline
+	loop.Start()
+
+	seg.StartRing().Post(rt.Event{Act: 1, TS: clock.Now()})
+	sem.Wake()
+	time.Sleep(5 * time.Millisecond)
+	if got := expired.Load(); got != 0 {
+		t.Fatalf("expired before the deadline: %d", got)
+	}
+	loop.Inject(func() { injected <- 42 })
+	if got := <-injected; got != 42 {
+		t.Fatalf("injected fn returned %d", got)
+	}
+	deadline := time.After(2 * time.Second)
+	for expired.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("timeout never fired")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	loop.Stop()
+	if got := expired.Load(); got != 1 {
+		t.Errorf("expired = %d, want 1", got)
+	}
+}
+
+func TestTimerHostAt(t *testing.T) {
+	c := NewClock()
+	h := TimerHost{C: c}
+	fired := make(chan struct{})
+	h.At(c.Now().Add(5*time.Millisecond), 0, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	// Cancel before expiry.
+	tm := h.After(time.Hour, func() { t.Error("cancelled timer fired") })
+	tm.Cancel()
+	time.Sleep(2 * time.Millisecond)
+}

@@ -1,11 +1,10 @@
 package shmring
 
 import (
-	"container/heap"
-	"runtime"
-	"sync"
 	"time"
 
+	rt "chainmon/internal/runtime"
+	"chainmon/internal/runtime/walltime"
 	"chainmon/internal/telemetry"
 )
 
@@ -16,7 +15,8 @@ import (
 type ExceptionFunc func(act uint64, deadline time.Duration)
 
 // Segment is one monitored local segment: two rings (start and end events)
-// and a deadline.
+// and a deadline. The drain/arm/fire logic is runtime.Core's; this type
+// only posts events and collects the Fig. 11 measurements.
 type Segment struct {
 	Name string
 	DMon time.Duration
@@ -26,8 +26,6 @@ type Segment struct {
 	mon       *Monitor
 	onExc     ExceptionFunc
 	tel       *segTel // nil when uninstrumented
-
-	pending map[uint64]time.Duration // activation → absolute deadline
 
 	// Measurements (owned by the monitor goroutine after Start, except the
 	// posting overheads which the producer records).
@@ -40,38 +38,42 @@ type Segment struct {
 }
 
 // Monitor is the per-ECU high-priority monitor thread of the paper,
-// realized as a dedicated goroutine locked to an OS thread. Producers wake
-// it through a binary semaphore; end events do not wake it (saving the
-// context switch, as in the paper).
+// realized as a dedicated goroutine locked to an OS thread (walltime.Loop)
+// driving the shared monitor core (runtime.Core). Producers wake it through
+// a binary semaphore; end events do not wake it (saving the context switch,
+// as in the paper); the loop otherwise sleeps until the core's earliest
+// armed deadline.
 type Monitor struct {
-	segments []*Segment
-	sem      chan struct{}
-	stop     chan struct{}
-	done     chan struct{}
-	started  bool
-	start    time.Time
+	core    *rt.Core
+	clock   *walltime.Clock
+	sem     *walltime.Sem
+	loop    *walltime.Loop
+	started bool
 
-	timeouts timeoutHeap
+	segments []*Segment
 	scanExec []time.Duration // execution time per monitor pass
 
 	sink *telemetry.Sink // nil when uninstrumented
 	tel  *monTel
-
-	mu sync.Mutex // guards measurement snapshots after Stop
 }
 
 // NewMonitor creates a monitor with no segments.
 func NewMonitor() *Monitor {
-	return &Monitor{
-		sem:   make(chan struct{}, 1),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		start: time.Now(),
+	clock := walltime.NewClock()
+	sem := walltime.NewSem()
+	m := &Monitor{
+		core:  rt.NewCore(),
+		clock: clock,
+		sem:   sem,
+		loop:  walltime.NewLoop(clock, sem),
 	}
+	m.loop.Scan = m.scan
+	m.loop.Next = m.core.NextDeadline
+	return m
 }
 
 // now returns nanoseconds since monitor creation (monotonic).
-func (m *Monitor) now() time.Duration { return time.Since(m.start) }
+func (m *Monitor) now() time.Duration { return time.Duration(m.clock.Now()) }
 
 // AddSegment registers a segment before Start. ringCap must be a power of
 // two.
@@ -86,8 +88,37 @@ func (m *Monitor) AddSegment(name string, dMon time.Duration, ringCap int, onExc
 		endRing:   NewRing(ringCap),
 		mon:       m,
 		onExc:     onExc,
-		pending:   make(map[uint64]time.Duration),
 	}
+	m.core.AddSegment(name, dMon, s.startRing, s.endRing, rt.SegmentHooks{
+		DrainLatency: func(lat rt.Duration) {
+			s.monLat = append(s.monLat, lat)
+		},
+		Arm: func(act uint64, start, deadline, now rt.Time) rt.Timer {
+			if m.tel != nil {
+				m.tel.track.Append(telemetry.Event{
+					TS: int64(now), Act: act, Arg: int64(deadline),
+					Kind: telemetry.KindTimeoutArm, Label: s.telLabel(),
+				})
+			}
+			return nil // the loop sleeps until Core.NextDeadline
+		},
+		OK: func(act uint64, start, end rt.Time) {
+			s.okCount++
+		},
+		Expire: func(act uint64, start, deadline, now rt.Time) {
+			s.excCount++
+			if m.tel != nil {
+				m.tel.fires.Inc()
+				m.tel.track.Append(telemetry.Event{
+					TS: int64(now), Act: act,
+					Kind: telemetry.KindTimeoutFire, Label: s.telLabel(),
+				})
+			}
+			if s.onExc != nil {
+				s.onExc(act, time.Duration(deadline))
+			}
+		},
+	})
 	if m.sink != nil {
 		s.attachTelemetry(m.sink)
 	}
@@ -101,13 +132,12 @@ func (m *Monitor) Start() {
 		panic("shmring: Start called twice")
 	}
 	m.started = true
-	go m.loop()
+	m.loop.Start()
 }
 
 // Stop terminates the monitor goroutine and waits for it to exit.
 func (m *Monitor) Stop() {
-	close(m.stop)
-	<-m.done
+	m.loop.Stop()
 }
 
 // PostStart publishes a start event for the activation and wakes the
@@ -115,12 +145,9 @@ func (m *Monitor) Stop() {
 // overhead, which is also recorded for the Fig. 11 start-event statistic.
 func (s *Segment) PostStart(act uint64) time.Duration {
 	t0 := s.mon.now()
-	ok := s.startRing.Post(Event{Act: act, TS: int64(t0)})
+	ok := s.startRing.Post(Event{Act: act, TS: rt.Time(t0)})
 	// Raise the semaphore (non-blocking: a pending wake is enough).
-	select {
-	case s.mon.sem <- struct{}{}:
-	default:
-	}
+	s.mon.sem.Wake()
 	d := s.mon.now() - t0
 	if !ok {
 		s.dropped++ // producer-side counter; SPSC contract makes this safe
@@ -136,7 +163,7 @@ func (s *Segment) PostStart(act uint64) time.Duration {
 // events is not time critical).
 func (s *Segment) PostEnd(act uint64) time.Duration {
 	t0 := s.mon.now()
-	ok := s.endRing.Post(Event{Act: act, TS: int64(t0)})
+	ok := s.endRing.Post(Event{Act: act, TS: rt.Time(t0)})
 	d := s.mon.now() - t0
 	if !ok {
 		s.dropped++
@@ -148,126 +175,23 @@ func (s *Segment) PostEnd(act uint64) time.Duration {
 	return d
 }
 
-// timeoutHeap orders (deadline, segment, activation) entries.
-type timeoutEntry struct {
-	deadline time.Duration
-	seg      *Segment
-	act      uint64
-}
-
-type timeoutHeap []timeoutEntry
-
-func (h timeoutHeap) Len() int           { return len(h) }
-func (h timeoutHeap) Less(i, j int) bool { return h[i].deadline < h[j].deadline }
-func (h timeoutHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *timeoutHeap) Push(x any)        { *h = append(*h, x.(timeoutEntry)) }
-func (h *timeoutHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-// loop is the monitor thread: wait on the semaphore with a timeout at the
-// earliest pending deadline (sem_timedwait), then drain all rings in fixed
-// order and fire due exceptions.
-func (m *Monitor) loop() {
-	// The paper runs the monitor thread at the highest real-time priority;
-	// the closest Go equivalent is a dedicated OS thread.
-	runtime.LockOSThread()
-	defer runtime.UnlockOSThread()
-	defer close(m.done)
-
-	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
-	for {
-		wait := time.Hour
-		if len(m.timeouts) > 0 {
-			wait = m.timeouts[0].deadline - m.now()
-			if wait < 0 {
-				wait = 0
-			}
-		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(wait)
-		select {
-		case <-m.stop:
-			return
-		case <-m.sem:
-		case <-timer.C:
-		}
-		m.scan()
-	}
-}
-
-// scan is one monitor pass over all segments in fixed registration order.
+// scan is one monitor pass over all segments in fixed registration order,
+// delegated to the shared core.
 func (m *Monitor) scan() {
 	t0 := m.now()
-	for _, s := range m.segments {
-		for {
-			ev, ok := s.startRing.Pop()
-			if !ok {
-				break
-			}
-			now := m.now()
-			s.monLat = append(s.monLat, now-time.Duration(ev.TS))
-			deadline := time.Duration(ev.TS) + s.DMon
-			s.pending[ev.Act] = deadline
-			heap.Push(&m.timeouts, timeoutEntry{deadline: deadline, seg: s, act: ev.Act})
-			if m.tel != nil {
-				m.tel.track.Append(telemetry.Event{
-					TS: int64(now), Act: ev.Act, Arg: int64(deadline),
-					Kind: telemetry.KindTimeoutArm, Label: s.telLabel(),
-				})
-			}
-		}
-		for {
-			ev, ok := s.endRing.Pop()
-			if !ok {
-				break
-			}
-			if _, armed := s.pending[ev.Act]; armed {
-				delete(s.pending, ev.Act)
-				s.okCount++
-			}
-		}
-	}
-	now := m.now()
-	for len(m.timeouts) > 0 && m.timeouts[0].deadline <= now {
-		e := heap.Pop(&m.timeouts).(timeoutEntry)
-		if dl, armed := e.seg.pending[e.act]; armed && dl == e.deadline {
-			delete(e.seg.pending, e.act)
-			e.seg.excCount++
-			if m.tel != nil {
-				m.tel.fires.Inc()
-				m.tel.track.Append(telemetry.Event{
-					TS: int64(now), Act: e.act,
-					Kind: telemetry.KindTimeoutFire, Label: e.seg.telLabel(),
-				})
-			}
-			if e.seg.onExc != nil {
-				e.seg.onExc(e.act, e.deadline)
-			}
-		}
-	}
+	m.core.Scan(rt.Time(t0))
 	exec := m.now() - t0
 	m.scanExec = append(m.scanExec, exec)
 	if m.tel != nil {
 		m.tel.scans.Inc()
 		m.tel.scanHist.Observe(int64(exec))
-		m.tel.depth.Set(int64(len(m.timeouts)))
+		m.tel.depth.Set(int64(m.core.PendingTimeouts()))
 		end := int64(t0 + exec)
 		m.tel.track.Append(telemetry.Event{
 			TS: end, Arg: int64(exec), Kind: telemetry.KindScan,
 		})
 		m.tel.track.Append(telemetry.Event{
-			TS: end, Arg: int64(len(m.timeouts)), Kind: telemetry.KindTimeoutQueue,
+			TS: end, Arg: int64(m.core.PendingTimeouts()), Kind: telemetry.KindTimeoutQueue,
 		})
 	}
 }
@@ -286,8 +210,6 @@ type Measurements struct {
 
 // Measurements snapshots the collected samples. Call after Stop.
 func (s *Segment) Measurements() Measurements {
-	s.mon.mu.Lock()
-	defer s.mon.mu.Unlock()
 	return Measurements{
 		StartPost:  append([]time.Duration(nil), s.postStart...),
 		EndPost:    append([]time.Duration(nil), s.postEnd...),

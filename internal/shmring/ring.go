@@ -1,100 +1,37 @@
-// Package shmring is the real, wall-clock implementation of the paper's
-// local monitoring transport: wait-free single-producer/single-consumer ring
-// buffers for start and end events, and a monitor goroutine that is woken
-// through a semaphore, maintains a timeout queue and invokes exception
-// handlers.
+// Package shmring is the wall-clock face of the paper's local monitoring
+// transport, kept for the Fig. 11 microbenchmarks: wait-free
+// single-producer/single-consumer ring buffers for start and end events,
+// and a monitor goroutine that is woken through a semaphore, maintains a
+// timeout queue and invokes exception handlers.
 //
-// The virtual-time model in internal/monitor reproduces the *system-level*
-// behaviour; this package exists because the microsecond-scale overheads the
-// paper reports in Fig. 11 (start/end event posting, monitor latency,
-// monitor execution time) are the one thing a simulator cannot honestly
-// produce. The benchmarks in the repository root measure this code.
+// Since the runtime refactor the package is thin glue: the ring lives in
+// internal/runtime/walltime (it is the walltime EventRing implementation)
+// and the drain/timeout-queue algorithm is runtime.Core — the *same* core
+// the virtual-time chain experiments verify through internal/monitor. This
+// package binds the two to the wall clock and collects the Fig. 11
+// measurements (posting overhead, monitor latency, monitor execution
+// time), which are the one thing a simulator cannot honestly produce. The
+// benchmarks in the repository root measure this code.
 //
-// In the paper, the rings live in POSIX shared memory between processes and
-// the semaphore is a process-shared semaphore; here producer and consumer
-// are goroutines in one address space, which exercises the same algorithm
-// (wait-free post, semaphore wake, timeout queue) with the same memory
-// ordering concerns.
+// In the paper, the rings live in POSIX shared memory between processes
+// and the semaphore is a process-shared semaphore; here producer and
+// consumer are goroutines in one address space, which exercises the same
+// algorithm (wait-free post, semaphore wake, timeout queue) with the same
+// memory ordering concerns.
 package shmring
 
 import (
-	"fmt"
-	"sync/atomic"
+	rt "chainmon/internal/runtime"
+	"chainmon/internal/runtime/walltime"
 )
 
 // Event is one start or end event: the activation index and its timestamp
 // in nanoseconds of the monitor's monotonic clock.
-type Event struct {
-	Act uint64
-	TS  int64
-}
+type Event = rt.Event
 
-type slot struct {
-	seq atomic.Uint64
-	ev  Event
-}
-
-// Ring is a wait-free single-producer/single-consumer ring buffer of
-// events. The zero value is not usable; create rings with NewRing.
-//
-// The implementation uses per-slot sequence numbers (à la Vyukov) so that
-// the producer never waits for the consumer: Post returns false when the
-// ring is full, which the caller must treat as a monitoring overload fault.
-type Ring struct {
-	_    [8]uint64 // keep hot fields off the same cache line as callers
-	head atomic.Uint64
-	_    [7]uint64
-	tail atomic.Uint64
-	_    [7]uint64
-	mask uint64
-	buf  []slot
-}
+// Ring is the wait-free SPSC ring buffer (see walltime.Ring).
+type Ring = walltime.Ring
 
 // NewRing creates a ring with the given capacity, which must be a power of
 // two.
-func NewRing(capacity int) *Ring {
-	if capacity <= 0 || capacity&(capacity-1) != 0 {
-		panic(fmt.Sprintf("shmring: capacity %d is not a power of two", capacity))
-	}
-	r := &Ring{mask: uint64(capacity - 1), buf: make([]slot, capacity)}
-	for i := range r.buf {
-		r.buf[i].seq.Store(uint64(i))
-	}
-	return r
-}
-
-// Cap returns the ring capacity.
-func (r *Ring) Cap() int { return len(r.buf) }
-
-// Post appends an event. It must be called by a single producer. It returns
-// false when the ring is full (the event is dropped).
-func (r *Ring) Post(ev Event) bool {
-	tail := r.tail.Load()
-	s := &r.buf[tail&r.mask]
-	if s.seq.Load() != tail {
-		return false // slot not yet consumed: ring full
-	}
-	s.ev = ev
-	s.seq.Store(tail + 1) // release: publish the event
-	r.tail.Store(tail + 1)
-	return true
-}
-
-// Pop removes the oldest event. It must be called by a single consumer.
-func (r *Ring) Pop() (Event, bool) {
-	head := r.head.Load()
-	s := &r.buf[head&r.mask]
-	if s.seq.Load() != head+1 {
-		return Event{}, false // empty
-	}
-	ev := s.ev
-	s.seq.Store(head + uint64(len(r.buf))) // mark consumed for the producer
-	r.head.Store(head + 1)
-	return ev, true
-}
-
-// Len returns the approximate number of buffered events (exact when called
-// from either the producer or the consumer).
-func (r *Ring) Len() int {
-	return int(r.tail.Load() - r.head.Load())
-}
+func NewRing(capacity int) *Ring { return walltime.NewRing(capacity) }

@@ -47,6 +47,7 @@ type Thread struct {
 	current    *WorkItem
 	remaining  Duration
 	running    bool
+	blocked    bool // suspended outside the scheduler (fault injection)
 	dispatched Time // when the thread last got a core
 	readySince Time
 	completion *Event
@@ -195,7 +196,38 @@ func (t *Thread) BusyTime() Duration {
 // Completed returns the number of finished work items.
 func (t *Thread) Completed() uint64 { return t.completed }
 
-func (t *Thread) ready() bool { return t.current != nil || len(t.queue) > 0 }
+// Block suspends the thread: it stops competing for cores until Unblock,
+// while its queue keeps accumulating work. This models a thread stuck in a
+// blocking call (a lost lock, a hung I/O operation) — it consumes no CPU,
+// so the rest of the processor stays schedulable. An item in flight is
+// preempted and resumes where it left off on Unblock.
+func (t *Thread) Block() {
+	if t.blocked {
+		return
+	}
+	t.blocked = true
+	t.proc.reschedule()
+}
+
+// Unblock resumes a blocked thread; pending work competes for a core again
+// from now.
+func (t *Thread) Unblock() {
+	if !t.blocked {
+		return
+	}
+	t.blocked = false
+	if t.current != nil || len(t.queue) > 0 {
+		t.readySince = t.proc.k.Now()
+	}
+	t.proc.reschedule()
+}
+
+// Blocked reports whether the thread is currently suspended.
+func (t *Thread) Blocked() bool { return t.blocked }
+
+func (t *Thread) ready() bool {
+	return !t.blocked && (t.current != nil || len(t.queue) > 0)
+}
 
 // reschedule recomputes the running set after any arrival or completion.
 // Pinned threads win their own core against other threads pinned there;
