@@ -202,6 +202,8 @@ type (
 	RealtimeResult = realtime.Result
 	// MetricsRegistry is the lock-free live-metrics table.
 	MetricsRegistry = telemetry.Registry
+	// TelemetrySink bundles the flight recorder and the metrics registry.
+	TelemetrySink = telemetry.Sink
 )
 
 // Statuses and variants.
@@ -316,10 +318,11 @@ func DefaultPerceptionConfig() PerceptionConfig { return perception.DefaultConfi
 // NewRealMonitor creates the wall-clock shared-memory monitor.
 func NewRealMonitor() *RealMonitor { return shmring.NewMonitor() }
 
-// RunRealtime executes the wall-clock monitor scenario; reg (may be nil)
-// receives live metrics and is safe to scrape concurrently during the run.
-func RunRealtime(cfg RealtimeConfig, reg *MetricsRegistry) (RealtimeResult, error) {
-	return realtime.Run(cfg, reg)
+// RunRealtime executes the wall-clock monitor scenario; sink (may be nil)
+// receives live metrics — and, with a full sink, a causal flow trace — and
+// is safe to scrape concurrently during the run.
+func RunRealtime(cfg RealtimeConfig, sink *TelemetrySink) (RealtimeResult, error) {
+	return realtime.Run(cfg, sink)
 }
 
 // DefaultRealtimeConfig is sized for a ~1 s smoke run.

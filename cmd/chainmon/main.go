@@ -10,13 +10,23 @@
 //	         [-seeds N] [-parallel W]
 //	         [-telemetry-trace out.json] [-metrics-out metrics.prom]
 //	         [-telemetry-csv events.csv] [-metrics-addr :9090]
+//	         [-trace-stream events.chmtrc]
 //	chainmon -realtime [-frames N] [-seed S] [-metrics-addr :9090]
-//	         [-metrics-out metrics.prom]
+//	         [-metrics-out metrics.prom] [-trace-stream events.chmtrc]
+//	chainmon trace convert events.chmtrc out.json
+//	chainmon trace report events.chmtrc
 //
 // With -realtime the monitor core runs on the wall clock instead of the
 // simulation: a real producer goroutine, real deadlines, and /metrics
 // served live *during* the run (the simulation mode serves metrics only
 // after the run finished).
+//
+// -trace-stream drains the flight recorder to an append-only binary log as
+// the run progresses (bounded memory; drops are counted, never blocking).
+// "chainmon trace convert" turns such a log into Perfetto-loadable JSON with
+// flow arrows linking each activation's hops; "chainmon trace report"
+// prints the end-to-end latency attribution (per-hop and per-segment
+// quantiles, worst activation path).
 package main
 
 import (
@@ -42,6 +52,11 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTraceCmd(os.Args[2:])
+		return
+	}
+
 	frames := flag.Int("frames", 600, "number of lidar frames to simulate")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	deadline := flag.Duration("deadline", 100*time.Millisecond, "local segment deadline d_mon")
@@ -57,6 +72,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the monitor's metrics as Prometheus text to this file after the run")
 	telCSV := flag.String("telemetry-csv", "", "write the flight-recorder events as CSV to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address after the run (blocks; ctrl-C to exit). With -realtime: serve live during the run")
+	traceStream := flag.String("trace-stream", "", "stream the flight recorder to this binary log while the run progresses (see 'chainmon trace convert/report')")
 	rtMode := flag.Bool("realtime", false, "run the monitor core on the wall clock (real goroutines and deadlines) instead of the simulation")
 	flag.Parse()
 
@@ -72,7 +88,7 @@ func main() {
 				rcfg.Frames = *frames
 			case "seed":
 				rcfg.Seed = *seed
-			case "realtime", "metrics-addr", "metrics-out":
+			case "realtime", "metrics-addr", "metrics-out", "trace-stream":
 			default:
 				bad = append(bad, "-"+fl.Name)
 			}
@@ -80,7 +96,7 @@ func main() {
 		if len(bad) > 0 {
 			log.Fatalf("-realtime is a wall-clock run; it cannot combine with the simulation-only flags %s", strings.Join(bad, ", "))
 		}
-		runRealtime(rcfg, *metricsAddr, *metricsOut)
+		runRealtime(rcfg, *metricsAddr, *metricsOut, *traceStream)
 		return
 	}
 
@@ -146,7 +162,7 @@ func main() {
 		}
 	}
 
-	wantTelemetry := *telTrace != "" || *metricsOut != "" || *telCSV != "" || *metricsAddr != ""
+	wantTelemetry := *telTrace != "" || *metricsOut != "" || *telCSV != "" || *metricsAddr != "" || *traceStream != ""
 
 	if *seeds > 1 {
 		// Multi-seed sweep: each seed is an independent simulation sharded
@@ -164,7 +180,7 @@ func main() {
 			c.Seed = cfg.Seed + int64(shard)
 			var buf bytes.Buffer
 			fmt.Fprintf(&buf, "### seed %d\n", c.Seed)
-			_, sound := runOne(c, camp, false, &buf)
+			sound := runOne(c, camp, nil, &buf)
 			return outcome{buf.Bytes(), sound}
 		})
 		allSound := true
@@ -178,7 +194,34 @@ func main() {
 		return
 	}
 
-	sink, sound := runOne(cfg, camp, wantTelemetry, os.Stdout)
+	// The sink (and its streaming writer, when -trace-stream is given) must
+	// exist before the system is built: SetStream has to precede the first
+	// track so every event of the run reaches the log.
+	var sink *telemetry.Sink
+	var stream *telemetry.StreamWriter
+	var streamFile *os.File
+	if wantTelemetry {
+		sink = telemetry.NewSink(telemetry.DefaultTrackCap)
+		if *traceStream != "" {
+			var err error
+			streamFile, err = os.Create(*traceStream)
+			if err != nil {
+				log.Fatalf("creating trace stream: %v", err)
+			}
+			// The simulation is single-threaded, so the direct (inline) mode
+			// is used: deterministic, byte-identical across same-seed runs.
+			stream, err = telemetry.NewStreamWriter(streamFile, "sim", telemetry.StreamOptions{
+				Metrics: sink.Reg,
+			})
+			if err != nil {
+				log.Fatalf("starting trace stream: %v", err)
+			}
+			sink.Rec.SetStream(stream)
+		}
+	}
+
+	sound := runOne(cfg, camp, sink, os.Stdout)
+	closeStream(stream, streamFile, *traceStream)
 	if !sound {
 		os.Exit(1)
 	}
@@ -197,14 +240,82 @@ func main() {
 	}
 }
 
+// closeStream flushes and closes the streaming trace before any metrics
+// snapshot is taken, so chainmon_stream_* in -metrics-out reflect the final
+// counts (the satellite fix: snapshot and live /metrics must agree at run
+// end).
+func closeStream(stream *telemetry.StreamWriter, f *os.File, path string) {
+	if stream == nil {
+		return
+	}
+	if err := stream.Close(); err != nil {
+		log.Fatalf("closing trace stream: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("closing trace stream file: %v", err)
+	}
+	fmt.Printf("trace stream written to %s (%d events, %d bytes, %d dropped)\n",
+		path, stream.EventsWritten(), stream.BytesWritten(), stream.Dropped())
+}
+
+// runTraceCmd implements the offline "chainmon trace" subcommands operating
+// on a streamed binary log.
+func runTraceCmd(args []string) {
+	fail := func() {
+		fmt.Fprintln(os.Stderr, "usage: chainmon trace convert <in.chmtrc> <out.json>")
+		fmt.Fprintln(os.Stderr, "       chainmon trace report <in.chmtrc>")
+		os.Exit(2)
+	}
+	if len(args) < 2 {
+		fail()
+	}
+	readLog := func(path string) *telemetry.Log {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("opening trace stream: %v", err)
+		}
+		defer f.Close()
+		l, err := telemetry.ReadLog(f)
+		if err != nil {
+			log.Fatalf("reading trace stream: %v", err)
+		}
+		return l
+	}
+	switch args[0] {
+	case "convert":
+		if len(args) != 3 {
+			fail()
+		}
+		l := readLog(args[1])
+		out, err := os.Create(args[2])
+		if err != nil {
+			log.Fatalf("creating trace JSON: %v", err)
+		}
+		if err := l.WritePerfetto(out); err != nil {
+			out.Close()
+			log.Fatalf("writing trace JSON: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatalf("closing trace JSON: %v", err)
+		}
+		fmt.Printf("%d events on %d tracks converted to %s\n", l.Events(), len(l.Tracks()), args[2])
+	case "report":
+		if len(args) != 2 {
+			fail()
+		}
+		telemetry.BuildReport(readLog(args[1])).Write(os.Stdout)
+	default:
+		fail()
+	}
+}
+
 // runOne builds the system for one configuration, runs it and writes the
-// full report to w. attachTel wires a telemetry sink (single-run only). The
-// returned flag is false when a fault-campaign oracle cross-check failed.
-func runOne(cfg perception.Config, camp faultinject.Campaign, attachTel bool, w io.Writer) (*telemetry.Sink, bool) {
+// full report to w. A non-nil sink is wired into the system (single-run
+// only). The returned flag is false when a fault-campaign oracle cross-check
+// failed.
+func runOne(cfg perception.Config, camp faultinject.Campaign, sink *telemetry.Sink, w io.Writer) bool {
 	s := perception.Build(cfg)
-	var sink *telemetry.Sink
-	if attachTel {
-		sink = telemetry.NewSink(telemetry.DefaultTrackCap)
+	if sink != nil {
 		perception.AttachTelemetry(s, sink)
 	}
 	var sup *monitor.Supervisor
@@ -274,7 +385,7 @@ func runOne(cfg perception.Config, camp faultinject.Campaign, attachTel bool, w 
 			sound = false
 		}
 	}
-	return sink, sound
+	return sound
 }
 
 // writeTelemetry dumps the sink to the requested files; an empty path skips
@@ -326,9 +437,34 @@ func writeTrace(path string, cfg perception.Config) {
 // the metrics endpoint is bound *before* the run starts and serves the live
 // registry while frames are still in flight; the process exits once the run
 // and the final exports are done.
-func runRealtime(cfg realtime.Config, metricsAddr, metricsOut string) {
-	reg := telemetry.NewRegistry()
-	sink := &telemetry.Sink{Reg: reg}
+//
+// With traceStream set, the run gets a full sink (flight recorder + flow
+// tracing) and a background streaming writer: producers and the monitor
+// goroutine append to lock-free rings, a drainer goroutine writes the log —
+// bounded memory regardless of run length, drops counted in
+// chainmon_stream_dropped_total.
+func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream string) {
+	var sink *telemetry.Sink
+	var stream *telemetry.StreamWriter
+	var streamFile *os.File
+	if traceStream != "" {
+		sink = telemetry.NewSink(telemetry.DefaultTrackCap)
+		var err error
+		streamFile, err = os.Create(traceStream)
+		if err != nil {
+			log.Fatalf("creating trace stream: %v", err)
+		}
+		stream, err = telemetry.NewStreamWriter(streamFile, "wall", telemetry.StreamOptions{
+			Background: true,
+			Metrics:    sink.Reg,
+		})
+		if err != nil {
+			log.Fatalf("starting trace stream: %v", err)
+		}
+		sink.Rec.SetStream(stream)
+	} else {
+		sink = &telemetry.Sink{Reg: telemetry.NewRegistry()}
+	}
 
 	if metricsAddr != "" {
 		ln, err := net.Listen("tcp", metricsAddr)
@@ -345,10 +481,13 @@ func runRealtime(cfg realtime.Config, metricsAddr, metricsOut string) {
 		fmt.Printf("serving live metrics on http://%s/metrics\n", ln.Addr())
 	}
 
-	res, err := realtime.Run(cfg, reg)
+	res, err := realtime.Run(cfg, sink)
 	if err != nil {
 		log.Fatalf("wall-clock run failed: %v", err)
 	}
+	// Final flush before the metrics snapshot, so -metrics-out agrees with
+	// what a last live /metrics scrape would have shown.
+	closeStream(stream, streamFile, traceStream)
 	res.Summary(os.Stdout)
 	writeTelemetry(sink, "", metricsOut, "")
 }

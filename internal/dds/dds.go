@@ -82,8 +82,9 @@ type Domain struct {
 	subs  map[string][]*Subscription // topic → subscriptions
 	links map[linkKey]*netsim.Link
 
-	sink    *telemetry.Sink // nil when uninstrumented
-	ddsTels map[string]*ddsTel
+	sink       *telemetry.Sink // nil when uninstrumented
+	ddsTels    map[string]*ddsTel
+	flowScopes map[string]uint8 // topic → flow scope id
 
 	// InterECU is the link configuration used when two ECUs communicate
 	// and no explicit link was installed. Defaults to netsim.Ethernet().
@@ -317,6 +318,9 @@ func (p *Publisher) Publish(activation uint64, data any, size int) *Sample {
 	for _, hook := range p.PrePublish {
 		if !hook(s) {
 			p.skipped++
+			if p.domain.sink != nil {
+				p.domain.telSkip(p.node.ECU.Name, s)
+			}
 			return nil
 		}
 	}
@@ -368,13 +372,17 @@ func (p *Publisher) PublishBypass(activation uint64, data any, size int) *Sample
 
 // route delivers a sample to every subscription of its topic.
 func (d *Domain) route(fromECU string, s *Sample) {
+	var flow uint32
+	if d.sink != nil {
+		flow = d.flowFor(s.Topic, s.Activation)
+	}
 	for _, sub := range d.subs[s.Topic] {
 		sub := sub
 		link := d.Link(fromECU, sub.node.ECU.Name)
 		// Each subscription gets its own copy so RecvTime and hook
 		// decisions do not leak across receivers.
 		dup := *s
-		link.Send(s.Size, func() { sub.arrive(&dup) })
+		link.SendTagged(s.Size, s.Activation, flow, func() { sub.arrive(&dup) })
 	}
 }
 

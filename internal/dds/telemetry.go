@@ -9,6 +9,7 @@ type ddsTel struct {
 	track *telemetry.Track
 	sends *telemetry.Counter
 	recvs *telemetry.Counter
+	skips *telemetry.Counter
 }
 
 // AttachTelemetry wires the domain's publish/deliver paths and every link
@@ -19,9 +20,23 @@ func (d *Domain) AttachTelemetry(sink *telemetry.Sink) {
 	}
 	d.sink = sink
 	d.ddsTels = make(map[string]*ddsTel)
+	d.flowScopes = make(map[string]uint8)
 	for _, l := range d.links {
 		l.AttachTelemetry(sink)
 	}
+}
+
+// flowFor resolves the flow identity of a sample: the topic's flow scope
+// (bound via Recorder.BindFlow, auto-bound to the topic name otherwise)
+// packed with the activation index. The scope id is cached per topic so the
+// publish hot path pays one map lookup, not an intern.
+func (d *Domain) flowFor(topic string, act uint64) uint32 {
+	id, ok := d.flowScopes[topic]
+	if !ok {
+		id = d.sink.Rec.FlowScope(topic)
+		d.flowScopes[topic] = id
+	}
+	return telemetry.FlowID(id, act)
 }
 
 // telFor returns the resource's probe, creating it on first use.
@@ -35,6 +50,8 @@ func (d *Domain) telFor(resource string) *ddsTel {
 				"Samples published per resource.", res),
 			recvs: d.sink.Reg.Counter("chainmon_dds_receives_total",
 				"Samples delivered to subscriptions per resource.", res),
+			skips: d.sink.Reg.Counter("chainmon_dds_skips_total",
+				"Publications suppressed by a PrePublish veto per resource.", res),
 		}
 		d.ddsTels[resource] = t
 	}
@@ -47,6 +64,7 @@ func (d *Domain) telSend(resource string, s *Sample) {
 	t.sends.Inc()
 	t.track.Append(telemetry.Event{
 		TS: int64(s.PubTime), Act: s.Activation, Arg: int64(s.Size),
+		Flow: d.flowFor(s.Topic, s.Activation),
 		Kind: telemetry.KindDDSSend, Label: d.sink.Rec.Intern(s.Topic),
 	})
 }
@@ -58,6 +76,20 @@ func (d *Domain) telRecv(resource string, s *Sample) {
 	t.recvs.Inc()
 	t.track.Append(telemetry.Event{
 		TS: int64(s.RecvTime), Act: s.Activation, Arg: int64(s.RecvTime.Sub(s.PubTime)),
+		Flow: d.flowFor(s.Topic, s.Activation),
 		Kind: telemetry.KindDDSRecv, Label: d.sink.Rec.Intern(s.Topic),
+	})
+}
+
+// telSkip records a publication suppressed by a PrePublish veto — the
+// monitor's skip-next-publication propagation hop. The event keeps the
+// activation's flow id, so the flow trace shows where the chain was cut.
+func (d *Domain) telSkip(resource string, s *Sample) {
+	t := d.telFor(resource)
+	t.skips.Inc()
+	t.track.Append(telemetry.Event{
+		TS: int64(s.PubTime), Act: s.Activation, Arg: int64(s.Size),
+		Flow: d.flowFor(s.Topic, s.Activation),
+		Kind: telemetry.KindPubSkip, Label: d.sink.Rec.Intern(s.Topic),
 	})
 }

@@ -94,8 +94,9 @@ func NewLocalMonitor(ecu *dds.ECU) *LocalMonitor {
 // Concurrency contract: StartInjected/EndInjected must come from a single
 // producer goroutine per segment; ScanNow and PropagateInto belong to the
 // monitor goroutine. Cost models default to zero (on a real clock the
-// costs are real) and must stay RNG-free on the producer path; telemetry
-// attachment is not supported on this runtime.
+// costs are real) and must stay RNG-free on the producer path. Attach
+// telemetry with AttachWallclockTelemetry, which keeps producer-side posts
+// on per-segment tracks so the recorder's single-writer contract holds.
 func NewWallclockMonitor(clock rt.Clock, waker rt.Waker, newRing func() rt.EventRing, seed int64) *LocalMonitor {
 	m := &LocalMonitor{
 		clock:      clock,
@@ -235,10 +236,11 @@ func (m *LocalMonitor) AddSegment(cfg SegmentConfig) *LocalSegment {
 		SkipArm: func(act uint64) bool {
 			return s.resolved[act] || s.excepted[act]
 		},
-		Arm: func(act uint64, start, deadline, now rt.Time) rt.Timer {
+		Arm: func(start rt.Event, deadline, now rt.Time) rt.Timer {
 			if s.tel != nil {
 				s.tel.track.Append(telemetry.Event{
-					TS: int64(now), Act: act, Arg: int64(deadline),
+					TS: int64(now), Act: start.Act, Arg: int64(deadline),
+					Flow: start.Flow,
 					Kind: telemetry.KindTimeoutArm, Label: s.tel.label,
 				})
 			}
@@ -247,28 +249,29 @@ func (m *LocalMonitor) AddSegment(cfg SegmentConfig) *LocalSegment {
 			}
 			return nil
 		},
-		OK: func(act uint64, start, end rt.Time) {
+		OK: func(start rt.Event, end rt.Time) {
 			s.resolve(Resolution{
-				Activation: act,
+				Activation: start.Act,
 				Status:     StatusOK,
-				Start:      sim.Time(start),
+				Start:      sim.Time(start.TS),
 				End:        sim.Time(end),
-				Latency:    end.Sub(start),
+				Latency:    end.Sub(start.TS),
 			})
 		},
-		Expire: func(act uint64, start, deadline, now rt.Time) {
-			s.excepted[act] = true
+		Expire: func(start rt.Event, deadline, now rt.Time) {
+			s.excepted[start.Act] = true
 			if s.tel != nil {
 				s.tel.track.Append(telemetry.Event{
-					TS: int64(now), Act: act,
+					TS: int64(now), Act: start.Act,
+					Flow: start.Flow,
 					Kind: telemetry.KindTimeoutFire, Label: s.tel.label,
 				})
 			}
-			s.raiseException(act, sim.Time(start), sim.Time(deadline), false)
+			s.raiseException(start.Act, sim.Time(start.TS), sim.Time(deadline), false)
 		},
 	})
 	if m.tel != nil {
-		s.tel = newSegTel(m.tel.sink, m.tel.track, s.cfg.Name)
+		s.tel = newSegTel(m.tel.sink, m.tel.track, m.tel.postTrack(s.cfg.Name), s.cfg.Name)
 	}
 	m.segments = append(m.segments, s)
 	return s
@@ -366,10 +369,15 @@ func (m *LocalMonitor) markSkip(pub *dds.Publisher, act uint64) {
 func (s *LocalSegment) postStart(act uint64) {
 	now := s.mon.clock.Now()
 	s.mon.overheads.StartPost.AddDuration(s.mon.PostCost.Sample(s.mon.rng))
-	s.core.StartRing().Post(rt.Event{Act: act, TS: now})
+	var flow uint32
 	if s.tel != nil {
-		s.tel.track.Append(telemetry.Event{
+		flow = s.tel.flow(act)
+	}
+	s.core.StartRing().Post(rt.Event{Act: act, TS: now, Flow: flow})
+	if s.tel != nil {
+		s.tel.posts.Append(telemetry.Event{
 			TS: int64(now), Act: act, Arg: int64(s.core.StartRing().Len()),
+			Flow: flow,
 			Kind: telemetry.KindRingPostStart, Label: s.tel.label,
 		})
 	}
@@ -382,10 +390,15 @@ func (s *LocalSegment) postStart(act uint64) {
 func (s *LocalSegment) postEnd(act uint64) {
 	now := s.mon.clock.Now()
 	s.mon.overheads.EndPost.AddDuration(s.mon.PostCost.Sample(s.mon.rng))
-	s.core.EndRing().Post(rt.Event{Act: act, TS: now})
+	var flow uint32
 	if s.tel != nil {
-		s.tel.track.Append(telemetry.Event{
+		flow = s.tel.flow(act)
+	}
+	s.core.EndRing().Post(rt.Event{Act: act, TS: now, Flow: flow})
+	if s.tel != nil {
+		s.tel.posts.Append(telemetry.Event{
 			TS: int64(now), Act: act, Arg: int64(s.core.EndRing().Len()),
+			Flow: flow,
 			Kind: telemetry.KindRingPostEnd, Label: s.tel.label,
 		})
 	}

@@ -336,6 +336,7 @@ func (m *RemoteMonitor) armTimer() {
 		m.tel.programs.Inc()
 		m.tel.track.Append(telemetry.Event{
 			TS: int64(m.clock.Now()), Act: act, Arg: int64(m.deadlineLocal),
+			Flow: m.tel.flow(act),
 			Kind: telemetry.KindTimerProgram, Label: m.tel.label,
 		})
 	}

@@ -6,31 +6,44 @@ import (
 )
 
 // monTel is a LocalMonitor's probe: the monitor's scan/exception activity on
-// the ECU's monitor track plus the shared scan counters.
+// the ECU's monitor track plus the shared scan counters. postTrack yields the
+// track that a segment's producer-side ring-post events go to — on the
+// simulation runtime it is the (single-threaded) monitor track itself; on the
+// wall-clock runtime each segment gets its own producer-owned track so the
+// single-writer contract holds across goroutines.
 type monTel struct {
-	sink  *telemetry.Sink
-	track *telemetry.Track
-	scans *telemetry.Counter
-	depth *telemetry.Gauge
+	sink      *telemetry.Sink
+	track     *telemetry.Track
+	scans     *telemetry.Counter
+	depth     *telemetry.Gauge
+	postTrack func(seg string) *telemetry.Track
 }
 
 // segTel carries one segment's verdict-path instrumentation. The verdict
 // counters are incremented inside the same reorder-buffer sink that feeds
 // SegmentStats, so the exported miss/OK counts match Counts() exactly.
+// scope is the segment's flow scope (Recorder.FlowScope of its name, unless
+// bound to a chain-wide scope first); every verdict, handler and ring-post
+// event carries FlowID(scope, act) so the activation's path can be stitched
+// across tracks.
 type segTel struct {
 	track     *telemetry.Track
+	posts     *telemetry.Track
 	label     uint16
+	scope     uint8
 	resolved  [3]*telemetry.Counter // indexed by Status
 	latency   *telemetry.Histogram
 	detection *telemetry.Histogram
 	handlers  [2]*telemetry.Counter // recovered, propagated
 }
 
-func newSegTel(sink *telemetry.Sink, track *telemetry.Track, name string) *segTel {
+func newSegTel(sink *telemetry.Sink, track, posts *telemetry.Track, name string) *segTel {
 	seg := telemetry.Label{Name: "segment", Value: name}
 	st := &segTel{
 		track: track,
+		posts: posts,
 		label: sink.Rec.Intern(name),
+		scope: sink.Rec.FlowScope(name),
 		latency: sink.Reg.Histogram("chainmon_segment_latency_seconds",
 			"Segment latency per resolved activation.", nil, seg),
 		detection: sink.Reg.Histogram("chainmon_detection_latency_seconds",
@@ -63,9 +76,13 @@ func (st *segTel) verdict(r Resolution) {
 	}
 	st.track.Append(telemetry.Event{
 		TS: int64(r.End), Act: r.Activation, Arg: int64(r.Latency),
+		Flow: telemetry.FlowID(st.scope, r.Activation),
 		Kind: telemetry.KindVerdict, Status: uint8(r.Status), Label: st.label,
 	})
 }
+
+// flow is the flow identity of one of this segment's activations.
+func (st *segTel) flow(act uint64) uint32 { return telemetry.FlowID(st.scope, act) }
 
 // handlerDone records one exception-handler completion as a span event.
 func (st *segTel) handlerDone(act uint64, entry, done sim.Time, recovered bool) {
@@ -76,31 +93,62 @@ func (st *segTel) handlerDone(act uint64, entry, done sim.Time, recovered bool) 
 	st.handlers[idx].Inc()
 	st.track.Append(telemetry.Event{
 		TS: int64(done), Act: act, Arg: int64(done.Sub(entry)),
+		Flow: st.flow(act),
 		Kind: telemetry.KindExcHandler, Status: outcome, Label: st.label,
 	})
 }
 
 // AttachTelemetry wires the local monitor and all its segments (present and
-// future) to the sink. A nil sink leaves the monitor dark.
+// future) to the sink. A nil sink leaves the monitor dark. On the simulation
+// runtime everything executes on one goroutine, so ring-post events share the
+// monitor track; wall-clock monitors must use AttachWallclockTelemetry, which
+// splits producer-side posts onto per-segment tracks.
 func (m *LocalMonitor) AttachTelemetry(sink *telemetry.Sink) {
 	if sink == nil {
 		return
 	}
 	if m.ECU == nil {
-		panic("monitor: telemetry is not supported on the wall-clock runtime (tracks would be shared across goroutines)")
+		panic("monitor: use AttachWallclockTelemetry on the wall-clock runtime (producer posts need their own tracks)")
 	}
-	track := sink.Rec.Track(m.ECU.Name + "/monitor")
-	ecu := telemetry.Label{Name: "ecu", Value: m.ECU.Name}
+	m.attachTelemetry(sink, m.ECU.Name, nil)
+}
+
+// AttachWallclockTelemetry wires a wall-clock monitor (NewWallclockMonitor)
+// to the sink under the given resource name. Producer-side ring-post events
+// are recorded on per-segment "<segment>/posts" tracks owned by the posting
+// goroutine; monitor-goroutine events (arm/fire/verdict/handler/scan) go to
+// the "<name>/monitor" track. This preserves the flight recorder's
+// single-writer-per-track contract: StartInjected/EndInjected must still come
+// from one producer goroutine per segment.
+func (m *LocalMonitor) AttachWallclockTelemetry(sink *telemetry.Sink, name string) {
+	if sink == nil {
+		return
+	}
+	if m.ECU != nil {
+		panic("monitor: AttachWallclockTelemetry on a simulation monitor; use AttachTelemetry")
+	}
+	m.attachTelemetry(sink, name, func(seg string) *telemetry.Track {
+		return sink.Rec.Track(seg + "/posts")
+	})
+}
+
+func (m *LocalMonitor) attachTelemetry(sink *telemetry.Sink, name string, postTrack func(string) *telemetry.Track) {
+	track := sink.Rec.Track(name + "/monitor")
+	if postTrack == nil {
+		postTrack = func(string) *telemetry.Track { return track }
+	}
+	ecu := telemetry.Label{Name: "ecu", Value: name}
 	m.tel = &monTel{
-		sink:  sink,
-		track: track,
+		sink:      sink,
+		track:     track,
+		postTrack: postTrack,
 		scans: sink.Reg.Counter("chainmon_monitor_scans_total",
 			"Monitor-thread drain passes.", ecu),
 		depth: sink.Reg.Gauge("chainmon_monitor_timeout_queue_depth",
 			"Armed local timeouts after a monitor pass.", ecu),
 	}
 	for _, s := range m.segments {
-		s.tel = newSegTel(sink, track, s.cfg.Name)
+		s.tel = newSegTel(sink, track, postTrack(s.cfg.Name), s.cfg.Name)
 	}
 }
 
@@ -122,8 +170,9 @@ func (m *RemoteMonitor) AttachTelemetry(sink *telemetry.Sink) {
 	}
 	ecuName := m.sub.Node().ECU.Name
 	seg := telemetry.Label{Name: "segment", Value: m.cfg.Name}
+	monTrack := sink.Rec.Track(ecuName + "/monitor")
 	m.tel = &remoteTel{
-		segTel: newSegTel(sink, sink.Rec.Track(ecuName+"/monitor"), m.cfg.Name),
+		segTel: newSegTel(sink, monTrack, monTrack, m.cfg.Name),
 		programs: sink.Reg.Counter("chainmon_timer_programs_total",
 			"Remote deadline-timer programming operations.", seg),
 		discards: sink.Reg.Counter("chainmon_late_discards_total",

@@ -132,6 +132,16 @@ func (l *Link) transmissionTime(size int) sim.Duration {
 // earlier than any previously sent message (FIFO). It returns the scheduled
 // delivery time and false if the message was dropped.
 func (l *Link) Send(size int, deliver func()) (sim.Time, bool) {
+	return l.SendTagged(size, 0, 0, deliver)
+}
+
+// SendTagged is Send with the sender's causal tags: the activation index
+// and the flow identity (telemetry.FlowID) of the sample on the wire. The
+// link's trace events — the successful transmission as well as drop, hold
+// and duplication faults — carry the tags, so the Perfetto flow view can
+// stitch the network hop between dds-send and dds-recv (or show where a
+// flow died on the wire). Untraced callers use Send, which passes zero tags.
+func (l *Link) SendTagged(size int, act uint64, flow uint32, deliver func()) (sim.Time, bool) {
 	l.sent++
 	resp := l.BCRT + l.transmissionTime(size) + l.Jitter.Sample(l.rng)
 	if l.DelayFault != nil {
@@ -149,7 +159,7 @@ func (l *Link) Send(size int, deliver func()) (sim.Time, bool) {
 		if l.RetransmitDelay == nil {
 			l.lost++
 			if l.tel != nil {
-				l.tel.drop(l.k.Now(), size)
+				l.tel.drop(l.k.Now(), act, flow, size)
 			}
 			return 0, false
 		}
@@ -169,13 +179,18 @@ func (l *Link) Send(size int, deliver func()) (sim.Time, bool) {
 		l.held++
 		at = at.Add(hold)
 		if l.tel != nil {
-			l.tel.hold(l.k.Now(), hold)
+			l.tel.hold(l.k.Now(), act, flow, hold)
 		}
 	} else {
 		if at < l.lastDelivery {
 			at = l.lastDelivery // FIFO: no overtaking on a link
 		}
 		l.lastDelivery = at
+	}
+	if l.tel != nil {
+		// The accepted transmission: one net-send hop between the sender's
+		// dds-send and the receiver's dds-recv, tagged with the flow.
+		l.tel.send(l.k.Now(), act, flow, at.Sub(l.k.Now()))
 	}
 	if deliver != nil {
 		l.k.At(at, deliver)
@@ -184,7 +199,7 @@ func (l *Link) Send(size int, deliver func()) (sim.Time, bool) {
 		if dup, extra := l.DupFault(l.k.Now(), size); dup {
 			l.duplicated++
 			if l.tel != nil {
-				l.tel.dup(l.k.Now(), extra)
+				l.tel.dup(l.k.Now(), act, flow, extra)
 			}
 			if deliver != nil {
 				l.k.At(at.Add(extra), deliver)

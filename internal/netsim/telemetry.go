@@ -7,7 +7,8 @@ import (
 
 // linkTel is a link's probe. All links share the "net" track (the simulation
 // is single-threaded, so the single-writer contract holds) and are told
-// apart by the interned link name.
+// apart by the interned link name. Events carry the sender's activation and
+// flow tags (SendTagged) so the network hop participates in flow stitching.
 type linkTel struct {
 	track  *telemetry.Track
 	label  uint16
@@ -37,23 +38,33 @@ func (l *Link) AttachTelemetry(sink *telemetry.Sink) {
 	}
 }
 
-func (t *linkTel) drop(at sim.Time, size int) {
+func (t *linkTel) send(at sim.Time, act uint64, flow uint32, resp sim.Duration) {
+	t.track.Append(telemetry.Event{
+		TS: int64(at), Act: act, Arg: int64(resp), Flow: flow,
+		Kind: telemetry.KindNetSend, Label: t.label,
+	})
+}
+
+func (t *linkTel) drop(at sim.Time, act uint64, flow uint32, size int) {
 	t.losses.Inc()
 	t.track.Append(telemetry.Event{
-		TS: int64(at), Arg: int64(size), Kind: telemetry.KindNetDrop, Label: t.label,
+		TS: int64(at), Act: act, Arg: int64(size), Flow: flow,
+		Kind: telemetry.KindNetDrop, Label: t.label,
 	})
 }
 
-func (t *linkTel) hold(at sim.Time, hold sim.Duration) {
+func (t *linkTel) hold(at sim.Time, act uint64, flow uint32, hold sim.Duration) {
 	t.holds.Inc()
 	t.track.Append(telemetry.Event{
-		TS: int64(at), Arg: int64(hold), Kind: telemetry.KindNetHold, Label: t.label,
+		TS: int64(at), Act: act, Arg: int64(hold), Flow: flow,
+		Kind: telemetry.KindNetHold, Label: t.label,
 	})
 }
 
-func (t *linkTel) dup(at sim.Time, extra sim.Duration) {
+func (t *linkTel) dup(at sim.Time, act uint64, flow uint32, extra sim.Duration) {
 	t.dups.Inc()
 	t.track.Append(telemetry.Event{
-		TS: int64(at), Arg: int64(extra), Kind: telemetry.KindNetDup, Label: t.label,
+		TS: int64(at), Act: act, Arg: int64(extra), Flow: flow,
+		Kind: telemetry.KindNetDup, Label: t.label,
 	})
 }

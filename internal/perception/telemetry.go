@@ -21,6 +21,29 @@ func AttachTelemetry(s *System, sink *telemetry.Sink) {
 		return
 	}
 
+	// Flow scopes: all topics and segments of one pipeline branch share a
+	// scope, so the events of activation n across publisher, link, subscriber
+	// and monitor carry one flow id and the Perfetto export stitches them into
+	// a single dds-send → net → dds-recv → verdict arrow chain. The branches
+	// merge in the fused trunk, which gets its own scope (activation numbering
+	// is consistent across the chain, so the trunk flow of n continues where
+	// the branch flows of n end).
+	// Bound in a fixed order: scope ids are assigned on first use, and the
+	// streamed trace must be byte-identical across same-seed runs.
+	for _, b := range []struct {
+		scope   string
+		streams []string
+	}{
+		{"front", []string{TopicFront, SegFrontRemote, SegFusionFront}},
+		{"rear", []string{TopicRear, SegRearRemote, SegFusionRear}},
+		{"trunk", []string{TopicFused, TopicGround, TopicNonGround, TopicObjects,
+			SegFusedRemote, SegObjectsLocal, SegGroundLocal}},
+	} {
+		for _, stream := range b.streams {
+			sink.Rec.BindFlow(stream, b.scope)
+		}
+	}
+
 	// Sim-kernel event queue: depth and heap-operation metrics from the
 	// plain-callback probe (internal/sim stays telemetry-free).
 	track := sink.Rec.Track("kernel")

@@ -1,0 +1,179 @@
+package perception_test
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"time"
+
+	"chainmon/internal/monitor"
+	"chainmon/internal/perception"
+	"chainmon/internal/telemetry"
+)
+
+// streamRun runs a full-chain monitored system with a direct (inline)
+// stream writer attached, the configuration the -trace-stream flag uses for
+// simulation runs, and returns the system plus the raw on-disk log bytes.
+func streamRun(t *testing.T, seed int64) (*perception.System, []byte) {
+	t.Helper()
+	cfg := perception.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Frames = 120
+	cfg.FullChain = true
+	cfg.Network.LossProb = 0.02
+	s := perception.Build(cfg)
+	sink := telemetry.NewSink(1 << 14)
+	var buf bytes.Buffer
+	sw, err := telemetry.NewStreamWriter(&buf, "sim", telemetry.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Rec.SetStream(sw) // before AttachTelemetry: tracks register on creation
+	perception.AttachTelemetry(s, sink)
+	s.Run()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return s, buf.Bytes()
+}
+
+// flowEvent is one event of a flow with its source track.
+type flowEvent struct {
+	track string
+	ev    telemetry.Event
+}
+
+// TestStreamFlowIntegrity pins the causal-stitching contract on a lossy
+// full-chain run: every flow that resolves to a verdict spans at least two
+// tracks, and the publish → network → delivery → verdict hops of the branch
+// scopes appear in causal (virtual-time) order.
+func TestStreamFlowIntegrity(t *testing.T) {
+	_, raw := streamRun(t, 11)
+	l, err := telemetry.ReadLog(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Timebase != "sim" {
+		t.Fatalf("timebase = %q, want sim", l.Timebase)
+	}
+	flows := map[uint32][]flowEvent{}
+	for _, tr := range l.Tracks() {
+		for _, ev := range tr.Events {
+			if ev.Flow != 0 {
+				flows[ev.Flow] = append(flows[ev.Flow], flowEvent{tr.Name, ev})
+			}
+		}
+	}
+	if len(flows) == 0 {
+		t.Fatal("no flow-tagged events in the stream")
+	}
+	stitched := 0 // flows carrying the full dds-send → net → dds-recv → verdict chain
+	for flow, evs := range flows {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].ev.TS < evs[j].ev.TS })
+		firstOf := map[telemetry.Kind]flowEvent{}
+		var lastOKVerdict int64 = -1
+		tracks := map[string]bool{}
+		for _, fe := range evs {
+			tracks[fe.track] = true
+			if _, seen := firstOf[fe.ev.Kind]; !seen {
+				firstOf[fe.ev.Kind] = fe
+			}
+			if fe.ev.Kind == telemetry.KindVerdict && fe.ev.Status == uint8(monitor.StatusOK) {
+				lastOKVerdict = fe.ev.TS
+			}
+		}
+		send, okS := firstOf[telemetry.KindDDSSend]
+		net, okN := firstOf[telemetry.KindNetSend]
+		recv, okR := firstOf[telemetry.KindDDSRecv]
+		_, okV := firstOf[telemetry.KindVerdict]
+		// A published activation that resolved must appear on at least two
+		// tracks (publisher-side and monitor-side). A lost publication can
+		// legitimately resolve single-track via a timeout verdict.
+		if okS && okV && len(tracks) < 2 {
+			t.Errorf("flow %d (scope %s act %d) resolved on a single track %v",
+				flow, l.ScopeName(telemetry.FlowScopeOf(flow)), telemetry.FlowAct(flow), evs)
+		}
+		// Network causality is unconditional: a sample is published before
+		// it enters the link, and enters the link before it is delivered.
+		if okS && okN && send.ev.TS > net.ev.TS {
+			t.Errorf("flow %d: dds-send at %d after net-send at %d", flow, send.ev.TS, net.ev.TS)
+		}
+		if okN && okR && net.ev.TS > recv.ev.TS {
+			t.Errorf("flow %d: net-send at %d after dds-recv at %d", flow, net.ev.TS, recv.ev.TS)
+		}
+		// Verdict causality holds for on-time resolutions: a timeout verdict
+		// may precede a late delivery, but an OK verdict cannot precede the
+		// delivery that triggered the segment.
+		if okS && okN && okR && okV {
+			stitched++
+			if lastOKVerdict >= 0 && recv.ev.TS > lastOKVerdict {
+				t.Errorf("flow %d: first dds-recv at %d after last OK verdict at %d",
+					flow, recv.ev.TS, lastOKVerdict)
+			}
+			if send.track == recv.track {
+				t.Errorf("flow %d: publish and delivery on the same track %q", flow, send.track)
+			}
+		}
+	}
+	// 120 frames × two branch scopes, minus losses: the bulk must stitch.
+	if stitched < 100 {
+		t.Errorf("only %d fully stitched dds-send→net→dds-recv→verdict flows (want ≥ 100)", stitched)
+	}
+}
+
+// TestStreamReportMatchesSegmentStats pins the acceptance criterion that
+// `chainmon trace report` reproduces the authoritative SegmentStats exactly
+// from the streamed log alone: verdict counts and the max latency per
+// segment.
+func TestStreamReportMatchesSegmentStats(t *testing.T) {
+	s, raw := streamRun(t, 3)
+	l, err := telemetry.ReadLog(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := telemetry.BuildReport(l)
+	byName := map[string]*telemetry.SegmentReport{}
+	for _, sr := range rep.Segments {
+		byName[sr.Name] = sr
+	}
+	check := func(name string, st *monitor.SegmentStats) {
+		sr := byName[name]
+		if sr == nil {
+			t.Errorf("segment %q missing from the report", name)
+			return
+		}
+		ok, rec, miss := st.Counts()
+		if sr.OK != ok || sr.Recovered != rec || sr.Missed != miss {
+			t.Errorf("%s: report counts ok=%d rec=%d miss=%d, stats say %d/%d/%d",
+				name, sr.OK, sr.Recovered, sr.Missed, ok, rec, miss)
+		}
+		if want := time.Duration(st.Latencies().Max()); sr.Latency.Max != want {
+			t.Errorf("%s: report max latency %v, stats say %v", name, sr.Latency.Max, want)
+		}
+	}
+	check(perception.SegObjectsLocal, s.SegObjects.Stats())
+	check(perception.SegGroundLocal, s.SegGround.Stats())
+	check(perception.SegFrontRemote, s.RemFront.Stats())
+	check(perception.SegRearRemote, s.RemRear.Stats())
+	check(perception.SegFusedRemote, s.RemFused.Stats())
+	check(perception.SegFusionFront, s.FusionFront.Stats())
+	check(perception.SegFusionRear, s.FusionRear.Stats())
+	if len(rep.Scopes) == 0 {
+		t.Error("report has no flow scopes")
+	}
+}
+
+// TestStreamSameSeedByteIdentical requires two same-seed simulation runs to
+// stream byte-identical logs: scope/label/track ids are assigned in a fixed
+// order and the direct writer serializes events in virtual-time program
+// order.
+func TestStreamSameSeedByteIdentical(t *testing.T) {
+	_, a := streamRun(t, 42)
+	_, b := streamRun(t, 42)
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed streamed logs differ (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("empty streamed log")
+	}
+}

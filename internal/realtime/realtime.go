@@ -15,6 +15,7 @@ package realtime
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"chainmon/internal/monitor"
@@ -116,9 +117,21 @@ func (r Result) Summary(w io.Writer) {
 
 // Run executes the wall-clock scenario. The caller's goroutine is the
 // producer (the instrumented application threads of the paper); the monitor
-// runs on its own OS-locked goroutine. reg receives live metrics and may be
+// runs on its own OS-locked goroutine. sink receives live metrics and may be
 // scraped concurrently throughout; nil leaves the run dark.
-func Run(cfg Config, reg *telemetry.Registry) (Result, error) {
+//
+// With a full sink (sink.Rec != nil) the run is also flow-traced: the
+// producer emulates the pipeline hops of one frame — dds-send on
+// "rt/producer", net-send on "rt/net", dds-recv back on "rt/producer" —
+// before posting the start events, all tagged with the frame's flow identity
+// in scope "rt"; the monitor's ring-post, arm/fire and verdict events carry
+// the same flow, so the converted trace links dds-send → net → dds-recv →
+// verdict for every activation. Per-segment verdict counters then come from
+// the monitor's own telemetry attach (registering them here too would
+// double-count: the registry hands out one shared counter per family+labels).
+// A registry-only sink (sink.Rec == nil) keeps the previous metrics-only
+// behavior.
+func Run(cfg Config, sink *telemetry.Sink) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -128,16 +141,35 @@ func Run(cfg Config, reg *telemetry.Registry) (Result, error) {
 	mon := monitor.NewWallclockMonitor(clock, sem,
 		func() rt.EventRing { return walltime.NewRing(cfg.RingCap) }, cfg.Seed)
 
+	traced := sink != nil && sink.Rec != nil
 	var frames *telemetry.Counter
-	var scans *telemetry.Counter
-	var depth *telemetry.Gauge
-	if reg != nil {
-		frames = reg.Counter("chainmon_realtime_frames_total",
+	var manScans *telemetry.Counter
+	var manDepth *telemetry.Gauge
+	if sink != nil {
+		frames = sink.Reg.Counter("chainmon_realtime_frames_total",
 			"Activations emitted by the wall-clock producer.")
-		scans = reg.Counter("chainmon_monitor_scans_total",
+	}
+	if sink != nil && !traced {
+		manScans = sink.Reg.Counter("chainmon_monitor_scans_total",
 			"Monitor-goroutine drain passes.")
-		depth = reg.Gauge("chainmon_monitor_timeout_queue_depth",
+		manDepth = sink.Reg.Gauge("chainmon_monitor_timeout_queue_depth",
 			"Armed timeouts after a monitor pass.")
+	}
+
+	// Flow tracing: both segments describe the same frame stream, so they
+	// share flow scope "rt" — one flow per activation, forking into the two
+	// segments (the evaluation's shared start event).
+	var scope uint8
+	var prodTrack, netTrack *telemetry.Track
+	var frameLbl, linkLbl uint16
+	if traced {
+		sink.Rec.BindFlow(SegObjects, "rt")
+		sink.Rec.BindFlow(SegGround, "rt")
+		scope = sink.Rec.FlowScope(SegObjects)
+		prodTrack = sink.Rec.Track("rt/producer")
+		netTrack = sink.Rec.Track("rt/net")
+		frameLbl = sink.Rec.Intern("rt/frames")
+		linkLbl = sink.Rec.Intern("rt/link")
 	}
 
 	mk := weaklyhard.Constraint{M: 1, K: 5}
@@ -152,15 +184,15 @@ func Run(cfg Config, reg *telemetry.Registry) (Result, error) {
 		idx := len(results) - 1
 		var resolved, miss *telemetry.Counter
 		var lat *telemetry.Histogram
-		if reg != nil {
+		if sink != nil && !traced {
 			segLabel := telemetry.Label{Name: "segment", Value: name}
-			resolved = reg.Counter("chainmon_segment_resolutions_total",
+			resolved = sink.Reg.Counter("chainmon_segment_resolutions_total",
 				"Resolved activations per segment and verdict.", segLabel,
 				telemetry.Label{Name: "status", Value: "ok"})
-			miss = reg.Counter("chainmon_segment_resolutions_total",
+			miss = sink.Reg.Counter("chainmon_segment_resolutions_total",
 				"Resolved activations per segment and verdict.", segLabel,
 				telemetry.Label{Name: "status", Value: "missed"})
-			lat = reg.Histogram("chainmon_segment_latency_seconds",
+			lat = sink.Reg.Histogram("chainmon_segment_latency_seconds",
 				"Segment latency per resolved activation.", nil, segLabel)
 		}
 		// Runs on the monitor goroutine; counters are lock-free atomics, so
@@ -188,13 +220,18 @@ func Run(cfg Config, reg *telemetry.Registry) (Result, error) {
 		segs = append(segs, seg)
 	}
 	objects, ground := segs[0], segs[1]
+	if traced {
+		mon.AttachWallclockTelemetry(sink, "rt")
+	}
 
+	var scanCount atomic.Uint64
 	loop := walltime.NewLoop(clock, sem)
 	loop.Scan = func() {
 		mon.ScanNow()
-		if scans != nil {
-			scans.Inc()
-			depth.Set(int64(mon.Core().PendingTimeouts()))
+		scanCount.Add(1)
+		if manScans != nil {
+			manScans.Inc()
+			manDepth.Set(int64(mon.Core().PendingTimeouts()))
 		}
 	}
 	loop.Next = mon.Core().NextDeadline
@@ -218,6 +255,26 @@ func Run(cfg Config, reg *telemetry.Registry) (Result, error) {
 			lateGround = -1
 		}
 
+		if traced {
+			// Emulated pipeline hops of this frame, all on the producer
+			// goroutine (single writer of both tracks): publish, wire,
+			// deliver — then the StartInjected posts below continue the flow.
+			flow := telemetry.FlowID(scope, uint64(act))
+			sent := int64(clock.Now())
+			prodTrack.Append(telemetry.Event{
+				TS: sent, Act: uint64(act), Flow: flow,
+				Kind: telemetry.KindDDSSend, Label: frameLbl,
+			})
+			netTrack.Append(telemetry.Event{
+				TS: sent, Act: uint64(act), Flow: flow,
+				Kind: telemetry.KindNetSend, Label: linkLbl,
+			})
+			recv := int64(clock.Now())
+			prodTrack.Append(telemetry.Event{
+				TS: recv, Act: uint64(act), Arg: recv - sent, Flow: flow,
+				Kind: telemetry.KindDDSRecv, Label: frameLbl,
+			})
+		}
 		objects.StartInjected(uint64(act))
 		ground.StartInjected(uint64(act))
 		if frames != nil {
@@ -243,13 +300,10 @@ func Run(cfg Config, reg *telemetry.Registry) (Result, error) {
 	time.Sleep(10 * time.Millisecond)
 	loop.Stop()
 
-	res := Result{
+	return Result{
 		Elapsed:  time.Since(start),
 		Frames:   cfg.Frames,
+		Scans:    scanCount.Load(),
 		Segments: results,
-	}
-	if scans != nil {
-		res.Scans = scans.Value()
-	}
-	return res, nil
+	}, nil
 }

@@ -14,23 +14,25 @@ type SegmentHooks struct {
 	// uses it to drop start events of activations that were already handled
 	// (propagated-in exceptions).
 	SkipArm func(act uint64) bool
-	// Arm is invoked when a timeout was armed for the activation. It may
-	// return a Timer whose expiry guarantees a scan pass at the deadline
+	// Arm is invoked when a timeout was armed for the activation; start is
+	// the start event as posted (activation, post timestamp, flow id). It
+	// may return a Timer whose expiry guarantees a scan pass at the deadline
 	// (the simtime path arms a kernel timer; walltime returns nil because
 	// its loop already sleeps until NextDeadline). Timers are cancelled when
 	// the activation completes in time.
-	Arm func(act uint64, start, deadline, now Time) Timer
-	// OK is invoked when the end event arrived within the deadline.
-	OK func(act uint64, start, end Time)
+	Arm func(start Event, deadline, now Time) Timer
+	// OK is invoked when the end event arrived within the deadline; start
+	// is the original start event, end the end-event timestamp.
+	OK func(start Event, end Time)
 	// Expire is invoked when the deadline passed without an end event — the
-	// temporal exception of the paper.
-	Expire func(act uint64, start, deadline, now Time)
+	// temporal exception of the paper. start is the original start event.
+	Expire func(start Event, deadline, now Time)
 }
 
-// pendingTimeout is one armed activation of a segment.
+// pendingTimeout is one armed activation of a segment. start retains the
+// full start event so the expiry/completion hooks see its flow identity.
 type pendingTimeout struct {
-	act      uint64
-	start    Time
+	start    Event
 	deadline Time
 	timer    Timer
 }
@@ -128,11 +130,11 @@ func (c *Core) drain(s *Segment, now Time) {
 		if s.hooks.SkipArm != nil && s.hooks.SkipArm(ev.Act) {
 			continue // propagated-in activation that was already handled
 		}
-		p := &pendingTimeout{act: ev.Act, start: ev.TS, deadline: ev.TS.Add(s.DMon)}
+		p := &pendingTimeout{start: ev, deadline: ev.TS.Add(s.DMon)}
 		s.pending[ev.Act] = p
 		heap.Push(&c.deadline, deadlineEntry{at: p.deadline, seg: s, act: ev.Act})
 		if s.hooks.Arm != nil {
-			p.timer = s.hooks.Arm(ev.Act, p.start, p.deadline, now)
+			p.timer = s.hooks.Arm(p.start, p.deadline, now)
 		}
 		// Deadlines already in the past are picked up by fireDue below.
 	}
@@ -152,7 +154,7 @@ func (c *Core) drain(s *Segment, now Time) {
 		}
 		delete(s.pending, ev.Act)
 		if s.hooks.OK != nil {
-			s.hooks.OK(ev.Act, p.start, ev.TS)
+			s.hooks.OK(p.start, ev.TS)
 		}
 	}
 }
@@ -171,14 +173,14 @@ func (c *Core) fireDue(s *Segment, now Time) {
 	}
 	// Deterministic order by activation.
 	for i := 1; i < len(due); i++ {
-		for j := i; j > 0 && due[j].act < due[j-1].act; j-- {
+		for j := i; j > 0 && due[j].start.Act < due[j-1].start.Act; j-- {
 			due[j], due[j-1] = due[j-1], due[j]
 		}
 	}
 	for _, p := range due {
-		delete(s.pending, p.act)
+		delete(s.pending, p.start.Act)
 		if s.hooks.Expire != nil {
-			s.hooks.Expire(p.act, p.start, p.deadline, now)
+			s.hooks.Expire(p.start, p.deadline, now)
 		}
 	}
 }

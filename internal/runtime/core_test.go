@@ -23,13 +23,13 @@ func (r *rec) hooks() SegmentHooks {
 		SkipArm: func(act uint64) bool {
 			return r.skipped != nil && r.skipped[act]
 		},
-		Arm: func(act uint64, start, deadline, now Time) Timer {
+		Arm: func(start Event, deadline, now Time) Timer {
 			t := &fakeTimer{}
 			r.armed = append(r.armed, t)
 			return t
 		},
-		OK:     func(act uint64, start, end Time) { r.oks = append(r.oks, act) },
-		Expire: func(act uint64, start, deadline, now Time) { r.expired = append(r.expired, act) },
+		OK:     func(start Event, end Time) { r.oks = append(r.oks, start.Act) },
+		Expire: func(start Event, deadline, now Time) { r.expired = append(r.expired, start.Act) },
 	}
 }
 
@@ -84,8 +84,8 @@ func TestCoreFireOrderPerSegmentByActivation(t *testing.T) {
 	}
 	var order []fired
 	mk := func(name string) SegmentHooks {
-		return SegmentHooks{Expire: func(act uint64, _, _, _ Time) {
-			order = append(order, fired{name, act})
+		return SegmentHooks{Expire: func(start Event, _, _ Time) {
+			order = append(order, fired{name, start.Act})
 		}}
 	}
 	a := c.AddSegment("a", time.Millisecond, &SliceRing{}, &SliceRing{}, mk("a"))

@@ -35,10 +35,15 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 // Event is one start or end event posted by instrumented middleware code:
-// the activation index and the posting timestamp.
+// the activation index, the posting timestamp, and the causal-flow identity
+// of the activation (telemetry.FlowID; 0 when the producer is not traced).
+// The Core carries Flow through its timeout bookkeeping so the Arm/OK/Expire
+// hooks can tag their trace events with the same identity the middleware
+// hops used — one flow id from publication to verdict.
 type Event struct {
-	Act uint64
-	TS  Time
+	Act  uint64
+	TS   Time
+	Flow uint32
 }
 
 // EventRing is the transport between the instrumented producer and the

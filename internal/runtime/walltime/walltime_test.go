@@ -47,7 +47,7 @@ func TestLoopDrivesCoreDeadlines(t *testing.T) {
 	var expired atomic.Uint64
 	injected := make(chan uint64, 1)
 	seg := core.AddSegment("s", 20*time.Millisecond, NewRing(16), NewRing(16), rt.SegmentHooks{
-		Expire: func(act uint64, _, _, _ rt.Time) { expired.Add(1) },
+		Expire: func(rt.Event, rt.Time, rt.Time) { expired.Add(1) },
 	})
 	loop := NewLoop(clock, sem)
 	loop.Scan = func() { core.Scan(clock.Now()) }

@@ -93,29 +93,31 @@ func (m *Monitor) AddSegment(name string, dMon time.Duration, ringCap int, onExc
 		DrainLatency: func(lat rt.Duration) {
 			s.monLat = append(s.monLat, lat)
 		},
-		Arm: func(act uint64, start, deadline, now rt.Time) rt.Timer {
+		Arm: func(start rt.Event, deadline, now rt.Time) rt.Timer {
 			if m.tel != nil {
 				m.tel.track.Append(telemetry.Event{
-					TS: int64(now), Act: act, Arg: int64(deadline),
+					TS: int64(now), Act: start.Act, Arg: int64(deadline),
+					Flow: start.Flow,
 					Kind: telemetry.KindTimeoutArm, Label: s.telLabel(),
 				})
 			}
 			return nil // the loop sleeps until Core.NextDeadline
 		},
-		OK: func(act uint64, start, end rt.Time) {
+		OK: func(start rt.Event, end rt.Time) {
 			s.okCount++
 		},
-		Expire: func(act uint64, start, deadline, now rt.Time) {
+		Expire: func(start rt.Event, deadline, now rt.Time) {
 			s.excCount++
 			if m.tel != nil {
 				m.tel.fires.Inc()
 				m.tel.track.Append(telemetry.Event{
-					TS: int64(now), Act: act,
+					TS: int64(now), Act: start.Act,
+					Flow: start.Flow,
 					Kind: telemetry.KindTimeoutFire, Label: s.telLabel(),
 				})
 			}
 			if s.onExc != nil {
-				s.onExc(act, time.Duration(deadline))
+				s.onExc(start.Act, time.Duration(deadline))
 			}
 		},
 	})

@@ -8,17 +8,23 @@ import (
 )
 
 // WriteEventsCSV writes every retained flight-recorder event as CSV with the
-// header track,ts_ns,kind,act,arg,status,label — the raw form of the
+// header track,ts_ns,kind,act,arg,status,label,flow — the raw form of the
 // Perfetto trace, for offline analysis with ordinary tooling. Rows appear in
-// track creation order, events oldest-first within a track.
+// track creation order, events oldest-first within a track. The flow column
+// is "scope:act" for flow-carrying events and empty otherwise.
 func (s *Sink) WriteEventsCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	cw := csv.NewWriter(bw)
-	if err := cw.Write([]string{"track", "ts_ns", "kind", "act", "arg", "status", "label"}); err != nil {
+	if err := cw.Write([]string{"track", "ts_ns", "kind", "act", "arg", "status", "label", "flow"}); err != nil {
 		return err
 	}
 	for _, t := range s.Rec.Tracks() {
 		for _, ev := range t.Events() {
+			flow := ""
+			if ev.Flow != 0 {
+				flow = s.Rec.ScopeName(FlowScopeOf(ev.Flow)) + ":" +
+					strconv.FormatUint(FlowAct(ev.Flow), 10)
+			}
 			rec := []string{
 				t.Name(),
 				strconv.FormatInt(ev.TS, 10),
@@ -27,6 +33,7 @@ func (s *Sink) WriteEventsCSV(w io.Writer) error {
 				strconv.FormatInt(ev.Arg, 10),
 				strconv.Itoa(int(ev.Status)),
 				s.Rec.LabelName(ev.Label),
+				flow,
 			}
 			if err := cw.Write(rec); err != nil {
 				return err

@@ -4,14 +4,43 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // WritePerfetto writes the flight-recorder contents as Chrome trace-event
 // JSON (the "JSON Array Format" with a traceEvents wrapper), loadable in
 // Perfetto and chrome://tracing. One thread track per recorder track, all
-// under a single "chainmon" process. Output is deterministic: tracks in
-// creation order, events in append order, fixed number formatting.
+// under a single "chainmon" process. Events carrying a flow identity are
+// additionally stitched with flow events ("ph":"s"/"t"/"f"), so the viewer
+// draws arrows following one activation across tracks. Output is
+// deterministic: tracks in creation order, events in append order, fixed
+// number formatting.
 func (s *Sink) WritePerfetto(w io.Writer) error {
+	recTracks := s.Rec.Tracks()
+	tracks := make([]exportTrack, len(recTracks))
+	for i, t := range recTracks {
+		tracks[i] = exportTrack{name: t.Name(), events: t.Events()}
+	}
+	return writePerfetto(w, tracks, s.Rec.LabelName, s.Rec.ScopeName)
+}
+
+// exportTrack is the exporter's view of one track: both the live Recorder
+// and a parsed on-disk Log reduce to it, so the two sources share one
+// writer.
+type exportTrack struct {
+	name   string
+	events []Event
+}
+
+// flowRef locates one event of a flow: track index, event index, timestamp.
+type flowRef struct {
+	track int
+	idx   int
+	ts    int64
+}
+
+// writePerfetto is the shared Chrome trace-event writer.
+func writePerfetto(w io.Writer, tracks []exportTrack, labelName func(uint16) string, scopeName func(uint8) string) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
 	first := true
@@ -24,20 +53,59 @@ func (s *Sink) WritePerfetto(w io.Writer) error {
 	}
 
 	emit(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"chainmon"}}`)
-	tracks := s.Rec.Tracks()
 	for i, t := range tracks {
 		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
-			i+1, jsonString(t.Name())))
+			i+1, jsonString(t.name)))
 		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
 			i+1, i+1))
 	}
 
+	// Flow pre-pass: collect every flow's hops across all tracks, order
+	// them causally (by timestamp, ties broken by track then append order),
+	// and assign each hop its flow phase: "s" starts the flow at the first
+	// hop, "t" continues it, "f" (with "bp":"e" so the arrow ends *at* the
+	// event) terminates it at the last hop. Flows with a single hop get no
+	// flow events — there is nothing to stitch.
+	flows := map[uint32][]flowRef{}
+	for ti, t := range tracks {
+		for ei, ev := range t.events {
+			if ev.Flow != 0 {
+				flows[ev.Flow] = append(flows[ev.Flow], flowRef{track: ti, idx: ei, ts: ev.TS})
+			}
+		}
+	}
+	phase := map[[2]int]byte{}
+	for _, refs := range flows {
+		if len(refs) < 2 {
+			continue
+		}
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].ts != refs[j].ts {
+				return refs[i].ts < refs[j].ts
+			}
+			if refs[i].track != refs[j].track {
+				return refs[i].track < refs[j].track
+			}
+			return refs[i].idx < refs[j].idx
+		})
+		for i, ref := range refs {
+			ph := byte('t')
+			switch i {
+			case 0:
+				ph = 's'
+			case len(refs) - 1:
+				ph = 'f'
+			}
+			phase[[2]int{ref.track, ref.idx}] = ph
+		}
+	}
+
 	for i, t := range tracks {
 		tid := i + 1
-		for _, ev := range t.Events() {
+		for ei, ev := range t.events {
 			name := ev.Kind.String()
 			if ev.Label != 0 {
-				name += "/" + s.Rec.LabelName(ev.Label)
+				name += "/" + labelName(ev.Label)
 			}
 			switch ev.Kind {
 			case KindExcHandler, KindScan:
@@ -53,7 +121,7 @@ func (s *Sink) WritePerfetto(w io.Writer) error {
 					tid, micros(ev.TS), jsonString(name), ev.Act, ev.Arg))
 				occ := "ring-occupancy"
 				if ev.Label != 0 {
-					occ += "/" + s.Rec.LabelName(ev.Label)
+					occ += "/" + labelName(ev.Label)
 				}
 				emit(fmt.Sprintf(`{"ph":"C","pid":1,"tid":%d,"ts":%s,"name":%s,"args":{"value":%d}}`,
 					tid, micros(ev.TS), jsonString(occ), ev.Arg))
@@ -64,6 +132,17 @@ func (s *Sink) WritePerfetto(w io.Writer) error {
 			default:
 				emit(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","name":%s,"args":{"act":%d,"arg":%d}}`,
 					tid, micros(ev.TS), jsonString(name), ev.Act, ev.Arg))
+			}
+			if ph, ok := phase[[2]int{i, ei}]; ok {
+				flowName := "flow/" + scopeName(FlowScopeOf(ev.Flow))
+				switch ph {
+				case 'f':
+					emit(fmt.Sprintf(`{"ph":"f","bp":"e","pid":1,"tid":%d,"ts":%s,"id":%d,"name":%s,"cat":"flow"}`,
+						tid, micros(ev.TS), ev.Flow, jsonString(flowName)))
+				default:
+					emit(fmt.Sprintf(`{"ph":%q,"pid":1,"tid":%d,"ts":%s,"id":%d,"name":%s,"cat":"flow"}`,
+						string(ph), tid, micros(ev.TS), ev.Flow, jsonString(flowName)))
+				}
 			}
 		}
 	}

@@ -14,6 +14,7 @@ import (
 // the dump is byte-identical for identical runs. Histogram buckets and sums
 // are rendered in seconds, as Prometheus convention expects.
 func (s *Sink) WriteMetrics(w io.Writer) error {
+	s.syncRecorderMetrics()
 	bw := bufio.NewWriter(w)
 	r := s.Reg
 	r.mu.Lock()
@@ -57,6 +58,22 @@ func (s *Sink) WriteMetrics(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// syncRecorderMetrics mirrors the flight recorder's per-track drop-oldest
+// counters into the registry before every export, so silent event loss
+// during long runs is visible on /metrics alongside the streaming sink's
+// chainmon_stream_* counters. Reading a track's counter is an atomic load,
+// safe while producers are still appending.
+func (s *Sink) syncRecorderMetrics() {
+	if s.Rec == nil {
+		return
+	}
+	for _, t := range s.Rec.Tracks() {
+		s.Reg.Gauge("chainmon_flight_recorder_dropped_events",
+			"Events overwritten (dropped-oldest) in a flight-recorder track ring.",
+			Label{Name: "track", Value: t.Name()}).Set(int64(t.Dropped()))
+	}
 }
 
 // mergeLabel inserts an extra label into an existing "{a=...}" label string

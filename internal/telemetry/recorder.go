@@ -1,22 +1,31 @@
 package telemetry
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // DefaultTrackCap is the per-track event capacity used when NewRecorder is
 // given a non-positive capacity: 64Ki events ≈ 2 MiB per track.
 const DefaultTrackCap = 1 << 16
 
-// Recorder owns the flight-recorder tracks and the label intern table.
-// Track creation and interning take a mutex (they happen at attach time);
-// appending to a track is wait-free and lock-free.
+// Recorder owns the flight-recorder tracks, the label intern table and the
+// flow-scope table. Track creation, interning and scope binding take a mutex
+// (they happen at attach time); appending to a track is wait-free and
+// lock-free.
 type Recorder struct {
 	trackCap int
 
-	mu     sync.Mutex
-	tracks []*Track
-	byName map[string]*Track
-	labels []string
-	ids    map[string]uint16
+	mu       sync.Mutex
+	tracks   []*Track
+	byName   map[string]*Track
+	labels   []string
+	ids      map[string]uint16
+	scopes   []string         // flow-scope names; id 0 is unused ("no flow")
+	scopeIDs map[string]uint8 // scope name → id
+	streams  map[string]uint8 // event-stream name (topic, segment) → scope id
+	stream   *StreamWriter    // nil when events are not teed to disk
 }
 
 // NewRecorder creates a recorder whose tracks hold trackCap events each,
@@ -34,7 +43,45 @@ func NewRecorder(trackCap int) *Recorder {
 		byName:   map[string]*Track{},
 		labels:   []string{""}, // id 0 is the empty label
 		ids:      map[string]uint16{"": 0},
+		scopes:   []string{""}, // id 0 means "no flow"
+		scopeIDs: map[string]uint8{},
+		streams:  map[string]uint8{},
 	}
+}
+
+// SetStream tees every future Append to the writer, in addition to the
+// in-memory ring. It must be called before any track is created: the stream
+// registers tracks (and, in background mode, their staging rings) at track
+// creation time, so a late attachment would silently miss tracks.
+func (r *Recorder) SetStream(sw *StreamWriter) {
+	if r == nil || sw == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.tracks) > 0 {
+		panic("telemetry: SetStream must be called before any track is created")
+	}
+	r.stream = sw
+	// Replay definitions interned before the stream was attached so event
+	// records never reference an undefined id.
+	for id := 1; id < len(r.labels); id++ {
+		sw.defineLabel(uint16(id), r.labels[id])
+	}
+	for id := 1; id < len(r.scopes); id++ {
+		sw.defineScope(uint8(id), r.scopes[id])
+	}
+}
+
+// Stream returns the attached stream writer (nil when events stay in
+// memory only).
+func (r *Recorder) Stream() *StreamWriter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stream
 }
 
 // Track returns the named track, creating it on first use. Tracks are
@@ -51,8 +98,13 @@ func (r *Recorder) Track(name string) *Track {
 	}
 	t := &Track{
 		name: name,
+		id:   uint16(len(r.tracks)),
 		buf:  make([]Event, r.trackCap),
 		mask: uint64(r.trackCap - 1),
+	}
+	if r.stream != nil {
+		t.sw = r.stream
+		r.stream.register(t)
 	}
 	r.tracks = append(r.tracks, t)
 	r.byName[name] = t
@@ -73,6 +125,9 @@ func (r *Recorder) Intern(s string) uint16 {
 	id := uint16(len(r.labels))
 	r.labels = append(r.labels, s)
 	r.ids[s] = id
+	if r.stream != nil {
+		r.stream.defineLabel(id, s)
+	}
 	return id
 }
 
@@ -82,6 +137,67 @@ func (r *Recorder) LabelName(id uint16) string {
 	defer r.mu.Unlock()
 	if int(id) < len(r.labels) {
 		return r.labels[id]
+	}
+	return ""
+}
+
+// BindFlow assigns an event stream (a topic or segment name) to a named flow
+// scope, so events of different streams that belong to the same causal chain
+// share flow identities. Streams that are never bound fall into a scope of
+// their own name on first use (see FlowScope). Bindings must be installed
+// before the instrumented run starts.
+func (r *Recorder) BindFlow(stream, scope string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.streams[stream] = r.internScope(scope)
+}
+
+// FlowScope resolves the flow-scope id of an event stream, auto-binding
+// unbound streams to a scope of their own name. A nil recorder returns 0
+// (no flow).
+func (r *Recorder) FlowScope(stream string) uint8 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.streams[stream]; ok {
+		return id
+	}
+	id := r.internScope(stream)
+	r.streams[stream] = id
+	return id
+}
+
+// internScope creates or returns a scope id; callers hold r.mu.
+func (r *Recorder) internScope(scope string) uint8 {
+	if id, ok := r.scopeIDs[scope]; ok {
+		return id
+	}
+	if len(r.scopes) > 255 {
+		panic(fmt.Sprintf("telemetry: too many flow scopes (255 max), binding %q", scope))
+	}
+	id := uint8(len(r.scopes))
+	r.scopes = append(r.scopes, scope)
+	r.scopeIDs[scope] = id
+	if r.stream != nil {
+		r.stream.defineScope(id, scope)
+	}
+	return id
+}
+
+// ScopeName resolves a flow-scope id.
+func (r *Recorder) ScopeName(id uint8) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(id) < len(r.scopes) {
+		return r.scopes[id]
 	}
 	return ""
 }
@@ -97,7 +213,7 @@ func (r *Recorder) Tracks() []*Track {
 }
 
 // Dropped returns the total number of overwritten (dropped-oldest) events
-// across all tracks.
+// across all tracks. It is safe to call while the run is in progress.
 func (r *Recorder) Dropped() uint64 {
 	var total uint64
 	for _, t := range r.Tracks() {
@@ -112,9 +228,17 @@ func (r *Recorder) Dropped() uint64 {
 // window and counts what it dropped.
 type Track struct {
 	name string
+	id   uint16
 	buf  []Event
 	mask uint64
-	n    uint64
+	// n counts appends. It is written only by the owning goroutine but read
+	// by concurrent Len/Dropped (the live /metrics scrape), hence atomic.
+	n atomic.Uint64
+	// sw tees appends to the attached stream writer (nil when not
+	// streaming); ring is the per-track staging ring of a background
+	// writer (nil in direct mode).
+	sw   *StreamWriter
+	ring *streamRing
 }
 
 // Name returns the track name.
@@ -125,15 +249,29 @@ func (t *Track) Name() string {
 	return t.name
 }
 
+// ID returns the track's creation-order index, used as the track id in the
+// on-disk stream format.
+func (t *Track) ID() uint16 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
 // Append records an event. It is wait-free: one slot store and one counter
-// increment, no allocation, no locks. Append must only be called by the
-// track's owning goroutine. A nil track ignores the event.
+// increment, no allocation, no locks (the optional disk stream adds one
+// staging-ring push). Append must only be called by the track's owning
+// goroutine. A nil track ignores the event.
 func (t *Track) Append(ev Event) {
 	if t == nil {
 		return
 	}
-	t.buf[t.n&t.mask] = ev
-	t.n++
+	n := t.n.Load()
+	t.buf[n&t.mask] = ev
+	t.n.Store(n + 1)
+	if t.sw != nil {
+		t.sw.tee(t, ev)
+	}
 }
 
 // Len returns the number of retained events (at most the track capacity).
@@ -141,22 +279,22 @@ func (t *Track) Len() int {
 	if t == nil {
 		return 0
 	}
-	if t.n < uint64(len(t.buf)) {
-		return int(t.n)
+	if n := t.n.Load(); n < uint64(len(t.buf)) {
+		return int(n)
 	}
 	return len(t.buf)
 }
 
 // Dropped returns how many events were overwritten because the ring was
-// full.
+// full. It is safe to call while the owning goroutine is still appending.
 func (t *Track) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
-	if t.n <= uint64(len(t.buf)) {
-		return 0
+	if n := t.n.Load(); n > uint64(len(t.buf)) {
+		return n - uint64(len(t.buf))
 	}
-	return t.n - uint64(len(t.buf))
+	return 0
 }
 
 // Events returns the retained events in append order (oldest first). It
@@ -165,10 +303,11 @@ func (t *Track) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	if t.n <= uint64(len(t.buf)) {
-		return append([]Event(nil), t.buf[:t.n]...)
+	n := t.n.Load()
+	if n <= uint64(len(t.buf)) {
+		return append([]Event(nil), t.buf[:n]...)
 	}
-	head := t.n & t.mask
+	head := n & t.mask
 	out := make([]Event, 0, len(t.buf))
 	out = append(out, t.buf[head:]...)
 	out = append(out, t.buf[:head]...)

@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Report is the end-to-end latency attribution derived from a streamed
+// event log: per-scope hop statistics stitched from flow identities, the
+// worst activation's hop-by-hop breakdown, and per-segment verdict
+// statistics recomputed from KindVerdict events. The segment numbers use
+// the same inclusion rule as monitor.SegmentStats, so the report's max
+// latencies match Stats().Latencies().Max() exactly on the same run.
+type Report struct {
+	Timebase string
+	Events   int
+	Scopes   []*ScopeReport
+	Segments []*SegmentReport
+}
+
+// HopStat summarizes one latency population.
+type HopStat struct {
+	Name  string
+	Count int
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// PathStep is one hop of the worst activation's journey.
+type PathStep struct {
+	// Offset is the time since the flow's first event.
+	Offset time.Duration
+	Kind   Kind
+	Track  string
+	Label  string
+}
+
+// ScopeReport is the attribution of one flow scope (one chain).
+type ScopeReport struct {
+	Scope string
+	// Flows is the number of stitched flows (≥ 2 hops) in the scope.
+	Flows int
+	// EndToEnd is first-hop → last-hop per flow.
+	EndToEnd HopStat
+	// Hops are consecutive-event transitions aggregated by kind pair, in
+	// order of first appearance.
+	Hops []*HopStat
+	// WorstAct is the activation with the largest end-to-end span.
+	WorstAct   uint64
+	WorstTotal time.Duration
+	WorstPath  []PathStep
+}
+
+// SegmentReport is one segment's verdict accounting recomputed from trace
+// events.
+type SegmentReport struct {
+	Name      string
+	OK        int
+	Recovered int
+	Missed    int
+	Latency   HopStat
+}
+
+// flowHop is one event of a flow with enough context to name the hop.
+type flowHop struct {
+	ts    int64
+	track int
+	idx   int
+	kind  Kind
+	label uint16
+}
+
+// BuildReport derives the attribution report from a parsed log.
+func BuildReport(l *Log) *Report {
+	rep := &Report{Timebase: l.Timebase, Events: l.Events()}
+
+	flows := map[uint32][]flowHop{}
+	segs := map[string]*SegmentReport{}
+	segLats := map[string][]int64{}
+	var segOrder []string
+	for ti, t := range l.Tracks() {
+		for ei, ev := range t.Events {
+			if ev.Flow != 0 {
+				flows[ev.Flow] = append(flows[ev.Flow], flowHop{
+					ts: ev.TS, track: ti, idx: ei, kind: ev.Kind, label: ev.Label,
+				})
+			}
+			if ev.Kind != KindVerdict {
+				continue
+			}
+			name := l.LabelName(ev.Label)
+			sr, ok := segs[name]
+			if !ok {
+				sr = &SegmentReport{Name: name}
+				segs[name] = sr
+				segOrder = append(segOrder, name)
+			}
+			switch ev.Status {
+			case StatusOK:
+				sr.OK++
+			case StatusRecovered:
+				sr.Recovered++
+			case StatusMissed:
+				sr.Missed++
+			}
+			// Same latency-sample rule as monitor.SegmentStats: OK verdicts
+			// always count; exception verdicts only with a known positive
+			// latency (propagated-in activations have none).
+			if ev.Status == StatusOK || ev.Arg > 0 {
+				segLats[name] = append(segLats[name], ev.Arg)
+			}
+		}
+	}
+
+	sort.Strings(segOrder)
+	for _, name := range segOrder {
+		sr := segs[name]
+		sr.Latency = hopStat("latency", segLats[name])
+		rep.Segments = append(rep.Segments, sr)
+	}
+
+	// Deterministic flow order: ascending flow id = (scope, activation).
+	ids := make([]uint32, 0, len(flows))
+	for id := range flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	type scopeAgg struct {
+		rep     *ScopeReport
+		hops    map[string]*[]int64
+		hopSeen []string
+		e2e     []int64
+	}
+	scopes := map[uint8]*scopeAgg{}
+	var scopeOrder []uint8
+	for _, id := range ids {
+		hops := flows[id]
+		if len(hops) < 2 {
+			continue
+		}
+		sort.Slice(hops, func(i, j int) bool {
+			if hops[i].ts != hops[j].ts {
+				return hops[i].ts < hops[j].ts
+			}
+			if hops[i].track != hops[j].track {
+				return hops[i].track < hops[j].track
+			}
+			return hops[i].idx < hops[j].idx
+		})
+		scopeID := FlowScopeOf(id)
+		agg, ok := scopes[scopeID]
+		if !ok {
+			agg = &scopeAgg{
+				rep:  &ScopeReport{Scope: l.ScopeName(scopeID)},
+				hops: map[string]*[]int64{},
+			}
+			scopes[scopeID] = agg
+			scopeOrder = append(scopeOrder, scopeID)
+		}
+		agg.rep.Flows++
+		total := hops[len(hops)-1].ts - hops[0].ts
+		agg.e2e = append(agg.e2e, total)
+		for i := 1; i < len(hops); i++ {
+			name := hops[i-1].kind.String() + "→" + hops[i].kind.String()
+			lats, ok := agg.hops[name]
+			if !ok {
+				lats = &[]int64{}
+				agg.hops[name] = lats
+				agg.hopSeen = append(agg.hopSeen, name)
+			}
+			*lats = append(*lats, hops[i].ts-hops[i-1].ts)
+		}
+		if time.Duration(total) > agg.rep.WorstTotal || agg.rep.WorstPath == nil {
+			agg.rep.WorstTotal = time.Duration(total)
+			agg.rep.WorstAct = FlowAct(id)
+			path := make([]PathStep, len(hops))
+			for i, h := range hops {
+				path[i] = PathStep{
+					Offset: time.Duration(h.ts - hops[0].ts),
+					Kind:   h.kind,
+					Track:  l.tracks[h.track].Name,
+					Label:  l.LabelName(h.label),
+				}
+			}
+			agg.rep.WorstPath = path
+		}
+	}
+
+	sort.Slice(scopeOrder, func(i, j int) bool { return scopeOrder[i] < scopeOrder[j] })
+	for _, id := range scopeOrder {
+		agg := scopes[id]
+		agg.rep.EndToEnd = hopStat("end-to-end", agg.e2e)
+		for _, name := range agg.hopSeen {
+			st := hopStat(name, *agg.hops[name])
+			agg.rep.Hops = append(agg.rep.Hops, &st)
+		}
+		rep.Scopes = append(rep.Scopes, agg.rep)
+	}
+	return rep
+}
+
+// hopStat sorts the population and extracts the quantiles (type-7 linear
+// interpolation, matching internal/stats so cross-checks agree).
+func hopStat(name string, lats []int64) HopStat {
+	st := HopStat{Name: name, Count: len(lats)}
+	if len(lats) == 0 {
+		return st
+	}
+	sorted := append([]int64(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	st.P50 = quantileNS(sorted, 0.50)
+	st.P95 = quantileNS(sorted, 0.95)
+	st.P99 = quantileNS(sorted, 0.99)
+	st.Max = time.Duration(sorted[len(sorted)-1])
+	return st
+}
+
+func quantileNS(sorted []int64, q float64) time.Duration {
+	n := len(sorted)
+	h := q * float64(n-1)
+	lo := int(h)
+	if lo >= n-1 {
+		return time.Duration(sorted[n-1])
+	}
+	frac := h - float64(lo)
+	return time.Duration(float64(sorted[lo]) + frac*float64(sorted[lo+1]-sorted[lo]))
+}
+
+func (st HopStat) row() string {
+	return fmt.Sprintf("n=%-5d p50=%-10v p95=%-10v p99=%-10v max=%v",
+		st.Count, st.P50, st.P95, st.P99, st.Max)
+}
+
+// Write renders the report as the CLI text output.
+func (r *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "trace report (timebase %s, %d events, %d scopes)\n",
+		r.Timebase, r.Events, len(r.Scopes))
+	for _, sc := range r.Scopes {
+		fmt.Fprintf(w, "\nscope %s: %d flows\n", sc.Scope, sc.Flows)
+		fmt.Fprintf(w, "  %-28s %s\n", "end-to-end", sc.EndToEnd.row())
+		for _, h := range sc.Hops {
+			fmt.Fprintf(w, "  %-28s %s\n", h.Name, h.row())
+		}
+		if sc.WorstPath != nil {
+			fmt.Fprintf(w, "  worst activation %d (total %v):\n", sc.WorstAct, sc.WorstTotal)
+			for _, p := range sc.WorstPath {
+				step := p.Kind.String()
+				if p.Label != "" {
+					step += " (" + p.Label + ")"
+				}
+				fmt.Fprintf(w, "    +%-12v %-28s @%s\n", p.Offset, step, p.Track)
+			}
+		}
+	}
+	if len(r.Segments) > 0 {
+		fmt.Fprintf(w, "\nsegments (from verdict events):\n")
+		for _, s := range r.Segments {
+			fmt.Fprintf(w, "  %-24s ok=%-5d recovered=%-3d missed=%-4d %s\n",
+				s.Name, s.OK, s.Recovered, s.Missed, s.Latency.row())
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// On-disk event-log format (see docs/telemetry.md):
+//
+//	[8]byte magic "CHMTRC01"
+//	records: u32 payload length (little endian), u8 record type, payload
+//
+// Record types:
+//
+//	0x01 track def: u16 track id, name bytes
+//	0x02 label def: u16 label id, name bytes
+//	0x03 event:     u16 track, i64 ts, u64 act, i64 arg, u32 flow,
+//	                u16 label, u8 kind, u8 status  (34 bytes)
+//	0x04 meta:      "key=value" bytes
+//	0x05 scope def: u8 scope id, name bytes
+//
+// Definitions always precede the first event that references them, so the
+// log is readable as a forward-only stream.
+const streamMagic = "CHMTRC01"
+
+const (
+	recTrackDef byte = 0x01
+	recLabelDef byte = 0x02
+	recEvent    byte = 0x03
+	recMeta     byte = 0x04
+	recScopeDef byte = 0x05
+)
+
+const eventPayloadLen = 34
+
+// StreamOptions configures a StreamWriter.
+type StreamOptions struct {
+	// Background selects the concurrent writer: producers push events into
+	// per-track wait-free staging rings and a drainer goroutine encodes and
+	// flushes them. Required whenever tracks are appended from more than
+	// one goroutine (the wall-clock runtime). The default (false) encodes
+	// inline in Append — deterministic and byte-identical across same-seed
+	// runs, for the single-goroutine simulation.
+	Background bool
+	// RingCap is the per-track staging-ring capacity of a background
+	// writer, rounded up to a power of two (default 8192). When a ring is
+	// full the newest event is dropped from the stream (never from the
+	// in-memory flight recorder) and counted.
+	RingCap int
+	// FlushEvery is the background drain/flush period (default 100ms).
+	FlushEvery time.Duration
+	// Metrics, when non-nil, receives the writer's drop/flush/volume
+	// counters (chainmon_stream_*).
+	Metrics *Registry
+}
+
+// StreamWriter tees flight-recorder appends to an append-only binary event
+// log, so multi-hour wall-clock runs keep bounded memory: the in-memory
+// rings stay the fixed-size newest-window view while the log retains
+// everything (minus explicitly counted drops). Attach with
+// Recorder.SetStream before creating tracks; read back with ReadLog.
+type StreamWriter struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	err     error
+	closed  bool
+	scratch [eventPayloadLen + 5]byte
+
+	background bool
+	ringCap    int
+	flushEvery time.Duration
+	tracks     []*Track // background drain order = creation order
+	stop       chan struct{}
+	done       chan struct{}
+
+	events  uint64 // guarded by mu
+	bytes   uint64
+	flushes atomic.Uint64
+
+	eventsC  *Counter
+	bytesC   *Counter
+	flushesC *Counter
+	reg      *Registry
+}
+
+// NewStreamWriter creates a writer on w and writes the log header. timebase
+// names the timestamp domain of the events ("sim" or "wall") and is recorded
+// as log metadata.
+func NewStreamWriter(w io.Writer, timebase string, opts StreamOptions) (*StreamWriter, error) {
+	sw := &StreamWriter{
+		bw:         bufio.NewWriterSize(w, 1<<16),
+		background: opts.Background,
+		ringCap:    opts.RingCap,
+		flushEvery: opts.FlushEvery,
+		reg:        opts.Metrics,
+	}
+	if sw.ringCap <= 0 {
+		sw.ringCap = 8192
+	}
+	if sw.flushEvery <= 0 {
+		sw.flushEvery = 100 * time.Millisecond
+	}
+	if sw.reg != nil {
+		sw.eventsC = sw.reg.Counter("chainmon_stream_events_total",
+			"Events written to the streaming trace sink.")
+		sw.bytesC = sw.reg.Counter("chainmon_stream_bytes_total",
+			"Bytes written to the streaming trace sink.")
+		sw.flushesC = sw.reg.Counter("chainmon_stream_flushes_total",
+			"Buffered-writer flushes of the streaming trace sink.")
+	}
+	if _, err := sw.bw.WriteString(streamMagic); err != nil {
+		return nil, err
+	}
+	sw.bytes += uint64(len(streamMagic))
+	sw.writeRecordLocked(recMeta, []byte("timebase="+timebase))
+	if sw.err != nil {
+		return nil, sw.err
+	}
+	if sw.background {
+		sw.stop = make(chan struct{})
+		sw.done = make(chan struct{})
+		go sw.drainLoop()
+	}
+	return sw, nil
+}
+
+// register is called by Recorder.Track at track creation (the caller holds
+// the recorder mutex; lock order is always recorder → stream).
+func (sw *StreamWriter) register(t *Track) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	payload := make([]byte, 2+len(t.name))
+	binary.LittleEndian.PutUint16(payload, t.id)
+	copy(payload[2:], t.name)
+	sw.writeRecordLocked(recTrackDef, payload)
+	if sw.background {
+		t.ring = newStreamRing(sw.ringCap)
+		if sw.reg != nil {
+			t.ring.dropC = sw.reg.Counter("chainmon_stream_dropped_total",
+				"Events dropped from the streaming trace sink because a staging ring was full.",
+				Label{Name: "track", Value: t.name})
+		}
+		sw.tracks = append(sw.tracks, t)
+	}
+}
+
+// defineLabel is called by Recorder.Intern under the recorder mutex.
+func (sw *StreamWriter) defineLabel(id uint16, name string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	payload := make([]byte, 2+len(name))
+	binary.LittleEndian.PutUint16(payload, id)
+	copy(payload[2:], name)
+	sw.writeRecordLocked(recLabelDef, payload)
+}
+
+// defineScope is called by the recorder's flow-scope intern under the
+// recorder mutex.
+func (sw *StreamWriter) defineScope(id uint8, name string) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	payload := make([]byte, 1+len(name))
+	payload[0] = id
+	copy(payload[1:], name)
+	sw.writeRecordLocked(recScopeDef, payload)
+}
+
+// tee is the Append hook: inline encode in direct mode, staging-ring push
+// in background mode (wait-free; a full ring drops the event and counts it).
+func (sw *StreamWriter) tee(t *Track, ev Event) {
+	if t.ring != nil {
+		if !t.ring.push(ev) {
+			t.ring.drops.Add(1)
+			if t.ring.dropC != nil {
+				t.ring.dropC.Inc()
+			}
+		}
+		return
+	}
+	sw.mu.Lock()
+	sw.writeEventLocked(t.id, ev)
+	sw.mu.Unlock()
+}
+
+// writeEventLocked encodes one event record; callers hold sw.mu.
+func (sw *StreamWriter) writeEventLocked(track uint16, ev Event) {
+	if sw.err != nil || sw.closed {
+		return
+	}
+	b := sw.scratch[:]
+	binary.LittleEndian.PutUint32(b[0:4], eventPayloadLen)
+	b[4] = recEvent
+	binary.LittleEndian.PutUint16(b[5:7], track)
+	binary.LittleEndian.PutUint64(b[7:15], uint64(ev.TS))
+	binary.LittleEndian.PutUint64(b[15:23], ev.Act)
+	binary.LittleEndian.PutUint64(b[23:31], uint64(ev.Arg))
+	binary.LittleEndian.PutUint32(b[31:35], ev.Flow)
+	binary.LittleEndian.PutUint16(b[35:37], ev.Label)
+	b[37] = byte(ev.Kind)
+	b[38] = ev.Status
+	if _, err := sw.bw.Write(b); err != nil {
+		sw.err = err
+		return
+	}
+	sw.events++
+	sw.bytes += uint64(len(b))
+	if sw.eventsC != nil {
+		sw.eventsC.Inc()
+		sw.bytesC.Add(uint64(len(b)))
+	}
+}
+
+// writeRecordLocked encodes one non-event record; callers hold sw.mu.
+func (sw *StreamWriter) writeRecordLocked(typ byte, payload []byte) {
+	if sw.err != nil || sw.closed {
+		return
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := sw.bw.Write(hdr[:]); err != nil {
+		sw.err = err
+		return
+	}
+	if _, err := sw.bw.Write(payload); err != nil {
+		sw.err = err
+		return
+	}
+	sw.bytes += uint64(len(hdr) + len(payload))
+	if sw.bytesC != nil {
+		sw.bytesC.Add(uint64(len(hdr) + len(payload)))
+	}
+}
+
+// drainLoop is the background drainer: every FlushEvery it empties all
+// staging rings in track-creation order and flushes the buffered writer.
+func (sw *StreamWriter) drainLoop() {
+	tick := time.NewTicker(sw.flushEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sw.stop:
+			sw.drainOnce()
+			sw.flushOnce()
+			close(sw.done)
+			return
+		case <-tick.C:
+			sw.drainOnce()
+			sw.flushOnce()
+		}
+	}
+}
+
+func (sw *StreamWriter) drainOnce() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for _, t := range sw.tracks {
+		for {
+			ev, ok := t.ring.pop()
+			if !ok {
+				break
+			}
+			sw.writeEventLocked(t.id, ev)
+		}
+	}
+}
+
+func (sw *StreamWriter) flushOnce() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.closed {
+		return
+	}
+	if err := sw.bw.Flush(); err != nil && sw.err == nil {
+		sw.err = err
+	}
+	sw.flushes.Add(1)
+	if sw.flushesC != nil {
+		sw.flushesC.Inc()
+	}
+}
+
+// Close drains any staged events (background mode), flushes the buffered
+// writer and returns the first write error. Producers must have quiesced:
+// events appended concurrently with Close may miss the final drain.
+func (sw *StreamWriter) Close() error {
+	if sw.background {
+		close(sw.stop)
+		<-sw.done
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if !sw.closed {
+		if err := sw.bw.Flush(); err != nil && sw.err == nil {
+			sw.err = err
+		}
+		sw.flushes.Add(1)
+		if sw.flushesC != nil {
+			sw.flushesC.Inc()
+		}
+		sw.closed = true
+	}
+	return sw.err
+}
+
+// EventsWritten returns how many event records reached the log.
+func (sw *StreamWriter) EventsWritten() uint64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.events
+}
+
+// BytesWritten returns the encoded log size so far (excluding data still in
+// the bufio buffer only in the sense of flushing; counting is at encode
+// time).
+func (sw *StreamWriter) BytesWritten() uint64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.bytes
+}
+
+// Flushes returns how many times the buffered writer was flushed.
+func (sw *StreamWriter) Flushes() uint64 { return sw.flushes.Load() }
+
+// Dropped returns how many events were dropped because a staging ring was
+// full (always 0 in direct mode).
+func (sw *StreamWriter) Dropped() uint64 {
+	sw.mu.Lock()
+	tracks := sw.tracks
+	sw.mu.Unlock()
+	var total uint64
+	for _, t := range tracks {
+		total += t.ring.drops.Load()
+	}
+	return total
+}
+
+// streamRing is the wait-free single-producer/single-consumer staging ring
+// between a track's owning goroutine and the background drainer, using the
+// usual sequence-slot scheme: slot i's seq is pos before the write and
+// pos+1 after, so producer and consumer synchronize on the slot itself.
+type streamRing struct {
+	mask  uint64
+	slots []streamSlot
+	head  atomic.Uint64 // consumer position
+	tail  atomic.Uint64 // producer position
+	drops atomic.Uint64
+	dropC *Counter
+}
+
+type streamSlot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+func newStreamRing(capacity int) *streamRing {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	r := &streamRing{mask: uint64(c - 1), slots: make([]streamSlot, c)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push stores the event; it returns false (drop-newest) when the ring is
+// full. Single producer.
+func (r *streamRing) push(ev Event) bool {
+	pos := r.tail.Load()
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos {
+		return false // consumer has not freed this slot yet
+	}
+	slot.ev = ev
+	slot.seq.Store(pos + 1)
+	r.tail.Store(pos + 1)
+	return true
+}
+
+// pop removes the oldest event. Single consumer.
+func (r *streamRing) pop() (Event, bool) {
+	pos := r.head.Load()
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos+1 {
+		return Event{}, false
+	}
+	ev := slot.ev
+	slot.seq.Store(pos + uint64(len(r.slots)))
+	r.head.Store(pos + 1)
+	return ev, true
+}

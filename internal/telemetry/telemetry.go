@@ -77,6 +77,13 @@ const (
 	// KindModeChange: the supervisor changed the system mode.
 	// Arg = old mode, Status = new mode, Label = triggering chain.
 	KindModeChange
+	// KindNetSend: a link accepted a message for delivery. Act = activation,
+	// Arg = scheduled response time in ns (send → delivery), Label = link.
+	KindNetSend
+	// KindPubSkip: the monitor's skip-next-publication veto suppressed a
+	// late publication (Algorithm 2 propagation). Act = activation,
+	// Arg = size in bytes, Label = topic.
+	KindPubSkip
 
 	kindCount
 )
@@ -100,6 +107,8 @@ var kindNames = [kindCount]string{
 	KindClockSync:     "clock-sync",
 	KindKernelQueue:   "kernel-queue",
 	KindModeChange:    "mode-change",
+	KindNetSend:       "net-send",
+	KindPubSkip:       "pub-skip",
 }
 
 func (k Kind) String() string {
@@ -146,6 +155,12 @@ type Event struct {
 	Act uint64
 	// Arg is the kind-specific payload (see the Kind constants).
 	Arg int64
+	// Flow is the causal-flow identity of the event (0 = not part of a
+	// flow). FlowID packs a flow scope and the activation index, so every
+	// hop of one activation — publication, link transmission, delivery,
+	// ring post, verdict — shares one id across tracks. The Perfetto
+	// exporter stitches equal ids into flow arrows.
+	Flow uint32
 	// Label is an interned string id resolved via Recorder.LabelName
 	// (0 = none).
 	Label uint16
@@ -168,3 +183,19 @@ type Sink struct {
 func NewSink(trackCap int) *Sink {
 	return &Sink{Rec: NewRecorder(trackCap), Reg: NewRegistry()}
 }
+
+// FlowID packs a flow scope and an activation index into the 32-bit flow
+// identity carried by Event.Flow. The activation index is consistent across
+// all segments and topics of a chain, so one (scope, act) pair names one
+// end-to-end activation; the scope separates chains that reuse activation
+// numbering. The low 24 bits wrap after ~16M activations per scope — far
+// beyond any retained ring window.
+func FlowID(scope uint8, act uint64) uint32 {
+	return uint32(scope)<<24 | uint32(act&0xffffff)
+}
+
+// FlowScopeOf extracts the scope id of a flow identity.
+func FlowScopeOf(flow uint32) uint8 { return uint8(flow >> 24) }
+
+// FlowAct extracts the (truncated) activation index of a flow identity.
+func FlowAct(flow uint32) uint64 { return uint64(flow & 0xffffff) }

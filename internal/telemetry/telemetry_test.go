@@ -242,8 +242,11 @@ func TestWriteEventsCSV(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("lines = %d, want header+1", len(lines))
 	}
-	if lines[1] != "net,5,net-drop,0,100,0,ecu1->ecu2" {
+	if lines[1] != "net,5,net-drop,0,100,0,ecu1->ecu2," {
 		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[0], ",flow") {
+		t.Fatalf("header = %q, want trailing flow column", lines[0])
 	}
 }
 
