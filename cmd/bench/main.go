@@ -7,7 +7,10 @@
 //   - parallel campaign throughput: the frozen 102-combo chaos matrix run
 //     serially and through the sharded worker pool, with the merged summaries
 //     byte-compared so the speedup number is only reported for identical
-//     output.
+//     output;
+//   - fleet sweep throughput: a 64-vehicle jittered fleet run serially and
+//     through the pool, with the rendered fleet summary byte-compared the
+//     same way.
 //
 // The speedup is only meaningful on a multi-core host; the JSON therefore
 // records num_cpu and go_max_procs so a reader can tell a 1-CPU container
@@ -19,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +33,8 @@ import (
 	"time"
 
 	"chainmon/internal/faultinject"
+	"chainmon/internal/fleet"
+	"chainmon/internal/perception"
 	"chainmon/internal/sim"
 )
 
@@ -48,12 +54,23 @@ type sweepResult struct {
 	IdenticalOutput bool    `json:"identical_output"`
 }
 
+type fleetSweepResult struct {
+	Vehicles        int     `json:"vehicles"`
+	Frames          int     `json:"frames"`
+	Workers         int     `json:"workers"`
+	SerialNs        int64   `json:"serial_ns"`
+	ParallelNs      int64   `json:"parallel_ns"`
+	Speedup         float64 `json:"speedup"`
+	IdenticalOutput bool    `json:"identical_output"`
+}
+
 type report struct {
-	GoVersion  string      `json:"go_version"`
-	NumCPU     int         `json:"num_cpu"`
-	GoMaxProcs int         `json:"go_max_procs"`
-	Benchmarks []benchRow  `json:"benchmarks"`
-	Sweep      sweepResult `json:"sweep"`
+	GoVersion  string           `json:"go_version"`
+	NumCPU     int              `json:"num_cpu"`
+	GoMaxProcs int              `json:"go_max_procs"`
+	Benchmarks []benchRow       `json:"benchmarks"`
+	Sweep      sweepResult      `json:"sweep"`
+	FleetSweep fleetSweepResult `json:"fleet_sweep"`
 }
 
 func main() {
@@ -144,6 +161,55 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sweep: serial %v, parallel %v, speedup %.2fx, identical output\n",
 		serialT, parT, rep.Sweep.Speedup)
+
+	// Fleet sweep: the same serial-vs-parallel shape on the fleet layer —
+	// N jittered vehicle sims sharded over the pool, with the rendered fleet
+	// summary byte-compared so the speedup is only reported for
+	// deterministic output.
+	const fleetVehicles, fleetFrames = 64, 60
+	fleetBase := perception.DefaultConfig()
+	fleetBase.Frames = fleetFrames
+	fleetCfg := fleet.Config{
+		Size: fleetVehicles, Seed: 1, Jitter: fleet.Uniform(0.1), Base: fleetBase,
+	}
+	fmt.Fprintf(os.Stderr, "fleet sweep: %d vehicles × %d frames, serial vs %d workers\n",
+		fleetVehicles, fleetFrames, *workers)
+	timeFleet := func(w int) (time.Duration, string) {
+		c := fleetCfg
+		c.Workers = w
+		start := time.Now()
+		res, err := fleet.Run(c)
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatalf("fleet sweep: %v", err)
+		}
+		if errs := res.Errs(); len(errs) > 0 {
+			log.Fatalf("fleet sweep: %d vehicles failed: %+v", len(errs), errs)
+		}
+		var buf bytes.Buffer
+		buf.WriteString(res.Summary())
+		if err := res.WriteJSON(&buf); err != nil {
+			log.Fatalf("fleet sweep: %v", err)
+		}
+		return elapsed, buf.String()
+	}
+	timeFleet(1)
+	fleetSerialT, fleetSerialOut := timeFleet(1)
+	fleetParT, fleetParOut := timeFleet(*workers)
+	rep.FleetSweep = fleetSweepResult{
+		Vehicles:        fleetVehicles,
+		Frames:          fleetFrames,
+		Workers:         *workers,
+		SerialNs:        fleetSerialT.Nanoseconds(),
+		ParallelNs:      fleetParT.Nanoseconds(),
+		Speedup:         float64(fleetSerialT.Nanoseconds()) / float64(fleetParT.Nanoseconds()),
+		IdenticalOutput: fleetSerialOut == fleetParOut,
+	}
+	if !rep.FleetSweep.IdenticalOutput {
+		log.Fatal("parallel fleet output differs from serial — determinism broken, refusing to report a speedup")
+	}
+	fmt.Fprintf(os.Stderr, "fleet sweep: serial %v, parallel %v, speedup %.2fx, identical output\n",
+		fleetSerialT, fleetParT, rep.FleetSweep.Speedup)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"chainmon/internal/fleet"
+	"chainmon/internal/perception"
+	"chainmon/internal/scenario"
+	"chainmon/internal/telemetry"
+)
+
+// runFleetCmd implements "chainmon fleet": N parameter-jittered vehicle
+// sims instantiated from one base scenario, sharded over the worker pool
+// and merged deterministically — the fleet summary is byte-identical
+// between -parallel 1 and -parallel N. Optionally a fault-class mix is
+// assigned round-robin across the fleet, the ground-truth oracle is
+// cross-checked per vehicle, and a saturation search reports the load
+// multiplier at which the fleet starts missing its deadline target.
+func runFleetCmd(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	size := fs.Int("fleet-size", 100, "number of vehicles in the fleet")
+	seed := fs.Int64("fleet-seed", 1, "fleet seed; every vehicle seed is split from it")
+	jitter := fs.Float64("fleet-jitter", 0.1, "relative per-vehicle parameter jitter in [0,1): clock ε, link BCRT and jitter, frame period, executor load, loss")
+	workers := fs.Int("parallel", 0, "worker pool size (0: GOMAXPROCS, 1: serial)")
+	outPath := fs.String("fleet-out", "", "write the full fleet summary (per-vehicle rows included) as JSON to this file (- for stdout)")
+	frames := fs.Int("frames", 120, "lidar frames per vehicle")
+	configPath := fs.String("config", "", "JSON scenario file used as the jitter base (flags are applied on top)")
+	full := fs.Bool("full", false, "monitor the full chains (remote + fusion segments) on every vehicle")
+	mixFlag := fs.String("fault-mix", "", "comma-separated chaos campaign names assigned round-robin to vehicles; \"nominal\" is a fault-free slot (e.g. nominal,burst-loss,clock-step)")
+	withOracle := fs.Bool("oracle", false, "cross-check every vehicle with the ground-truth soundness oracle (requires -full); exits nonzero on any false negative")
+	metricsOut := fs.String("metrics-out", "", "write the fleet rollup as Prometheus text to this file")
+	saturate := fs.Bool("saturate", false, "binary-search the load multiplier at which the fleet misses the -sat-target rate")
+	satLo := fs.Float64("sat-lo", 0.5, "saturation search: lowest load multiplier")
+	satHi := fs.Float64("sat-hi", 2.0, "saturation search: highest load multiplier")
+	satStep := fs.Float64("sat-step", 0.1, "saturation search: grid resolution of the reported knee")
+	satTarget := fs.Float64("sat-target", 0.01, "saturation search: acceptable fleet miss rate")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		log.Fatalf("chainmon fleet: unexpected arguments %q", fs.Args())
+	}
+
+	base := perception.DefaultConfig()
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			log.Fatalf("opening scenario: %v", err)
+		}
+		var loadErr error
+		base, loadErr = scenario.Load(f)
+		f.Close()
+		if loadErr != nil {
+			log.Fatal(loadErr)
+		}
+	}
+	// Flags override the scenario file only when set explicitly, matching
+	// the single-run command's layering.
+	if *configPath == "" {
+		base.Frames = *frames
+		base.FullChain = *full
+	} else {
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "frames":
+				base.Frames = *frames
+			case "full":
+				base.FullChain = *full
+			}
+		})
+	}
+	if *withOracle {
+		base.FullChain = true
+	}
+
+	cfg := fleet.Config{
+		Size:    *size,
+		Seed:    *seed,
+		Jitter:  fleet.Uniform(*jitter),
+		Base:    base,
+		Oracle:  *withOracle,
+		Workers: *workers,
+	}
+	if *mixFlag != "" {
+		names := strings.Split(*mixFlag, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		m, err := fleet.MixByName(names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Mix = m
+	}
+
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *saturate {
+		knee, err := fleet.SaturationSearch(cfg, fleet.SaturationConfig{
+			Lo: *satLo, Hi: *satHi, Step: *satStep, Target: *satTarget,
+		})
+		if err != nil {
+			log.Fatalf("saturation search: %v", err)
+		}
+		res.Knee = &knee
+	}
+
+	os.Stdout.WriteString(res.Summary())
+
+	if *outPath != "" {
+		if *outPath == "-" {
+			if err := res.WriteJSON(os.Stdout); err != nil {
+				log.Fatalf("writing fleet summary: %v", err)
+			}
+		} else {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				log.Fatalf("creating fleet summary: %v", err)
+			}
+			if err := res.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatalf("writing fleet summary: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("closing fleet summary: %v", err)
+			}
+			fmt.Printf("fleet summary written to %s\n", *outPath)
+		}
+	}
+	if *metricsOut != "" {
+		reg := telemetry.NewRegistry()
+		res.Rollup(reg)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatalf("creating metrics file: %v", err)
+		}
+		if err := (&telemetry.Sink{Reg: reg}).WriteMetrics(f); err != nil {
+			f.Close()
+			log.Fatalf("writing metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing metrics file: %v", err)
+		}
+		fmt.Printf("fleet metrics written to %s\n", *metricsOut)
+	}
+
+	if len(res.Errs()) > 0 {
+		os.Exit(1)
+	}
+	if *withOracle && (res.FalseNegatives() > 0 || res.FalsePositives() > 0) {
+		os.Exit(1)
+	}
+}

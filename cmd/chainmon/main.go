@@ -15,6 +15,16 @@
 //	         [-metrics-out metrics.prom] [-trace-stream events.chmtrc]
 //	chainmon trace convert events.chmtrc out.json
 //	chainmon trace report events.chmtrc
+//	chainmon fleet [-fleet-size N] [-fleet-seed S] [-fleet-jitter J]
+//	         [-parallel W] [-fleet-out fleet.json] [-frames N] [-full]
+//	         [-fault-mix nominal,burst-loss] [-oracle] [-config base.json]
+//	         [-metrics-out metrics.prom]
+//	         [-saturate [-sat-lo L] [-sat-hi H] [-sat-step S] [-sat-target T]]
+//
+// "chainmon fleet" scales the scenario to a population: N vehicles, each
+// parameter-jittered from the base by a seeded RNG, sharded over the worker
+// pool and merged deterministically (the fleet output is byte-identical
+// between -parallel 1 and -parallel N).
 //
 // With -realtime the monitor core runs on the wall clock instead of the
 // simulation: a real producer goroutine, real deadlines, and /metrics
@@ -54,6 +64,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTraceCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		runFleetCmd(os.Args[2:])
 		return
 	}
 

@@ -1,0 +1,213 @@
+// Fleet aggregation: per-vehicle outcomes are reduced to fleet-wide
+// totals, miss-rate distributions and per-fault-class breakdowns. All
+// rendering (text summary and JSON) iterates in vehicle / sorted-class
+// order, so serial and parallel fleets emit byte-identical reports.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"chainmon/internal/stats"
+)
+
+// Distribution summarizes the per-vehicle miss rates of a (sub-)fleet.
+type Distribution struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func distributionOf(rates []float64) Distribution {
+	if len(rates) == 0 {
+		return Distribution{}
+	}
+	s := stats.FromFloats(rates)
+	return Distribution{
+		P50: s.Quantile(0.50),
+		P95: s.Quantile(0.95),
+		P99: s.Quantile(0.99),
+		Max: s.Max(),
+	}
+}
+
+// Aggregate is the fleet-wide verdict tally.
+type Aggregate struct {
+	Vehicles    int     `json:"vehicles"`
+	Activations int     `json:"activations"`
+	OK          int     `json:"ok"`
+	Recovered   int     `json:"recovered"`
+	Missed      int     `json:"missed"`
+	Exceptions  int     `json:"exceptions"`
+	MissRate    float64 `json:"miss_rate"` // fleet-wide: exceptions / activations
+	// PerVehicle is the distribution of per-vehicle miss rates — the
+	// population statistic a single-vehicle run cannot produce.
+	PerVehicle Distribution `json:"per_vehicle"`
+}
+
+func tally(vehicles []VehicleResult) Aggregate {
+	a := Aggregate{Vehicles: len(vehicles)}
+	rates := make([]float64, 0, len(vehicles))
+	for _, v := range vehicles {
+		a.Activations += v.Activations
+		a.OK += v.OK
+		a.Recovered += v.Recovered
+		a.Missed += v.Missed
+		rates = append(rates, v.MissRate)
+	}
+	a.Exceptions = a.Recovered + a.Missed
+	if a.Activations > 0 {
+		a.MissRate = float64(a.Exceptions) / float64(a.Activations)
+	}
+	a.PerVehicle = distributionOf(rates)
+	return a
+}
+
+// ClassAggregate is the tally of the vehicles that ran one fault class.
+type ClassAggregate struct {
+	Campaign string `json:"campaign"`
+	Aggregate
+	FalseNegatives int `json:"false_negatives"`
+	FalsePositives int `json:"false_positives"`
+}
+
+// Result is a fully aggregated fleet run.
+type Result struct {
+	Size    int        `json:"fleet_size"`
+	Seed    int64      `json:"fleet_seed"`
+	Jitter  JitterSpec `json:"jitter"`
+	Frames  int        `json:"frames"`
+	Period  string     `json:"period"`
+	Oracle  bool       `json:"oracle"`
+	Classes []ClassAggregate `json:"classes,omitempty"`
+	Fleet   Aggregate        `json:"fleet"`
+	// Knee is the saturation analyzer's report (nil unless a saturation
+	// search ran).
+	Knee     *Knee           `json:"knee,omitempty"`
+	Vehicles []VehicleResult `json:"vehicles"`
+}
+
+func aggregate(cfg Config, vehicles []VehicleResult) *Result {
+	r := &Result{
+		Size:     cfg.Size,
+		Seed:     cfg.Seed,
+		Jitter:   cfg.Jitter,
+		Frames:   cfg.Base.Frames,
+		Period:   fmt.Sprintf("%v", cfg.Base.Period),
+		Oracle:   cfg.Oracle,
+		Vehicles: vehicles,
+		Fleet:    tally(vehicles),
+	}
+	if len(cfg.Mix) > 0 {
+		byClass := make(map[string][]VehicleResult)
+		for _, v := range vehicles {
+			byClass[v.Campaign] = append(byClass[v.Campaign], v)
+		}
+		names := make([]string, 0, len(byClass))
+		for n := range byClass {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			vs := byClass[n]
+			ca := ClassAggregate{Campaign: n, Aggregate: tally(vs)}
+			for _, v := range vs {
+				ca.FalseNegatives += v.FalseNegatives
+				ca.FalsePositives += v.FalsePositives
+			}
+			r.Classes = append(r.Classes, ca)
+		}
+	}
+	return r
+}
+
+// FalseNegatives sums the oracle false negatives over the whole fleet.
+func (r *Result) FalseNegatives() int {
+	n := 0
+	for _, v := range r.Vehicles {
+		n += v.FalseNegatives
+	}
+	return n
+}
+
+// FalsePositives sums the oracle false positives over the whole fleet.
+func (r *Result) FalsePositives() int {
+	n := 0
+	for _, v := range r.Vehicles {
+		n += v.FalsePositives
+	}
+	return n
+}
+
+// Errs returns the vehicles whose run failed outright.
+func (r *Result) Errs() []VehicleResult {
+	var out []VehicleResult
+	for _, v := range r.Vehicles {
+		if v.Err != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.4f%%", 100*v) }
+
+func distRow(d Distribution) string {
+	return fmt.Sprintf("p50=%s p95=%s p99=%s max=%s", pct(d.P50), pct(d.P95), pct(d.P99), pct(d.Max))
+}
+
+// Summary renders the fleet-level report as deterministic text: the header,
+// the fleet tally, the per-vehicle miss-rate distribution, one row per
+// fault class (sorted by name) and the saturation knee when present.
+// Per-vehicle rows live in the JSON summary, not here — a thousand-vehicle
+// fleet should not print a thousand lines.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d vehicles, seed %d, %d frames/vehicle at %s base period\n",
+		r.Size, r.Seed, r.Frames, r.Period)
+	fmt.Fprintf(&b, "jitter: clock=%g bcrt=%g link=%g period=%g load=%g loss=%g\n",
+		r.Jitter.ClockEpsilon, r.Jitter.LinkBCRT, r.Jitter.LinkJitter,
+		r.Jitter.Period, r.Jitter.Load, r.Jitter.Loss)
+	f := r.Fleet
+	fmt.Fprintf(&b, "fleet activations=%d ok=%d recovered=%d missed=%d exceptions=%d\n",
+		f.Activations, f.OK, f.Recovered, f.Missed, f.Exceptions)
+	fmt.Fprintf(&b, "fleet miss-rate %s (per vehicle: %s)\n", pct(f.MissRate), distRow(f.PerVehicle))
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "  class %-20s vehicles=%-4d activations=%-7d exceptions=%-6d miss=%s (%s)",
+			c.Campaign, c.Vehicles, c.Activations, c.Exceptions, pct(c.MissRate), distRow(c.PerVehicle))
+		if r.Oracle {
+			fmt.Fprintf(&b, " falseNeg=%d falsePos=%d", c.FalseNegatives, c.FalsePositives)
+		}
+		b.WriteByte('\n')
+	}
+	if r.Oracle {
+		fmt.Fprintf(&b, "oracle fleet-wide: falseNeg=%d falsePos=%d\n",
+			r.FalseNegatives(), r.FalsePositives())
+	}
+	if errs := r.Errs(); len(errs) > 0 {
+		for _, v := range errs {
+			fmt.Fprintf(&b, "  vehicle %d FAILED: %s\n", v.Vehicle, v.Err)
+		}
+	}
+	if r.Knee != nil {
+		b.WriteString(r.Knee.Report())
+	}
+	return b.String()
+}
+
+// WriteJSON writes the full fleet summary — fleet and class aggregates
+// plus one entry per vehicle — as indented JSON. The encoding is
+// deterministic, so serial and parallel fleets write identical bytes.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"testing"
+
+	"chainmon/internal/perception"
+)
+
+// TestMixedFaultFleetOracleSound runs the ground-truth soundness oracle on
+// every vehicle of a mixed-fault fleet: healthy vehicles next to burst
+// loss, latency shifts and clock steps, each parameter-jittered. The
+// paper's soundness contract must hold fleet-wide — zero false negatives
+// on any vehicle, and no exception outside the ε tolerance band (the
+// oracle reports out-of-band false positives as violations, so an empty
+// violation list is the ε-bounded-FP aggregate).
+func TestMixedFaultFleetOracleSound(t *testing.T) {
+	mix, err := MixByName([]string{"nominal", "burst-loss", "latency-shift", "clock-step"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := perception.DefaultConfig()
+	base.Frames = 120 // the chaos campaigns inject within the first 12 s
+	base.FullChain = true
+	cfg := Config{
+		Size: 8, Seed: 17, Jitter: Uniform(0.05),
+		Base: base, Mix: mix, Oracle: true, Workers: 0,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := res.Errs(); len(errs) > 0 {
+		t.Fatalf("vehicles failed outright: %+v", errs)
+	}
+	for _, v := range res.Vehicles {
+		if !v.OracleChecked {
+			t.Fatalf("vehicle %d ran without the oracle", v.Vehicle)
+		}
+		if v.FalseNegatives > 0 {
+			t.Fatalf("vehicle %d (%s): %d false negatives — soundness broken:\n%v",
+				v.Vehicle, v.Campaign, v.FalseNegatives, v.Violations)
+		}
+		if len(v.Violations) > 0 {
+			t.Fatalf("vehicle %d (%s): oracle violations:\n%v", v.Vehicle, v.Campaign, v.Violations)
+		}
+	}
+	if fn := res.FalseNegatives(); fn != 0 {
+		t.Fatalf("fleet-wide false negatives: %d", fn)
+	}
+	if fp := res.FalsePositives(); fp != 0 {
+		t.Fatalf("fleet-wide out-of-band false positives: %d", fp)
+	}
+
+	// The mixed faults must actually bite, or the zero-FN assertion is
+	// vacuous: the faulty classes must out-miss the nominal class.
+	var nominal, faulty *ClassAggregate
+	for i := range res.Classes {
+		c := &res.Classes[i]
+		switch c.Campaign {
+		case "nominal":
+			nominal = c
+		case "burst-loss":
+			faulty = c
+		}
+	}
+	if nominal == nil || faulty == nil {
+		t.Fatalf("class breakdown incomplete: %+v", res.Classes)
+	}
+	if faulty.Exceptions == 0 {
+		t.Fatal("burst-loss class caused no exceptions — the fault mix did not bite")
+	}
+}

@@ -1,0 +1,60 @@
+// Prometheus rollups: the fleet aggregates exported through the
+// internal/telemetry registry, so a fleet run can be scraped (or dumped
+// with -metrics-out) like any single-vehicle run. Rates are exported in
+// parts-per-million — the registry's gauges are integers, and ppm keeps
+// four significant digits of a sub-percent miss rate.
+package fleet
+
+import (
+	"chainmon/internal/telemetry"
+)
+
+func ppm(rate float64) int64 { return int64(rate * 1e6) }
+
+func rollupDist(reg *telemetry.Registry, name, help string, d Distribution, labels ...telemetry.Label) {
+	for _, q := range []struct {
+		q string
+		v float64
+	}{{"p50", d.P50}, {"p95", d.P95}, {"p99", d.P99}, {"max", d.Max}} {
+		l := append(append([]telemetry.Label(nil), labels...), telemetry.L("q", q.q)...)
+		reg.Gauge(name, help, l...).Set(ppm(q.v))
+	}
+}
+
+// Rollup exports the fleet-level aggregates into the registry:
+//
+//	chainmon_fleet_vehicles_total / _activations_total / _exceptions_total
+//	chainmon_fleet_miss_rate_ppm            (fleet-wide rate)
+//	chainmon_fleet_vehicle_miss_rate_ppm{q} (per-vehicle distribution)
+//	chainmon_fleet_class_*{campaign}        (per-fault-class breakdown)
+//	chainmon_fleet_oracle_false_{negatives,positives}_total
+func (r *Result) Rollup(reg *telemetry.Registry) {
+	reg.Gauge("chainmon_fleet_vehicles_total", "vehicles simulated in the fleet run").Set(int64(r.Fleet.Vehicles))
+	reg.Counter("chainmon_fleet_activations_total", "monitored activations across the fleet").Add(uint64(r.Fleet.Activations))
+	reg.Counter("chainmon_fleet_exceptions_total", "temporal exceptions across the fleet").Add(uint64(r.Fleet.Exceptions))
+	reg.Gauge("chainmon_fleet_miss_rate_ppm", "fleet-wide miss rate in parts per million").Set(ppm(r.Fleet.MissRate))
+	rollupDist(reg, "chainmon_fleet_vehicle_miss_rate_ppm",
+		"per-vehicle miss-rate distribution in parts per million", r.Fleet.PerVehicle)
+
+	for _, c := range r.Classes {
+		l := telemetry.L("campaign", c.Campaign)
+		reg.Gauge("chainmon_fleet_class_vehicles_total", "vehicles per fault class", l...).Set(int64(c.Vehicles))
+		reg.Counter("chainmon_fleet_class_activations_total", "monitored activations per fault class", l...).Add(uint64(c.Activations))
+		reg.Counter("chainmon_fleet_class_exceptions_total", "temporal exceptions per fault class", l...).Add(uint64(c.Exceptions))
+		reg.Gauge("chainmon_fleet_class_miss_rate_ppm", "per-class miss rate in parts per million", l...).Set(ppm(c.MissRate))
+	}
+
+	if r.Oracle {
+		reg.Counter("chainmon_fleet_oracle_false_negatives_total",
+			"ground-truth oracle false negatives across the fleet").Add(uint64(r.FalseNegatives()))
+		reg.Counter("chainmon_fleet_oracle_false_positives_total",
+			"ground-truth oracle false positives across the fleet").Add(uint64(r.FalsePositives()))
+	}
+
+	if r.Knee != nil {
+		reg.Gauge("chainmon_fleet_saturation_load_milli",
+			"saturation knee load multiplier in thousandths").Set(int64(r.Knee.Load * 1000))
+		reg.Gauge("chainmon_fleet_saturation_miss_rate_ppm",
+			"miss rate at the saturation knee in parts per million").Set(ppm(r.Knee.MissRate))
+	}
+}

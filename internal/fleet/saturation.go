@@ -1,0 +1,155 @@
+// The saturation analyzer: a bracketed binary search for the load
+// multiplier at which the monitored fleet starts missing deadlines beyond
+// an acceptable rate. The miss-rate curve of the perception stack is
+// monotone in the execution-cost scale (heavier compute can only push more
+// activations past their deadlines), which is exactly the shape a binary
+// search exploits; the analyzer still verifies its bracket on the two
+// final grid points, so a non-monotone eval cannot produce a lying report.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SaturationConfig parameterizes a knee search over load multipliers.
+type SaturationConfig struct {
+	// Lo and Hi bound the searched load-multiplier range; Step is the
+	// grid resolution the knee is reported at.
+	Lo, Hi, Step float64
+	// Target is the acceptable fleet miss rate: the knee is the largest
+	// grid load whose miss rate is still ≤ Target.
+	Target float64
+}
+
+// Validate checks the search range.
+func (sc SaturationConfig) Validate() error {
+	if sc.Step <= 0 {
+		return fmt.Errorf("fleet: saturation step %g must be positive", sc.Step)
+	}
+	if sc.Hi <= sc.Lo {
+		return fmt.Errorf("fleet: saturation range [%g, %g] is empty", sc.Lo, sc.Hi)
+	}
+	if sc.Target < 0 || sc.Target >= 1 {
+		return fmt.Errorf("fleet: saturation target %g outside [0,1)", sc.Target)
+	}
+	return nil
+}
+
+// Knee is the saturation analyzer's report: the largest searched load L
+// with miss-rate ≤ target, and the first grid point above it. When
+// Bracketed is true the invariant MissRate ≤ Target < NextMissRate holds
+// on the evaluated points; when false the whole range stayed below the
+// target (the fleet never saturated within [Lo, Hi]).
+type Knee struct {
+	Target       float64 `json:"target"`
+	Load         float64 `json:"load"`
+	MissRate     float64 `json:"miss_rate"`
+	NextLoad     float64 `json:"next_load,omitempty"`
+	NextMissRate float64 `json:"next_miss_rate,omitempty"`
+	Bracketed    bool    `json:"bracketed"`
+	Evaluations  int     `json:"evaluations"`
+}
+
+// Report renders the knee as deterministic text.
+func (k Knee) Report() string {
+	var b strings.Builder
+	if k.Bracketed {
+		fmt.Fprintf(&b, "saturation knee: load %.4g miss=%s ≤ target %s < load %.4g miss=%s (%d evaluations)\n",
+			k.Load, pct(k.MissRate), pct(k.Target), k.NextLoad, pct(k.NextMissRate), k.Evaluations)
+	} else {
+		fmt.Fprintf(&b, "saturation: no knee in range — load %.4g miss=%s stays ≤ target %s (%d evaluations)\n",
+			k.Load, pct(k.MissRate), pct(k.Target), k.Evaluations)
+	}
+	return b.String()
+}
+
+// FindKnee binary-searches the load grid Lo, Lo+Step, …, Hi for the
+// largest load whose evaluated miss rate is ≤ Target. eval must map a load
+// multiplier to a miss rate and is assumed monotone non-decreasing;
+// evaluations are memoized per grid point, so the search costs
+// O(log((Hi−Lo)/Step)) fleet runs.
+//
+// The returned knee always satisfies the bracket invariant on its own
+// evaluations: MissRate ≤ Target, and (when Bracketed) NextMissRate >
+// Target with NextLoad = Load + Step on the grid.
+func FindKnee(sc SaturationConfig, eval func(load float64) float64) (Knee, error) {
+	if err := sc.Validate(); err != nil {
+		return Knee{}, err
+	}
+	n := int(math.Round((sc.Hi - sc.Lo) / sc.Step))
+	if n < 1 {
+		return Knee{}, fmt.Errorf("fleet: saturation range [%g, %g] holds no step of %g", sc.Lo, sc.Hi, sc.Step)
+	}
+	grid := func(i int) float64 {
+		if i == n {
+			return sc.Hi // avoid float drift on the top grid point
+		}
+		return sc.Lo + float64(i)*sc.Step
+	}
+	memo := make(map[int]float64)
+	evals := 0
+	f := func(i int) float64 {
+		if v, ok := memo[i]; ok {
+			return v
+		}
+		v := eval(grid(i))
+		memo[i] = v
+		evals++
+		return v
+	}
+
+	if f(0) > sc.Target {
+		return Knee{Target: sc.Target, Evaluations: evals},
+			fmt.Errorf("fleet: already saturated at load %g (miss-rate %.6f > target %.6f)", grid(0), f(0), sc.Target)
+	}
+	if f(n) <= sc.Target {
+		return Knee{
+			Target: sc.Target, Load: grid(n), MissRate: f(n),
+			Bracketed: false, Evaluations: evals,
+		}, nil
+	}
+	lo, hi := 0, n // f(lo) ≤ target, f(hi) > target — the bracket
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if f(mid) <= sc.Target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return Knee{
+		Target: sc.Target,
+		Load:   grid(lo), MissRate: f(lo),
+		NextLoad: grid(hi), NextMissRate: f(hi),
+		Bracketed:   true,
+		Evaluations: evals,
+	}, nil
+}
+
+// SaturationSearch runs FindKnee over real fleet evaluations: each grid
+// point spins up a complete fleet whose base cost model is scaled by the
+// load multiplier (per-vehicle load jitter still applies on top), and the
+// fleet-wide miss rate is the evaluated value. Every evaluation builds its
+// fleets from the same seeds, so the search is fully deterministic.
+func SaturationSearch(cfg Config, sc SaturationConfig) (Knee, error) {
+	if err := cfg.Validate(); err != nil {
+		return Knee{}, err
+	}
+	var runErr error
+	knee, err := FindKnee(sc, func(load float64) float64 {
+		c := cfg
+		c.Base.Costs = ScaleCosts(cfg.Base.Costs, load)
+		res, err := Run(c)
+		if err != nil {
+			runErr = err
+			return 1 // poison: saturate immediately
+		}
+		return res.Fleet.MissRate
+	})
+	if runErr != nil {
+		return Knee{}, runErr
+	}
+	return knee, err
+}

@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"chainmon/internal/perception"
+	"chainmon/internal/sim"
+)
+
+// TestFindKneeSyntheticCurve checks the analyzer against a monotone curve
+// with a known knee: f(L) = L²/100, target 5% → the largest grid load with
+// f ≤ 0.05 is 2.0 (2.25² / 100 = 0.050625 > 0.05).
+func TestFindKneeSyntheticCurve(t *testing.T) {
+	evals := 0
+	knee, err := FindKnee(SaturationConfig{Lo: 1, Hi: 4, Step: 0.25, Target: 0.05},
+		func(load float64) float64 { evals++; return load * load / 100 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !knee.Bracketed {
+		t.Fatalf("knee not bracketed: %+v", knee)
+	}
+	if math.Abs(knee.Load-2.0) > 1e-12 || math.Abs(knee.NextLoad-2.25) > 1e-12 {
+		t.Fatalf("knee at load %g (next %g), want 2.0 (next 2.25)", knee.Load, knee.NextLoad)
+	}
+	if knee.MissRate > 0.05 || knee.NextMissRate <= 0.05 {
+		t.Fatalf("bracket invariant broken: %+v", knee)
+	}
+	// 12 grid steps: 2 endpoint probes + ~ceil(log2(12)) bisections.
+	if evals != knee.Evaluations || evals > 7 {
+		t.Fatalf("binary search did %d evaluations (reported %d), expected ≤ 7", evals, knee.Evaluations)
+	}
+}
+
+// TestFindKneeBracketInvariant is the property test: for seeded random
+// monotone staircase curves and random targets, the result load L always
+// satisfies miss(L) ≤ target and miss(L+step) > target (or the search
+// reports why no such bracket exists).
+func TestFindKneeBracketInvariant(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		rng := sim.NewRNG(seed)
+		n := 2 + rng.Intn(40)
+		sc := SaturationConfig{Lo: 0.5, Hi: 0.5 + float64(n)*0.125, Step: 0.125, Target: rng.Float64() * 0.5}
+		// A monotone non-decreasing staircase over the grid.
+		rates := make([]float64, n+1)
+		acc := 0.0
+		for i := range rates {
+			acc += rng.Float64() * 0.08
+			rates[i] = acc
+		}
+		eval := func(load float64) float64 {
+			i := int(math.Round((load - sc.Lo) / sc.Step))
+			return rates[i]
+		}
+		knee, err := FindKnee(sc, eval)
+		switch {
+		case err != nil:
+			if rates[0] <= sc.Target {
+				t.Fatalf("seed %d: spurious saturation error %v with f(lo)=%g ≤ target %g",
+					seed, err, rates[0], sc.Target)
+			}
+		case !knee.Bracketed:
+			if rates[n] > sc.Target {
+				t.Fatalf("seed %d: unbracketed although f(hi)=%g > target %g", seed, rates[n], sc.Target)
+			}
+			if math.Abs(knee.Load-sc.Hi) > 1e-12 {
+				t.Fatalf("seed %d: unbracketed knee not at Hi: %+v", seed, knee)
+			}
+		default:
+			if knee.MissRate > sc.Target {
+				t.Fatalf("seed %d: knee rate %g above target %g", seed, knee.MissRate, sc.Target)
+			}
+			if knee.NextMissRate <= sc.Target {
+				t.Fatalf("seed %d: next rate %g not above target %g — bracket broken",
+					seed, knee.NextMissRate, sc.Target)
+			}
+			if math.Abs(knee.NextLoad-(knee.Load+sc.Step)) > 1e-9 {
+				t.Fatalf("seed %d: next load %g is not one step above %g", seed, knee.NextLoad, knee.Load)
+			}
+			maxEvals := 2 + int(math.Ceil(math.Log2(float64(n)))) + 1
+			if knee.Evaluations > maxEvals {
+				t.Fatalf("seed %d: %d evaluations for %d grid steps, expected ≤ %d",
+					seed, knee.Evaluations, n, maxEvals)
+			}
+		}
+	}
+}
+
+func TestFindKneeEdges(t *testing.T) {
+	sc := SaturationConfig{Lo: 1, Hi: 2, Step: 0.5, Target: 0.1}
+	if _, err := FindKnee(sc, func(float64) float64 { return 0.5 }); err == nil {
+		t.Fatal("saturated-below-Lo curve accepted without error")
+	}
+	knee, err := FindKnee(sc, func(float64) float64 { return 0.0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee.Bracketed || knee.Load != 2 {
+		t.Fatalf("never-saturating curve should report the unbracketed top of range, got %+v", knee)
+	}
+	for _, bad := range []SaturationConfig{
+		{Lo: 1, Hi: 1, Step: 0.1, Target: 0.1},
+		{Lo: 1, Hi: 2, Step: 0, Target: 0.1},
+		{Lo: 1, Hi: 2, Step: 0.1, Target: 1.5},
+	} {
+		if _, err := FindKnee(bad, func(float64) float64 { return 0 }); err == nil {
+			t.Fatalf("invalid saturation config %+v accepted", bad)
+		}
+	}
+}
+
+// TestFleetSaturationKnee is the deterministic end-to-end knee: a small
+// jittered fleet of the default vehicle, load swept over [0.3, 1.0] in
+// steps of 0.1 against a 2% miss-rate target. The curve was measured
+// monotone over this range (≈0% at 0.3–0.4 rising to ≈16% at 1.0), and
+// the whole search is seeded, so the knee is pinned exactly.
+func TestFleetSaturationKnee(t *testing.T) {
+	base := perception.DefaultConfig()
+	base.Frames = 60
+	cfg := Config{Size: 6, Seed: 11, Jitter: Uniform(0.1), Base: base, Workers: 0}
+	knee, err := SaturationSearch(cfg, SaturationConfig{Lo: 0.3, Hi: 1.0, Step: 0.1, Target: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !knee.Bracketed {
+		t.Fatalf("fleet never saturated in range: %+v", knee)
+	}
+	if knee.MissRate > 0.02 || knee.NextMissRate <= 0.02 {
+		t.Fatalf("fleet knee bracket invariant broken: %+v", knee)
+	}
+	if math.Abs(knee.Load-0.6) > 1e-9 || math.Abs(knee.NextLoad-0.7) > 1e-9 {
+		t.Fatalf("fleet knee moved: load %g (next %g), want 0.6 (next 0.7)", knee.Load, knee.NextLoad)
+	}
+	// The search must be deterministic end to end.
+	again, err := SaturationSearch(cfg, SaturationConfig{Lo: 0.3, Hi: 1.0, Step: 0.1, Target: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee != again {
+		t.Fatalf("saturation search not deterministic:\n%+v\n%+v", knee, again)
+	}
+}
