@@ -10,11 +10,13 @@
 //	         [-seeds N] [-parallel W]
 //	         [-telemetry-trace out.json] [-metrics-out metrics.prom]
 //	         [-telemetry-csv events.csv] [-metrics-addr :9090]
-//	         [-trace-stream events.chmtrc]
+//	         [-trace-stream events.chmtrc] [-trace-rotate BYTES]
 //	chainmon -realtime [-frames N] [-seed S] [-metrics-addr :9090]
 //	         [-metrics-out metrics.prom] [-trace-stream events.chmtrc]
+//	         [-trace-rotate BYTES]
 //	chainmon trace convert events.chmtrc out.json
 //	chainmon trace report events.chmtrc
+//	chainmon trace report -diff [-diff-rel F] [-diff-abs D] [-diff-miss F] old.chmtrc new.chmtrc
 //	chainmon fleet [-fleet-size N] [-fleet-seed S] [-fleet-jitter J]
 //	         [-parallel W] [-fleet-out fleet.json] [-frames N] [-full]
 //	         [-fault-mix nominal,burst-loss] [-oracle] [-config base.json]
@@ -32,11 +34,19 @@
 // after the run finished).
 //
 // -trace-stream drains the flight recorder to an append-only binary log as
-// the run progresses (bounded memory; drops are counted, never blocking).
+// the run progresses (bounded memory; drops are counted, never blocking);
+// -trace-rotate caps segment size and gzip-compresses the segments.
 // "chainmon trace convert" turns such a log into Perfetto-loadable JSON with
 // flow arrows linking each activation's hops; "chainmon trace report"
 // prints the end-to-end latency attribution (per-hop and per-segment
-// quantiles, worst activation path).
+// quantiles, worst activation path); "trace report -diff" compares two logs
+// and exits nonzero when the new one regressed beyond the thresholds.
+//
+// Whenever telemetry is on, a live health layer rides along: streaming
+// quantile sketches and (m,k) SLO burn tracking per segment and chain,
+// exported as chainmon_live_* gauges on /metrics (and in -metrics-out) and
+// as a JSON document on /health. The -metrics-addr mux also mounts
+// net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -47,11 +57,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"chainmon/internal/faultinject"
+	"chainmon/internal/livestats"
 	"chainmon/internal/monitor"
 	"chainmon/internal/parallel"
 	"chainmon/internal/perception"
@@ -59,6 +71,7 @@ import (
 	"chainmon/internal/scenario"
 	"chainmon/internal/sim"
 	"chainmon/internal/telemetry"
+	"chainmon/internal/trace"
 )
 
 func main() {
@@ -87,8 +100,16 @@ func main() {
 	telCSV := flag.String("telemetry-csv", "", "write the flight-recorder events as CSV to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics on this address after the run (blocks; ctrl-C to exit). With -realtime: serve live during the run")
 	traceStream := flag.String("trace-stream", "", "stream the flight recorder to this binary log while the run progresses (see 'chainmon trace convert/report')")
+	traceRotate := flag.Int64("trace-rotate", 0, "rotate the -trace-stream log into gzip-compressed segments (<log>.0.gz, .1.gz, …) of roughly this many uncompressed bytes each")
 	rtMode := flag.Bool("realtime", false, "run the monitor core on the wall clock (real goroutines and deadlines) instead of the simulation")
 	flag.Parse()
+
+	if *traceRotate < 0 {
+		log.Fatal("-trace-rotate must be positive")
+	}
+	if *traceRotate > 0 && *traceStream == "" {
+		log.Fatal("-trace-rotate requires -trace-stream")
+	}
 
 	if *rtMode {
 		// A wall-clock run has no seeds to sweep, no faults to inject and
@@ -102,7 +123,7 @@ func main() {
 				rcfg.Frames = *frames
 			case "seed":
 				rcfg.Seed = *seed
-			case "realtime", "metrics-addr", "metrics-out", "trace-stream":
+			case "realtime", "metrics-addr", "metrics-out", "trace-stream", "trace-rotate":
 			default:
 				bad = append(bad, "-"+fl.Name)
 			}
@@ -110,7 +131,7 @@ func main() {
 		if len(bad) > 0 {
 			log.Fatalf("-realtime is a wall-clock run; it cannot combine with the simulation-only flags %s", strings.Join(bad, ", "))
 		}
-		runRealtime(rcfg, *metricsAddr, *metricsOut, *traceStream)
+		runRealtime(rcfg, *metricsAddr, *metricsOut, *traceStream, *traceRotate)
 		return
 	}
 
@@ -194,7 +215,7 @@ func main() {
 			c.Seed = cfg.Seed + int64(shard)
 			var buf bytes.Buffer
 			fmt.Fprintf(&buf, "### seed %d\n", c.Seed)
-			sound := runOne(c, camp, nil, &buf)
+			sound := runOne(c, camp, nil, nil, &buf)
 			return outcome{buf.Bytes(), sound}
 		})
 		allSound := true
@@ -213,29 +234,27 @@ func main() {
 	// track so every event of the run reaches the log.
 	var sink *telemetry.Sink
 	var stream *telemetry.StreamWriter
-	var streamFile *os.File
+	var live *livestats.Set
 	if wantTelemetry {
 		sink = telemetry.NewSink(telemetry.DefaultTrackCap)
 		if *traceStream != "" {
 			var err error
-			streamFile, err = os.Create(*traceStream)
-			if err != nil {
-				log.Fatalf("creating trace stream: %v", err)
-			}
 			// The simulation is single-threaded, so the direct (inline) mode
 			// is used: deterministic, byte-identical across same-seed runs.
-			stream, err = telemetry.NewStreamWriter(streamFile, "sim", telemetry.StreamOptions{
-				Metrics: sink.Reg,
+			stream, err = telemetry.NewStreamFile(*traceStream, "sim", telemetry.StreamOptions{
+				Metrics:     sink.Reg,
+				RotateBytes: *traceRotate,
 			})
 			if err != nil {
 				log.Fatalf("starting trace stream: %v", err)
 			}
 			sink.Rec.SetStream(stream)
 		}
+		live = newLiveSet(sink, stream)
 	}
 
-	sound := runOne(cfg, camp, sink, os.Stdout)
-	closeStream(stream, streamFile, *traceStream)
+	sound := runOne(cfg, camp, sink, live, os.Stdout)
+	closeStream(stream, *traceStream)
 	if !sound {
 		os.Exit(1)
 	}
@@ -247,49 +266,71 @@ func main() {
 	if sink != nil {
 		writeTelemetry(sink, *telTrace, *metricsOut, *telCSV)
 		if *metricsAddr != "" {
-			fmt.Printf("serving metrics on http://%s/metrics\n", *metricsAddr)
+			fmt.Printf("serving metrics on http://%s/metrics (+ /health, /debug/pprof/)\n", *metricsAddr)
 			http.Handle("/metrics", sink.Handler())
+			http.Handle("/health", live.Handler())
+			// net/http/pprof's import already mounted /debug/pprof/ on the
+			// default mux this server uses.
 			log.Fatal(http.ListenAndServe(*metricsAddr, nil))
 		}
 	}
 }
 
+// newLiveSet builds the live health layer shared by both timebases: its
+// gauges are republished into the registry on every metrics export (so the
+// live /metrics scrape and the -metrics-out snapshot always agree), and the
+// flight-recorder/stream drop totals surface in /health.
+func newLiveSet(sink *telemetry.Sink, stream *telemetry.StreamWriter) *livestats.Set {
+	live := livestats.NewSet(0)
+	sink.AddExportHook(func() { live.PublishMetrics(sink.Reg) })
+	if rec := sink.Rec; rec != nil {
+		live.AddDropSource("flight-recorder", func() uint64 {
+			var total uint64
+			for _, t := range rec.Tracks() {
+				total += t.Dropped()
+			}
+			return total
+		})
+	}
+	if stream != nil {
+		live.AddDropSource("trace-stream", stream.Dropped)
+	}
+	return live
+}
+
 // closeStream flushes and closes the streaming trace before any metrics
 // snapshot is taken, so chainmon_stream_* in -metrics-out reflect the final
-// counts (the satellite fix: snapshot and live /metrics must agree at run
-// end).
-func closeStream(stream *telemetry.StreamWriter, f *os.File, path string) {
+// counts (snapshot and live /metrics must agree at run end).
+func closeStream(stream *telemetry.StreamWriter, path string) {
 	if stream == nil {
 		return
 	}
 	if err := stream.Close(); err != nil {
 		log.Fatalf("closing trace stream: %v", err)
 	}
-	if err := f.Close(); err != nil {
-		log.Fatalf("closing trace stream file: %v", err)
+	rotated := ""
+	if n := stream.Rotations(); n > 0 {
+		rotated = fmt.Sprintf(", %d rotations", n)
 	}
-	fmt.Printf("trace stream written to %s (%d events, %d bytes, %d dropped)\n",
-		path, stream.EventsWritten(), stream.BytesWritten(), stream.Dropped())
+	fmt.Printf("trace stream written to %s (%d events, %d bytes, %d dropped%s)\n",
+		path, stream.EventsWritten(), stream.BytesWritten(), stream.Dropped(), rotated)
 }
 
 // runTraceCmd implements the offline "chainmon trace" subcommands operating
-// on a streamed binary log.
+// on a streamed binary log (plain, gzip-compressed, or rotated into
+// segments — OpenLogSet reads all three transparently).
 func runTraceCmd(args []string) {
 	fail := func() {
 		fmt.Fprintln(os.Stderr, "usage: chainmon trace convert <in.chmtrc> <out.json>")
 		fmt.Fprintln(os.Stderr, "       chainmon trace report <in.chmtrc>")
+		fmt.Fprintln(os.Stderr, "       chainmon trace report -diff [-diff-rel F] [-diff-abs D] [-diff-miss F] <old.chmtrc> <new.chmtrc>")
 		os.Exit(2)
 	}
 	if len(args) < 2 {
 		fail()
 	}
-	readLog := func(path string) *telemetry.Log {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatalf("opening trace stream: %v", err)
-		}
-		defer f.Close()
-		l, err := telemetry.ReadLog(f)
+	openLog := func(path string) *telemetry.Log {
+		l, err := telemetry.OpenLogSet(path)
 		if err != nil {
 			log.Fatalf("reading trace stream: %v", err)
 		}
@@ -300,7 +341,7 @@ func runTraceCmd(args []string) {
 		if len(args) != 3 {
 			fail()
 		}
-		l := readLog(args[1])
+		l := openLog(args[1])
 		out, err := os.Create(args[2])
 		if err != nil {
 			log.Fatalf("creating trace JSON: %v", err)
@@ -314,23 +355,50 @@ func runTraceCmd(args []string) {
 		}
 		fmt.Printf("%d events on %d tracks converted to %s\n", l.Events(), len(l.Tracks()), args[2])
 	case "report":
-		if len(args) != 2 {
+		fs := flag.NewFlagSet("trace report", flag.ExitOnError)
+		diffMode := fs.Bool("diff", false, "compare two logs and exit 1 when the new one regressed beyond the thresholds")
+		diffRel := fs.Float64("diff-rel", 0, "allowed relative quantile growth (default 0.10)")
+		diffAbs := fs.Duration("diff-abs", 0, "absolute quantile growth floor (default 1ms)")
+		diffMiss := fs.Float64("diff-miss", 0, "allowed per-segment miss-fraction growth (default 0.01)")
+		fs.Parse(args[1:])
+		rest := fs.Args()
+		if *diffMode {
+			if len(rest) != 2 {
+				fail()
+			}
+			oldRep := telemetry.BuildReport(openLog(rest[0]))
+			newRep := telemetry.BuildReport(openLog(rest[1]))
+			d := trace.DiffReports(oldRep, newRep, trace.DiffThresholds{
+				RelFrac:  *diffRel,
+				AbsNS:    *diffAbs,
+				MissFrac: *diffMiss,
+			})
+			d.Write(os.Stdout)
+			if len(d.Regressions()) > 0 {
+				os.Exit(1)
+			}
+			return
+		}
+		if len(rest) != 1 {
 			fail()
 		}
-		telemetry.BuildReport(readLog(args[1])).Write(os.Stdout)
+		telemetry.BuildReport(openLog(rest[0])).Write(os.Stdout)
 	default:
 		fail()
 	}
 }
 
 // runOne builds the system for one configuration, runs it and writes the
-// full report to w. A non-nil sink is wired into the system (single-run
-// only). The returned flag is false when a fault-campaign oracle cross-check
-// failed.
-func runOne(cfg perception.Config, camp faultinject.Campaign, sink *telemetry.Sink, w io.Writer) bool {
+// full report to w. A non-nil sink (and live set) is wired into the system
+// (single-run only). The returned flag is false when a fault-campaign
+// oracle cross-check failed.
+func runOne(cfg perception.Config, camp faultinject.Campaign, sink *telemetry.Sink, live *livestats.Set, w io.Writer) bool {
 	s := perception.Build(cfg)
 	if sink != nil {
 		perception.AttachTelemetry(s, sink)
+	}
+	if live != nil {
+		perception.AttachLive(s, live)
 	}
 	var sup *monitor.Supervisor
 	if cfg.FullChain {
@@ -457,20 +525,16 @@ func writeTrace(path string, cfg perception.Config) {
 // goroutine append to lock-free rings, a drainer goroutine writes the log —
 // bounded memory regardless of run length, drops counted in
 // chainmon_stream_dropped_total.
-func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream string) {
+func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream string, traceRotate int64) {
 	var sink *telemetry.Sink
 	var stream *telemetry.StreamWriter
-	var streamFile *os.File
 	if traceStream != "" {
 		sink = telemetry.NewSink(telemetry.DefaultTrackCap)
 		var err error
-		streamFile, err = os.Create(traceStream)
-		if err != nil {
-			log.Fatalf("creating trace stream: %v", err)
-		}
-		stream, err = telemetry.NewStreamWriter(streamFile, "wall", telemetry.StreamOptions{
-			Background: true,
-			Metrics:    sink.Reg,
+		stream, err = telemetry.NewStreamFile(traceStream, "wall", telemetry.StreamOptions{
+			Background:  true,
+			Metrics:     sink.Reg,
+			RotateBytes: traceRotate,
 		})
 		if err != nil {
 			log.Fatalf("starting trace stream: %v", err)
@@ -479,6 +543,8 @@ func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream strin
 	} else {
 		sink = &telemetry.Sink{Reg: telemetry.NewRegistry()}
 	}
+	live := newLiveSet(sink, stream)
+	cfg.Live = live
 
 	if metricsAddr != "" {
 		ln, err := net.Listen("tcp", metricsAddr)
@@ -487,12 +553,18 @@ func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream strin
 		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", sink.Handler())
+		mux.Handle("/health", live.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.Serve(ln, mux); err != nil {
 				log.Printf("metrics server stopped: %v", err)
 			}
 		}()
-		fmt.Printf("serving live metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Printf("serving live metrics on http://%s/metrics (+ /health, /debug/pprof/)\n", ln.Addr())
 	}
 
 	res, err := realtime.Run(cfg, sink)
@@ -501,7 +573,7 @@ func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream strin
 	}
 	// Final flush before the metrics snapshot, so -metrics-out agrees with
 	// what a last live /metrics scrape would have shown.
-	closeStream(stream, streamFile, traceStream)
+	closeStream(stream, traceStream)
 	res.Summary(os.Stdout)
 	writeTelemetry(sink, "", metricsOut, "")
 }

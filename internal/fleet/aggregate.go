@@ -11,10 +11,13 @@ import (
 	"sort"
 	"strings"
 
-	"chainmon/internal/stats"
+	"chainmon/internal/livestats"
 )
 
-// Distribution summarizes the per-vehicle miss rates of a (sub-)fleet.
+// Distribution summarizes the per-vehicle miss rates of a (sub-)fleet. It
+// is extracted from a mergeable quantile sketch, not a retained per-vehicle
+// sample: sub-fleet sketches merge into the fleet-wide one without holding
+// every vehicle's rate, so the rollup is constant-memory in fleet size.
 type Distribution struct {
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
@@ -22,16 +25,19 @@ type Distribution struct {
 	Max float64 `json:"max"`
 }
 
-func distributionOf(rates []float64) Distribution {
-	if len(rates) == 0 {
+// distributionOf reads the quantiles out of a rate sketch. Max is exact
+// (the sketch tracks it outside the buckets); the quantiles carry the
+// sketch's relative rank-error bound, which at the default α is far below
+// the ppm resolution the rollup exports.
+func distributionOf(sk *livestats.Sketch) Distribution {
+	if sk.Count() == 0 {
 		return Distribution{}
 	}
-	s := stats.FromFloats(rates)
 	return Distribution{
-		P50: s.Quantile(0.50),
-		P95: s.Quantile(0.95),
-		P99: s.Quantile(0.99),
-		Max: s.Max(),
+		P50: sk.Quantile(0.50),
+		P95: sk.Quantile(0.95),
+		P99: sk.Quantile(0.99),
+		Max: sk.Max(),
 	}
 }
 
@@ -49,22 +55,25 @@ type Aggregate struct {
 	PerVehicle Distribution `json:"per_vehicle"`
 }
 
-func tally(vehicles []VehicleResult) Aggregate {
+// tally reduces a (sub-)fleet to its aggregate and the miss-rate sketch the
+// aggregate's distribution was read from, so callers can keep merging
+// upward (class sketches → fleet sketch).
+func tally(vehicles []VehicleResult) (Aggregate, *livestats.Sketch) {
 	a := Aggregate{Vehicles: len(vehicles)}
-	rates := make([]float64, 0, len(vehicles))
+	sk := livestats.NewSketch(0)
 	for _, v := range vehicles {
 		a.Activations += v.Activations
 		a.OK += v.OK
 		a.Recovered += v.Recovered
 		a.Missed += v.Missed
-		rates = append(rates, v.MissRate)
+		sk.Observe(v.MissRate)
 	}
 	a.Exceptions = a.Recovered + a.Missed
 	if a.Activations > 0 {
 		a.MissRate = float64(a.Exceptions) / float64(a.Activations)
 	}
-	a.PerVehicle = distributionOf(rates)
-	return a
+	a.PerVehicle = distributionOf(sk)
+	return a, sk
 }
 
 // ClassAggregate is the tally of the vehicles that ran one fault class.
@@ -92,6 +101,7 @@ type Result struct {
 }
 
 func aggregate(cfg Config, vehicles []VehicleResult) *Result {
+	fleetAgg, _ := tally(vehicles)
 	r := &Result{
 		Size:     cfg.Size,
 		Seed:     cfg.Seed,
@@ -100,7 +110,7 @@ func aggregate(cfg Config, vehicles []VehicleResult) *Result {
 		Period:   fmt.Sprintf("%v", cfg.Base.Period),
 		Oracle:   cfg.Oracle,
 		Vehicles: vehicles,
-		Fleet:    tally(vehicles),
+		Fleet:    fleetAgg,
 	}
 	if len(cfg.Mix) > 0 {
 		byClass := make(map[string][]VehicleResult)
@@ -112,15 +122,23 @@ func aggregate(cfg Config, vehicles []VehicleResult) *Result {
 			names = append(names, n)
 		}
 		sort.Strings(names)
+		// The fleet-wide distribution is re-derived by merging the class
+		// sketches — the same shard-merge path a real fleet backend would
+		// use — and bucket merges are order-independent, so this equals the
+		// direct single-stream tally exactly.
+		merged := livestats.NewSketch(0)
 		for _, n := range names {
 			vs := byClass[n]
-			ca := ClassAggregate{Campaign: n, Aggregate: tally(vs)}
+			agg, sk := tally(vs)
+			merged.Merge(sk)
+			ca := ClassAggregate{Campaign: n, Aggregate: agg}
 			for _, v := range vs {
 				ca.FalseNegatives += v.FalseNegatives
 				ca.FalsePositives += v.FalsePositives
 			}
 			r.Classes = append(r.Classes, ca)
 		}
+		r.Fleet.PerVehicle = distributionOf(merged)
 	}
 	return r
 }

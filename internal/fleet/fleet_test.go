@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"chainmon/internal/livestats"
 	"chainmon/internal/perception"
 	"chainmon/internal/telemetry"
 )
@@ -227,5 +228,39 @@ func TestRollupMetrics(t *testing.T) {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Fatalf("rollup missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+// TestClassSketchMergeEqualsDirect pins the sketch-rollup contract: the
+// fleet-wide per-vehicle distribution derived by merging per-class sketches
+// must equal the distribution of one sketch fed every vehicle directly —
+// bucket merges are order-independent, so shard-then-merge loses nothing.
+func TestClassSketchMergeEqualsDirect(t *testing.T) {
+	vehicles := make([]VehicleResult, 30)
+	for i := range vehicles {
+		vehicles[i] = VehicleResult{
+			Vehicle:  i,
+			Campaign: []string{"a", "b", "c"}[i%3],
+			MissRate: float64(i%7) * 0.013,
+		}
+	}
+	direct, _ := tally(vehicles)
+
+	merged := livestats.NewSketch(0)
+	for _, class := range []string{"a", "b", "c"} {
+		var vs []VehicleResult
+		for _, v := range vehicles {
+			if v.Campaign == class {
+				vs = append(vs, v)
+			}
+		}
+		_, sk := tally(vs)
+		merged.Merge(sk)
+	}
+	if got, want := distributionOf(merged), direct.PerVehicle; got != want {
+		t.Errorf("merged class distribution %+v != direct %+v", got, want)
+	}
+	if merged.Count() != uint64(len(vehicles)) {
+		t.Errorf("merged sketch count = %d, want %d", merged.Count(), len(vehicles))
 	}
 }

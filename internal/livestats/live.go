@@ -1,0 +1,336 @@
+package livestats
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+
+	"chainmon/internal/telemetry"
+	"chainmon/internal/weaklyhard"
+)
+
+// Set is the live health surface of one monitor process: a latency sketch
+// and (m,k) SLO per monitored segment and per chain, plus drop-total
+// sources (flight recorder, stream sink). It is fed from the monitor hot
+// path on every resolved activation and read concurrently by the /metrics
+// and /health endpoints; one mutex guards everything — the critical
+// sections are a handful of map increments, far below the microsecond
+// posting overheads the paper measures.
+type Set struct {
+	mu       sync.Mutex
+	alpha    float64
+	timebase string
+	scopes   map[string]*Scope
+	names    []string // creation order; exports sort anyway
+	drops    []dropSource
+}
+
+type dropSource struct {
+	name string
+	fn   func() uint64
+}
+
+// Scope is the live state of one monitored scope (a segment or a chain):
+// a latency sketch, an optional ring-drain latency sketch, and an optional
+// (m,k) SLO tracker.
+type Scope struct {
+	set   *Set
+	name  string
+	kind  string // "segment" or "chain"
+	lat   *Sketch
+	drain *Sketch
+	slo   *SLO
+}
+
+// NewSet creates an empty set whose sketches use relative accuracy alpha
+// (0 selects DefaultAlpha).
+func NewSet(alpha float64) *Set {
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	return &Set{alpha: alpha, scopes: map[string]*Scope{}}
+}
+
+// Alpha returns the relative accuracy of the set's sketches.
+func (s *Set) Alpha() float64 { return s.alpha }
+
+// SetTimebase records which timebase ("sim" or "wall") feeds the set, for
+// the /health document.
+func (s *Set) SetTimebase(tb string) {
+	s.mu.Lock()
+	s.timebase = tb
+	s.mu.Unlock()
+}
+
+// Segment returns (creating on first use) the live scope for a segment. A
+// valid constraint attaches an SLO tracker; an invalid one (e.g. the zero
+// Constraint on unconstrained segments) leaves the scope quantiles-only.
+func (s *Set) Segment(name string, c weaklyhard.Constraint) *Scope {
+	return s.scope(name, "segment", c)
+}
+
+// Chain returns (creating on first use) the live scope for a chain's
+// end-to-end latency and (m,k) window.
+func (s *Set) Chain(name string, c weaklyhard.Constraint) *Scope {
+	return s.scope(name, "chain", c)
+}
+
+func (s *Set) scope(name, kind string, c weaklyhard.Constraint) *Scope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := kind + "/" + name
+	if sc, ok := s.scopes[key]; ok {
+		if sc.slo == nil && c.Valid() {
+			sc.slo = NewSLO(c)
+		}
+		return sc
+	}
+	sc := &Scope{set: s, name: name, kind: kind, lat: NewSketch(s.alpha)}
+	if c.Valid() {
+		sc.slo = NewSLO(c)
+	}
+	s.scopes[key] = sc
+	s.names = append(s.names, key)
+	return sc
+}
+
+// AddDropSource registers a named drop-total source (e.g. the flight
+// recorder's dropped-events count or the stream sink's drop counter) to
+// surface on /health.
+func (s *Set) AddDropSource(name string, fn func() uint64) {
+	s.mu.Lock()
+	s.drops = append(s.drops, dropSource{name, fn})
+	s.mu.Unlock()
+}
+
+// Observe records one resolved activation: its latency in nanoseconds and
+// whether it missed its deadline. It slides the scope's (m,k) window and
+// returns the resulting burn state (StateOK when the scope has no SLO).
+func (sc *Scope) Observe(latencyNS float64, miss bool) BurnState {
+	sc.set.mu.Lock()
+	defer sc.set.mu.Unlock()
+	sc.lat.Observe(latencyNS)
+	if sc.slo != nil {
+		return sc.slo.Record(miss)
+	}
+	return StateOK
+}
+
+// Record slides the (m,k) window without a latency sample, for resolutions
+// that produced no measurable latency (propagated-in activations that never
+// started at this scope).
+func (sc *Scope) Record(miss bool) BurnState {
+	sc.set.mu.Lock()
+	defer sc.set.mu.Unlock()
+	if sc.slo != nil {
+		return sc.slo.Record(miss)
+	}
+	return StateOK
+}
+
+// ObserveDrain records one event-ring drain latency (runtime-hook feed),
+// kept in a separate sketch from the verdict latencies.
+func (sc *Scope) ObserveDrain(ns float64) {
+	sc.set.mu.Lock()
+	defer sc.set.mu.Unlock()
+	if sc.drain == nil {
+		sc.drain = NewSketch(sc.set.alpha)
+	}
+	sc.drain.Observe(ns)
+}
+
+// Quantile returns the scope's live latency quantile estimate.
+func (sc *Scope) Quantile(q float64) float64 {
+	sc.set.mu.Lock()
+	defer sc.set.mu.Unlock()
+	return sc.lat.Quantile(q)
+}
+
+// Count returns how many latencies the scope has observed.
+func (sc *Scope) Count() uint64 {
+	sc.set.mu.Lock()
+	defer sc.set.mu.Unlock()
+	return sc.lat.Count()
+}
+
+// State returns the scope's current burn state (StateOK without an SLO).
+func (sc *Scope) State() BurnState {
+	sc.set.mu.Lock()
+	defer sc.set.mu.Unlock()
+	if sc.slo == nil {
+		return StateOK
+	}
+	return sc.slo.State()
+}
+
+// QuantileSnapshot is the /health view of one sketch.
+type QuantileSnapshot struct {
+	Count   uint64  `json:"count"`
+	Buckets int     `json:"buckets"`
+	P50NS   float64 `json:"p50_ns"`
+	P95NS   float64 `json:"p95_ns"`
+	P99NS   float64 `json:"p99_ns"`
+	MaxNS   float64 `json:"max_ns"`
+}
+
+func snapshotSketch(sk *Sketch) QuantileSnapshot {
+	qs := QuantileSnapshot{Count: sk.Count(), Buckets: sk.Buckets()}
+	if sk.Count() > 0 {
+		qs.P50NS = sk.Quantile(0.5)
+		qs.P95NS = sk.Quantile(0.95)
+		qs.P99NS = sk.Quantile(0.99)
+		qs.MaxNS = sk.Max()
+	}
+	return qs
+}
+
+// ScopeHealth is the /health view of one scope.
+type ScopeHealth struct {
+	Latency QuantileSnapshot  `json:"latency"`
+	Drain   *QuantileSnapshot `json:"drain,omitempty"`
+	SLO     *SLOSnapshot      `json:"slo,omitempty"`
+}
+
+// Health is the full /health JSON document.
+type Health struct {
+	Status   string                 `json:"status"` // worst burn state across all SLOs
+	Timebase string                 `json:"timebase,omitempty"`
+	Alpha    float64                `json:"sketch_alpha"`
+	Segments map[string]ScopeHealth `json:"segments"`
+	Chains   map[string]ScopeHealth `json:"chains"`
+	Drops    map[string]uint64      `json:"drops,omitempty"`
+}
+
+// Health captures a point-in-time snapshot of the whole set. Map keys are
+// scope names; encoding/json renders maps with sorted keys, so the
+// document is deterministic.
+func (s *Set) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{
+		Status:   s.worstLocked().String(),
+		Timebase: s.timebase,
+		Alpha:    s.alpha,
+		Segments: map[string]ScopeHealth{},
+		Chains:   map[string]ScopeHealth{},
+	}
+	for _, key := range s.names {
+		sc := s.scopes[key]
+		sh := ScopeHealth{Latency: snapshotSketch(sc.lat)}
+		if sc.drain != nil {
+			d := snapshotSketch(sc.drain)
+			sh.Drain = &d
+		}
+		if sc.slo != nil {
+			ss := sc.slo.Snapshot()
+			sh.SLO = &ss
+		}
+		if sc.kind == "chain" {
+			h.Chains[sc.name] = sh
+		} else {
+			h.Segments[sc.name] = sh
+		}
+	}
+	if len(s.drops) > 0 {
+		h.Drops = map[string]uint64{}
+		for _, d := range s.drops {
+			h.Drops[d.name] += d.fn()
+		}
+	}
+	return h
+}
+
+// worstLocked returns the max burn state across all SLO-tracked scopes.
+func (s *Set) worstLocked() BurnState {
+	worst := StateOK
+	for _, sc := range s.scopes {
+		if sc.slo == nil {
+			continue
+		}
+		if st := sc.slo.State(); st > worst {
+			worst = st
+		}
+	}
+	return worst
+}
+
+// Status returns the overall burn state (the /health "status" field).
+func (s *Set) Status() BurnState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.worstLocked()
+}
+
+// Handler returns an http.Handler serving the Health document as JSON, for
+// mounting at /health. Degraded states still answer 200 — the document is
+// the signal; 5xx is reserved for a monitor that cannot answer at all.
+func (s *Set) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Health())
+	})
+}
+
+var liveQuantiles = []struct {
+	label string
+	q     float64
+}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}, {"max", 1}}
+
+// PublishMetrics mirrors the set into registry gauges, so the live
+// quantiles and SLO burn state ride the existing Prometheus surface
+// (/metrics and the -metrics-out snapshot). Values are nanoseconds
+// (chainmon_live_*_ns), counts, or enumerated burn states
+// (0=ok 1=warning 2=burning 3=violated); burn rate is exported in ppm of
+// the window's miss budget, -1 for a violated hard (m=0) constraint.
+//
+// Register it on a Sink with AddExportHook so every export — live scrape
+// or end-of-run snapshot — republishes first and the two always agree.
+func (s *Set) PublishMetrics(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	keys := append([]string(nil), s.names...)
+	sort.Strings(keys)
+	for _, key := range keys {
+		sc := s.scopes[key]
+		labels := telemetry.L("scope", sc.name, "kind", sc.kind)
+		publishSketch(reg, "chainmon_live_latency", "Live streaming-sketch latency quantile for a monitored scope, in nanoseconds.", sc.lat, labels)
+		if sc.drain != nil {
+			publishSketch(reg, "chainmon_live_drain", "Live streaming-sketch event-ring drain latency for a monitored scope, in nanoseconds.", sc.drain, labels)
+		}
+		if sc.slo != nil {
+			snap := sc.slo.Snapshot()
+			reg.Gauge("chainmon_live_slo_window_misses",
+				"Deadline misses in the current (m,k) window.", labels...).Set(int64(snap.WindowMisses))
+			reg.Gauge("chainmon_live_slo_budget",
+				"Misses the current (m,k) window still tolerates.", labels...).Set(int64(snap.Budget))
+			reg.Gauge("chainmon_live_slo_state",
+				"Burn state of the (m,k) SLO: 0=ok 1=warning 2=burning 3=violated.", labels...).Set(int64(sc.slo.State()))
+			burnPPM := int64(-1)
+			if snap.BurnRate >= 0 {
+				burnPPM = int64(snap.BurnRate * 1e6)
+			}
+			reg.Gauge("chainmon_live_slo_burn_ppm",
+				"Fraction of the (m,k) miss budget consumed by the current window, in ppm (-1: hard constraint violated).", labels...).Set(burnPPM)
+		}
+	}
+	reg.Gauge("chainmon_live_status",
+		"Overall health: worst (m,k) burn state across all scopes (0=ok 1=warning 2=burning 3=violated).").Set(int64(s.worstLocked()))
+}
+
+func publishSketch(reg *telemetry.Registry, prefix, help string, sk *Sketch, labels []telemetry.Label) {
+	for _, lq := range liveQuantiles {
+		v := sk.Quantile(lq.q)
+		if math.IsNaN(v) {
+			v = 0
+		}
+		ql := append(append([]telemetry.Label(nil), labels...), telemetry.Label{Name: "q", Value: lq.label})
+		reg.Gauge(prefix+"_ns", help, ql...).Set(int64(v))
+	}
+	reg.Gauge(prefix+"_count", "Observations folded into the live sketch.", labels...).Set(int64(sk.Count()))
+	reg.Gauge(prefix+"_sketch_buckets", "Live buckets in the sketch (memory footprint).", labels...).Set(int64(sk.Buckets()))
+}

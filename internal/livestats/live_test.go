@@ -1,0 +1,159 @@
+package livestats
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"chainmon/internal/telemetry"
+	"chainmon/internal/weaklyhard"
+)
+
+func TestSetHealthDocument(t *testing.T) {
+	set := NewSet(0)
+	set.SetTimebase("sim")
+	seg := set.Segment("rt/ground", weaklyhard.Constraint{M: 1, K: 5})
+	chain := set.Chain("rt", weaklyhard.Constraint{M: 2, K: 10})
+	free := set.Segment("rt/objects", weaklyhard.Constraint{}) // no SLO
+	set.AddDropSource("stream", func() uint64 { return 7 })
+
+	seg.Observe(1e6, false)
+	seg.Observe(2e6, true)
+	seg.ObserveDrain(500)
+	chain.Observe(3e6, false)
+	free.Observe(4e6, false)
+
+	h := set.Health()
+	if h.Status != "burning" {
+		t.Errorf("status = %q, want burning (1 miss vs m=1)", h.Status)
+	}
+	if h.Timebase != "sim" {
+		t.Errorf("timebase = %q", h.Timebase)
+	}
+	sg, ok := h.Segments["rt/ground"]
+	if !ok {
+		t.Fatal("rt/ground missing from health")
+	}
+	if sg.SLO == nil || sg.SLO.WindowMisses != 1 || sg.SLO.Budget != 0 || sg.SLO.State != "burning" {
+		t.Errorf("rt/ground SLO = %+v", sg.SLO)
+	}
+	if sg.Latency.Count != 2 {
+		t.Errorf("rt/ground latency count = %d", sg.Latency.Count)
+	}
+	if sg.Drain == nil || sg.Drain.Count != 1 {
+		t.Errorf("rt/ground drain = %+v", sg.Drain)
+	}
+	if so := h.Segments["rt/objects"]; so.SLO != nil {
+		t.Error("unconstrained segment should have no SLO")
+	}
+	ch, ok := h.Chains["rt"]
+	if !ok {
+		t.Fatal("chain rt missing from health")
+	}
+	if ch.SLO == nil || ch.SLO.M != 2 || ch.SLO.K != 10 {
+		t.Errorf("chain SLO = %+v", ch.SLO)
+	}
+	if h.Drops["stream"] != 7 {
+		t.Errorf("drops = %v", h.Drops)
+	}
+}
+
+func TestSetHandlerServesJSON(t *testing.T) {
+	set := NewSet(0)
+	set.SetTimebase("wall")
+	set.Segment("a", weaklyhard.Constraint{M: 1, K: 3}).Observe(1e6, false)
+
+	rec := httptest.NewRecorder()
+	set.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/health", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var h Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatalf("health endpoint did not serve valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if h.Status != "ok" || h.Timebase != "wall" {
+		t.Errorf("decoded health = %+v", h)
+	}
+	if h.Segments["a"].Latency.Count != 1 {
+		t.Errorf("segment a = %+v", h.Segments["a"])
+	}
+}
+
+func TestSetPublishMetrics(t *testing.T) {
+	set := NewSet(0)
+	seg := set.Segment("rt/ground", weaklyhard.Constraint{M: 1, K: 5})
+	for i := 0; i < 99; i++ {
+		seg.Observe(1e6, false)
+	}
+	seg.Observe(5e7, true)
+
+	reg := telemetry.NewRegistry()
+	set.PublishMetrics(reg)
+	var buf strings.Builder
+	if err := (&telemetry.Sink{Reg: reg}).WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`chainmon_live_latency_ns{kind="segment",q="p50",scope="rt/ground"}`,
+		`chainmon_live_latency_ns{kind="segment",q="max",scope="rt/ground"} 50000000`,
+		`chainmon_live_latency_count{kind="segment",scope="rt/ground"} 100`,
+		`chainmon_live_latency_sketch_buckets{kind="segment",scope="rt/ground"}`,
+		`chainmon_live_slo_window_misses{kind="segment",scope="rt/ground"} 1`,
+		`chainmon_live_slo_budget{kind="segment",scope="rt/ground"} 0`,
+		`chainmon_live_slo_state{kind="segment",scope="rt/ground"} 2`,
+		`chainmon_live_slo_burn_ppm{kind="segment",scope="rt/ground"} 1000000`,
+		`chainmon_live_status 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestSetConcurrentFeedAndScrape(t *testing.T) {
+	// The hot path (Observe) and the scrape path (Health/PublishMetrics)
+	// run on different goroutines in -realtime; this is the -race witness.
+	set := NewSet(0)
+	seg := set.Segment("s", weaklyhard.Constraint{M: 1, K: 10})
+	reg := telemetry.NewRegistry()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			seg.Observe(float64(i)*1e3, i%7 == 0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			set.Health()
+			set.PublishMetrics(reg)
+		}
+	}()
+	wg.Wait()
+	if seg.Count() != 5000 {
+		t.Errorf("count = %d", seg.Count())
+	}
+}
+
+func TestSetScopeReuse(t *testing.T) {
+	set := NewSet(0)
+	a := set.Segment("s", weaklyhard.Constraint{})
+	b := set.Segment("s", weaklyhard.Constraint{M: 1, K: 2})
+	if a != b {
+		t.Fatal("same segment name must return the same scope")
+	}
+	// The later, valid constraint upgrades the quantiles-only scope.
+	if a.State() != StateOK {
+		t.Errorf("state = %v", a.State())
+	}
+	a.Observe(1, true)
+	if a.State() != StateBurning {
+		t.Errorf("upgraded scope did not track the SLO: %v", a.State())
+	}
+}

@@ -1,0 +1,351 @@
+package livestats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"chainmon/internal/stats"
+)
+
+var testQuantiles = []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+
+// checkAgainstExact asserts the documented bound for every test quantile:
+// for non-negative data the sketch estimate must fall inside
+// [(1−α)·x_⌊q(n−1)⌋, (1+α)·x_⌈q(n−1)⌉] where x_i are the exact order
+// statistics — the bracket that also contains stats.Sample's type-7
+// interpolated quantile.
+func checkAgainstExact(t *testing.T, sk *Sketch, values []float64, label string) {
+	t.Helper()
+	if len(values) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	alpha := sk.Alpha()
+	for _, q := range testQuantiles {
+		got := sk.Quantile(q)
+		pos := q * float64(len(sorted)-1)
+		lo := sorted[int(math.Floor(pos))]
+		hi := sorted[int(math.Ceil(pos))]
+		lob := (1 - alpha) * lo
+		hib := (1 + alpha) * hi
+		if got < lob || got > hib {
+			t.Errorf("%s: q=%g estimate %g outside bound [%g, %g] (exact order stats %g..%g)",
+				label, q, got, lob, hib, lo, hi)
+		}
+	}
+}
+
+// The acceptance-criteria property: on random and adversarial streams the
+// sketch quantiles stay within the advertised rank-error bound of the exact
+// stats.Sample order statistics.
+func TestSketchQuantileBoundRandomStreams(t *testing.T) {
+	streams := map[string]func(r *rand.Rand, n int) []float64{
+		"uniform": func(r *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = r.Float64() * 1e9
+			}
+			return out
+		},
+		"lognormal-latency": func(r *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = math.Exp(r.NormFloat64()*2 + 15) // ~µs..s in ns
+			}
+			return out
+		},
+		"heavy-tail": func(r *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = 1e6 / math.Pow(r.Float64()+1e-9, 1.5)
+			}
+			return out
+		},
+		"bimodal": func(r *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				if r.Intn(2) == 0 {
+					out[i] = 1e6 + r.Float64()*1e4
+				} else {
+					out[i] = 5e7 + r.Float64()*1e6
+				}
+			}
+			return out
+		},
+	}
+	for name, gen := range streams {
+		for _, n := range []int{1, 2, 3, 10, 100, 5000} {
+			r := rand.New(rand.NewSource(int64(n) * 7919))
+			values := gen(r, n)
+			sk := NewSketch(0)
+			for _, v := range values {
+				sk.Observe(v)
+			}
+			checkAgainstExact(t, sk, values, name)
+		}
+	}
+}
+
+func TestSketchQuantileBoundAdversarialStreams(t *testing.T) {
+	streams := map[string][]float64{
+		"constant":         repeat(42e6, 1000),
+		"two-values":       append(repeat(1e6, 999), 1e9),
+		"with-zeros":       append(repeat(0, 500), seq(1, 500)...),
+		"ascending":        seq(1, 4000),
+		"descending":       reverse(seq(1, 4000)),
+		"powers-of-gamma":  powers(1.0202020202, 500), // lands near bucket edges
+		"tiny-and-huge":    {1e-9, 1e-3, 1, 1e3, 1e9, 1e15},
+		"single":           {123456},
+		"near-dup-extreme": append(repeat(9.999e8, 10), repeat(1.0001e9, 10)...),
+	}
+	for name, values := range streams {
+		sk := NewSketch(0)
+		for _, v := range values {
+			sk.Observe(v)
+		}
+		checkAgainstExact(t, sk, values, name)
+	}
+}
+
+func TestSketchNegativeValues(t *testing.T) {
+	// Latencies are non-negative, but the sketch must stay sane on signed
+	// data (e.g. clock-offset series): relative bound on |x|.
+	values := []float64{-1e9, -5e8, -1e6, 0, 1e6, 5e8, 1e9}
+	sk := NewSketch(0)
+	for _, v := range values {
+		sk.Observe(v)
+	}
+	for _, q := range testQuantiles {
+		got := sk.Quantile(q)
+		pos := q * float64(len(values)-1)
+		lo := values[int(math.Floor(pos))]
+		hi := values[int(math.Ceil(pos))]
+		lob := lo - sk.Alpha()*math.Abs(lo)
+		hib := hi + sk.Alpha()*math.Abs(hi)
+		if got < lob || got > hib {
+			t.Errorf("q=%g estimate %g outside [%g, %g]", q, got, lob, hib)
+		}
+	}
+	if got := sk.Min(); got != -1e9 {
+		t.Errorf("Min = %g, want -1e9", got)
+	}
+	if got := sk.Max(); got != 1e9 {
+		t.Errorf("Max = %g, want 1e9", got)
+	}
+}
+
+// The merge property: merge(a, b) must be identical (not just within bound)
+// to the sketch of the concatenated stream, since bucket assignment is
+// order-independent.
+func TestSketchMergeEqualsSingleStream(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		na, nb := r.Intn(2000), r.Intn(2000)
+		a, b := NewSketch(0), NewSketch(0)
+		single := NewSketch(0)
+		var all []float64
+		for i := 0; i < na; i++ {
+			v := math.Exp(r.NormFloat64()*3 + 12)
+			a.Observe(v)
+			single.Observe(v)
+			all = append(all, v)
+		}
+		for i := 0; i < nb; i++ {
+			v := math.Exp(r.NormFloat64()*3 + 12)
+			b.Observe(v)
+			single.Observe(v)
+			all = append(all, v)
+		}
+		a.Merge(b)
+		if a.Count() != single.Count() {
+			t.Fatalf("merged count %d != single-stream count %d", a.Count(), single.Count())
+		}
+		if a.Min() != single.Min() || a.Max() != single.Max() {
+			t.Fatalf("merged extremes (%g, %g) != single (%g, %g)", a.Min(), a.Max(), single.Min(), single.Max())
+		}
+		for _, q := range testQuantiles {
+			if got, want := a.Quantile(q), single.Quantile(q); got != want {
+				t.Fatalf("trial %d q=%g: merged %g != single-stream %g", trial, q, got, want)
+			}
+		}
+		// And the merged sketch still satisfies the bound vs exact.
+		checkAgainstExact(t, a, all, "merged")
+	}
+}
+
+func TestSketchMergeManyShards(t *testing.T) {
+	// Fleet-style: many per-vehicle sketches folded into one, any order.
+	r := rand.New(rand.NewSource(3))
+	shards := make([]*Sketch, 16)
+	single := NewSketch(0)
+	var all []float64
+	for i := range shards {
+		shards[i] = NewSketch(0)
+		for j := 0; j < 200; j++ {
+			v := r.Float64() * 1e8
+			shards[i].Observe(v)
+			single.Observe(v)
+			all = append(all, v)
+		}
+	}
+	r.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+	merged := NewSketch(0)
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	for _, q := range testQuantiles {
+		if got, want := merged.Quantile(q), single.Quantile(q); got != want {
+			t.Fatalf("q=%g: merged %g != single %g", q, got, want)
+		}
+	}
+	checkAgainstExact(t, merged, all, "fleet-merge")
+}
+
+func TestSketchMergeAlphaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging sketches with different α should panic")
+		}
+	}()
+	a, b := NewSketch(0.01), NewSketch(0.02)
+	b.Observe(1)
+	a.Merge(b)
+}
+
+func TestSketchAgainstSampleTypeSevenQuantile(t *testing.T) {
+	// Direct comparison against the estimator the rest of the repo uses:
+	// |sketch − sample| ≤ α·sample never holds exactly at interpolation
+	// points, so assert the bracket derived in the Quantile doc comment.
+	r := rand.New(rand.NewSource(2024))
+	values := make([]float64, 977)
+	for i := range values {
+		values[i] = math.Abs(r.NormFloat64()) * 1e7
+	}
+	sample := stats.FromFloats(values)
+	sk := NewSketch(0)
+	for _, v := range values {
+		sk.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := sample.Quantile(q)
+		got := sk.Quantile(q)
+		// The interpolated exact value and the sketch estimate target
+		// adjacent order statistics; with α=1% and this sample size they
+		// must agree to within ~2α of each other.
+		if math.Abs(got-exact) > 2*sk.Alpha()*exact {
+			t.Errorf("q=%g: sketch %g vs sample %g differ by more than 2α", q, got, exact)
+		}
+	}
+}
+
+func TestSketchEmptyAndInvalid(t *testing.T) {
+	sk := NewSketch(0)
+	if !math.IsNaN(sk.Quantile(0.5)) || !math.IsNaN(sk.Min()) || !math.IsNaN(sk.Max()) {
+		t.Error("empty sketch should return NaN for quantiles and extremes")
+	}
+	sk.Observe(math.NaN())
+	sk.Observe(math.Inf(1))
+	sk.Observe(math.Inf(-1))
+	if sk.Count() != 0 {
+		t.Errorf("invalid observations must not count: got %d", sk.Count())
+	}
+	if sk.Invalid() != 3 {
+		t.Errorf("Invalid = %d, want 3", sk.Invalid())
+	}
+	sk.Observe(7)
+	if got := sk.Quantile(0.5); got != 7 {
+		t.Errorf("single value median = %g, want exactly 7 (min/max clamp)", got)
+	}
+}
+
+func TestSketchBucketCapCollapse(t *testing.T) {
+	sk := NewSketch(0)
+	sk.maxBkts = 8
+	// 32 values in distinct buckets (powers of gamma^2 are 2 buckets apart).
+	g2 := sk.gamma * sk.gamma
+	v := 1.0
+	var values []float64
+	for i := 0; i < 32; i++ {
+		values = append(values, v)
+		sk.Observe(v)
+		v *= g2
+	}
+	if sk.Buckets() > 8 {
+		t.Errorf("bucket cap not enforced: %d buckets", sk.Buckets())
+	}
+	if sk.Collapsed() == 0 {
+		t.Error("expected collapsed observations after exceeding the cap")
+	}
+	// High quantiles sit above the collapse point and keep the bound.
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.9, 0.95, 0.99, 1} {
+		got := sk.Quantile(q)
+		pos := q * float64(len(sorted)-1)
+		lo := (1 - sk.Alpha()) * sorted[int(math.Floor(pos))]
+		hi := (1 + sk.Alpha()) * sorted[int(math.Ceil(pos))]
+		if got < lo || got > hi {
+			t.Errorf("post-collapse q=%g estimate %g outside [%g, %g]", q, got, lo, hi)
+		}
+	}
+	if sk.Count() != 32 {
+		t.Errorf("collapse must not lose counts: %d", sk.Count())
+	}
+}
+
+func TestSketchResetAndDuration(t *testing.T) {
+	sk := NewSketch(0)
+	sk.ObserveDuration(10 * time.Millisecond)
+	if got := sk.Quantile(0.5); got != float64(10*time.Millisecond) {
+		t.Errorf("single duration median = %g", got)
+	}
+	if sk.Sum() != float64(10*time.Millisecond) {
+		t.Errorf("Sum = %g", sk.Sum())
+	}
+	sk.Reset()
+	if sk.Count() != 0 || sk.Buckets() != 0 || !math.IsNaN(sk.Quantile(0.5)) {
+		t.Error("Reset did not empty the sketch")
+	}
+	sk.Observe(3)
+	if got := sk.Quantile(1); got != 3 {
+		t.Errorf("post-reset max = %g, want 3", got)
+	}
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func seq(lo, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(lo + i)
+	}
+	return out
+}
+
+func reverse(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[len(vs)-1-i] = v
+	}
+	return out
+}
+
+func powers(base float64, n int) []float64 {
+	out := make([]float64, n)
+	v := 1.0
+	for i := range out {
+		out[i] = v
+		v *= base
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package livestats
+
+import (
+	"math"
+
+	"chainmon/internal/weaklyhard"
+)
+
+// BurnState classifies how much of a weakly-hard (m,k) miss budget the
+// current window has consumed. It is ordered by severity so the worst state
+// across chains is a plain max.
+type BurnState int
+
+const (
+	// StateOK: the window has consumed less than half its miss budget.
+	StateOK BurnState = iota
+	// StateWarning: at least half the budget is consumed but misses remain
+	// tolerable (m > 0 and m/2 ≤ misses < m... see thresholds below).
+	StateWarning
+	// StateBurning: the budget is fully consumed — one more miss in this
+	// window violates the constraint.
+	StateBurning
+	// StateViolated: the current window already exceeds m misses.
+	StateViolated
+)
+
+func (s BurnState) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateWarning:
+		return "warning"
+	case StateBurning:
+		return "burning"
+	case StateViolated:
+		return "violated"
+	default:
+		return "unknown"
+	}
+}
+
+// SLO tracks a weakly-hard (m,k) constraint as a live service-level
+// objective: it slides the window online (wrapping weaklyhard.Counter) and
+// classifies the burn state from the fraction of the miss budget the
+// current window has consumed.
+//
+// Burn semantics: with budget m > 0, burn = misses/m. State is ok below
+// 1/2, warning in [1/2, 1), burning at exactly 1 (the next miss violates),
+// violated above 1. A hard constraint (m = 0) has no budget to burn: any
+// miss in the window is an immediate violation, and an empty window is ok.
+type SLO struct {
+	ctr *weaklyhard.Counter
+}
+
+// NewSLO creates an SLO tracker for the constraint (panics if invalid, like
+// weaklyhard.NewCounter).
+func NewSLO(c weaklyhard.Constraint) *SLO {
+	return &SLO{ctr: weaklyhard.NewCounter(c)}
+}
+
+// Record registers the outcome of the next execution and returns the
+// resulting burn state.
+func (s *SLO) Record(miss bool) BurnState {
+	s.ctr.Record(miss)
+	return s.State()
+}
+
+// Counter exposes the underlying sliding-window counter.
+func (s *SLO) Counter() *weaklyhard.Counter { return s.ctr }
+
+// State classifies the current window.
+func (s *SLO) State() BurnState {
+	c := s.ctr.Constraint()
+	misses := s.ctr.Misses()
+	switch {
+	case misses > c.M:
+		return StateViolated
+	case c.M == 0:
+		return StateOK // misses == 0 here; any miss hit the case above
+	case misses == c.M:
+		return StateBurning
+	case 2*misses >= c.M:
+		return StateWarning
+	default:
+		return StateOK
+	}
+}
+
+// BurnRate returns misses/m for the current window — the fraction of the
+// miss budget consumed. A hard constraint (m = 0) reports 0 while clean and
+// +Inf once violated.
+func (s *SLO) BurnRate() float64 {
+	c := s.ctr.Constraint()
+	misses := s.ctr.Misses()
+	if c.M == 0 {
+		if misses > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return float64(misses) / float64(c.M)
+}
+
+// SLOSnapshot is a point-in-time view of an SLO, shaped for the /health
+// JSON document.
+type SLOSnapshot struct {
+	M            int     `json:"m"`
+	K            int     `json:"k"`
+	WindowMisses int     `json:"window_misses"`
+	Budget       int     `json:"budget"`
+	BurnRate     float64 `json:"burn_rate"`
+	State        string  `json:"state"`
+	Executions   uint64  `json:"executions"`
+	TotalMisses  uint64  `json:"total_misses"`
+	Violations   uint64  `json:"violations"`
+}
+
+// Snapshot captures the current window and lifetime totals.
+func (s *SLO) Snapshot() SLOSnapshot {
+	c := s.ctr.Constraint()
+	exec, misses, viol := s.ctr.Totals()
+	br := s.BurnRate()
+	if math.IsInf(br, 1) {
+		br = -1 // JSON has no Inf; -1 marks "hard constraint violated"
+	}
+	return SLOSnapshot{
+		M:            c.M,
+		K:            c.K,
+		WindowMisses: s.ctr.Misses(),
+		Budget:       s.ctr.Budget(),
+		BurnRate:     br,
+		State:        s.State().String(),
+		Executions:   exec,
+		TotalMisses:  misses,
+		Violations:   viol,
+	}
+}

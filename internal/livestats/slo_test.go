@@ -1,0 +1,116 @@
+package livestats
+
+import (
+	"math"
+	"testing"
+
+	"chainmon/internal/weaklyhard"
+)
+
+func TestSLOBurnStates(t *testing.T) {
+	// (2,6): ok at 0 misses, warning at 1 (≥ half the budget), burning at
+	// exactly 2, violated at 3+.
+	s := NewSLO(weaklyhard.Constraint{M: 2, K: 6})
+	if got := s.State(); got != StateOK {
+		t.Errorf("empty window: %v, want ok", got)
+	}
+	if got := s.Record(false); got != StateOK {
+		t.Errorf("after hit: %v, want ok", got)
+	}
+	if got := s.Record(true); got != StateWarning {
+		t.Errorf("after 1 miss: %v, want warning", got)
+	}
+	if br := s.BurnRate(); br != 0.5 {
+		t.Errorf("burn rate = %g, want 0.5", br)
+	}
+	if got := s.Record(true); got != StateBurning {
+		t.Errorf("after 2 misses: %v, want burning", got)
+	}
+	if br := s.BurnRate(); br != 1 {
+		t.Errorf("burn rate = %g, want 1", br)
+	}
+	if got := s.Record(true); got != StateViolated {
+		t.Errorf("after 3 misses: %v, want violated", got)
+	}
+	if br := s.BurnRate(); br != 1.5 {
+		t.Errorf("burn rate = %g, want 1.5", br)
+	}
+	// Slide the window clean again: 6 hits push all misses out.
+	for i := 0; i < 6; i++ {
+		s.Record(false)
+	}
+	if got := s.State(); got != StateOK {
+		t.Errorf("after clean window: %v, want ok", got)
+	}
+	exec, misses, viol := s.Counter().Totals()
+	if exec != 10 || misses != 3 || viol == 0 {
+		t.Errorf("totals = (%d, %d, %d)", exec, misses, viol)
+	}
+}
+
+func TestSLOHardConstraint(t *testing.T) {
+	// m=0: no budget to burn — clean is ok, any miss is a violation.
+	s := NewSLO(weaklyhard.Constraint{M: 0, K: 4})
+	for i := 0; i < 8; i++ {
+		if got := s.Record(false); got != StateOK {
+			t.Fatalf("clean hard constraint: %v, want ok", got)
+		}
+	}
+	if br := s.BurnRate(); br != 0 {
+		t.Errorf("clean hard burn rate = %g, want 0", br)
+	}
+	if got := s.Record(true); got != StateViolated {
+		t.Errorf("hard constraint miss: %v, want violated", got)
+	}
+	if br := s.BurnRate(); !math.IsInf(br, 1) {
+		t.Errorf("violated hard burn rate = %g, want +Inf", br)
+	}
+	snap := s.Snapshot()
+	if snap.BurnRate != -1 {
+		t.Errorf("snapshot burn rate = %g, want -1 (Inf marker)", snap.BurnRate)
+	}
+	if snap.State != "violated" {
+		t.Errorf("snapshot state = %q", snap.State)
+	}
+}
+
+func TestSLOStateOrderingAndStrings(t *testing.T) {
+	if !(StateOK < StateWarning && StateWarning < StateBurning && StateBurning < StateViolated) {
+		t.Fatal("burn states must be ordered by severity")
+	}
+	want := map[BurnState]string{
+		StateOK: "ok", StateWarning: "warning", StateBurning: "burning", StateViolated: "violated",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), s)
+		}
+	}
+}
+
+func TestSLOSnapshotMatchesCounter(t *testing.T) {
+	// The snapshot must reflect exactly the weaklyhard.Counter state — the
+	// same algebra the monitor's exception handlers see.
+	c := weaklyhard.Constraint{M: 1, K: 5}
+	s := NewSLO(c)
+	ref := weaklyhard.NewCounter(c)
+	pattern := []bool{false, true, false, false, true, true, false, false, false, false, true}
+	for _, miss := range pattern {
+		s.Record(miss)
+		ref.Record(miss)
+		snap := s.Snapshot()
+		if snap.WindowMisses != ref.Misses() || snap.Budget != ref.Budget() {
+			t.Fatalf("snapshot (%d misses, %d budget) != counter (%d, %d)",
+				snap.WindowMisses, snap.Budget, ref.Misses(), ref.Budget())
+		}
+		wantViolated := ref.Violated()
+		if (snap.State == "violated") != wantViolated {
+			t.Fatalf("state %q vs counter violated=%v", snap.State, wantViolated)
+		}
+		e1, m1, v1 := ref.Totals()
+		if snap.Executions != e1 || snap.TotalMisses != m1 || snap.Violations != v1 {
+			t.Fatalf("totals mismatch: snapshot (%d,%d,%d) vs (%d,%d,%d)",
+				snap.Executions, snap.TotalMisses, snap.Violations, e1, m1, v1)
+		}
+	}
+}

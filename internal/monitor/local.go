@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chainmon/internal/dds"
+	"chainmon/internal/livestats"
 	rt "chainmon/internal/runtime"
 	"chainmon/internal/runtime/simtime"
 	"chainmon/internal/sim"
@@ -50,7 +51,8 @@ type LocalMonitor struct {
 	overheads  *OverheadStats
 	skipTables map[*dds.Publisher]map[uint64]bool
 
-	tel          *monTel // nil when uninstrumented
+	tel          *monTel        // nil when uninstrumented
+	live         *livestats.Set // nil when no live health surface is attached
 	lastScanCost sim.Duration
 }
 
@@ -272,6 +274,9 @@ func (m *LocalMonitor) AddSegment(cfg SegmentConfig) *LocalSegment {
 	})
 	if m.tel != nil {
 		s.tel = newSegTel(m.tel.sink, m.tel.track, m.tel.postTrack(s.cfg.Name), s.cfg.Name)
+	}
+	if m.live != nil {
+		s.attachLive(m.live)
 	}
 	m.segments = append(m.segments, s)
 	return s

@@ -112,6 +112,23 @@ type Resolution struct {
 	DetectionLatency sim.Duration
 }
 
+// LatencySample returns the resolution's monitored-latency measurement and
+// whether it contributes one. This is THE inclusion rule shared by the
+// offline SegmentStats sample and the live sketch, so the two always
+// summarize the same stream: propagated-in activations never started and
+// contribute nothing; exception cases contribute their handler-completion
+// latency only when positive; OK resolutions always contribute (a same-
+// timestamp end event is a legitimate zero).
+func (r Resolution) LatencySample() (sim.Duration, bool) {
+	if r.Start == 0 && r.Status != StatusOK {
+		return 0, false
+	}
+	if r.Latency > 0 || r.Status == StatusOK {
+		return r.Latency, true
+	}
+	return 0, false
+}
+
 // SegmentConfig parameterizes one monitored segment.
 type SegmentConfig struct {
 	// Name identifies the segment (e.g. "s1/fusion").

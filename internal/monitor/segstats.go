@@ -33,12 +33,8 @@ func NewSegmentStats(name string) *SegmentStats {
 func (s *SegmentStats) record(r Resolution) {
 	s.resolutions = append(s.resolutions, r)
 	s.counts[r.Status]++
-	if r.Start != 0 || r.Status == StatusOK {
-		// Propagated-in activations never started; they contribute no
-		// latency sample.
-		if r.Latency > 0 || r.Status == StatusOK {
-			s.latency.AddDuration(r.Latency)
-		}
+	if lat, ok := r.LatencySample(); ok {
+		s.latency.AddDuration(lat)
 	}
 	if r.Exception {
 		if r.Start != 0 {

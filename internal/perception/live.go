@@ -1,0 +1,39 @@
+package perception
+
+import (
+	"chainmon/internal/livestats"
+	"chainmon/internal/monitor"
+)
+
+// AttachLive wires the whole perception system to a live health set: every
+// local and remote segment gets a streaming latency sketch plus an (m,k)
+// SLO tracker, and both chains get chain-level (m,k) burn tracking. Call it
+// after New and before Run, like AttachTelemetry. A nil set leaves the
+// system dark.
+//
+// The set summarizes exactly the same in-order resolution stream that
+// feeds SegmentStats (same LatencySample inclusion rule), so the sketch
+// quantiles agree with the exact offline quantiles within the sketch's
+// documented error bound — the sim-side half of the cross-timebase
+// agreement contract.
+func AttachLive(s *System, set *livestats.Set) {
+	if set == nil {
+		return
+	}
+	set.SetTimebase("sim")
+	for _, lm := range []*monitor.LocalMonitor{s.MonECU1, s.MonECU2} {
+		if lm != nil {
+			lm.AttachLive(set)
+		}
+	}
+	for _, rm := range []*monitor.RemoteMonitor{s.RemFront, s.RemRear, s.RemFused} {
+		if rm != nil {
+			monitor.AttachLiveSegment(set, rm)
+		}
+	}
+	for _, c := range []*monitor.Chain{s.ChainFront, s.ChainRear} {
+		if c != nil {
+			c.AttachLive(set)
+		}
+	}
+}

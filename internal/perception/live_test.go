@@ -1,0 +1,157 @@
+package perception_test
+
+import (
+	"math"
+	"testing"
+
+	"chainmon/internal/livestats"
+	"chainmon/internal/monitor"
+	"chainmon/internal/perception"
+	"chainmon/internal/stats"
+	"chainmon/internal/weaklyhard"
+)
+
+// liveRun builds a full-chain monitored system with a live health set
+// attached and runs it to completion on the virtual-time kernel.
+func liveRun(t *testing.T, seed int64) (*perception.System, *livestats.Set) {
+	t.Helper()
+	cfg := perception.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Frames = 150
+	cfg.FullChain = true
+	s := perception.Build(cfg)
+	set := livestats.NewSet(0)
+	perception.AttachLive(s, set)
+	s.Run()
+	return s, set
+}
+
+// checkSketchAgainstSample asserts the tentpole acceptance criterion: the
+// live sketch quantile must fall inside the documented bracket around the
+// exact order statistics of the same verdict stream —
+// (1−α)·x_⌊q(n−1)⌋ ≤ v̂ ≤ (1+α)·x_⌈q(n−1)⌉.
+func checkSketchAgainstSample(t *testing.T, set *livestats.Set, name string, sample *stats.Sample) {
+	t.Helper()
+	scope := set.Segment(name, weaklyhard.Constraint{})
+	if got, want := scope.Count(), uint64(sample.Len()); got != want {
+		t.Errorf("%s: sketch saw %d latencies, exact sample has %d — the two summarize different streams", name, got, want)
+		return
+	}
+	if sample.Len() == 0 {
+		return
+	}
+	sorted := sample.Values()
+	alpha := set.Alpha()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := scope.Quantile(q)
+		pos := q * float64(len(sorted)-1)
+		lo := (1 - alpha) * sorted[int(math.Floor(pos))]
+		hi := (1 + alpha) * sorted[int(math.Ceil(pos))]
+		if got < lo || got > hi {
+			t.Errorf("%s: live p%g = %g outside [%g, %g] (exact = %g)",
+				name, q*100, got, lo, hi, sample.Quantile(q))
+		}
+	}
+}
+
+// TestLiveSketchAgreesWithSegmentStats pins the sim side of the agreement
+// contract: for every monitored segment of a full-chain run, the live
+// sketch p50/p95/p99 match the SegmentStats exact sample within the
+// sketch's rank-error bound.
+func TestLiveSketchAgreesWithSegmentStats(t *testing.T) {
+	s, set := liveRun(t, 42)
+	for name, st := range map[string]*monitor.SegmentStats{
+		perception.SegObjectsLocal: s.SegObjects.Stats(),
+		perception.SegGroundLocal:  s.SegGround.Stats(),
+		perception.SegFrontRemote:  s.RemFront.Stats(),
+		perception.SegRearRemote:   s.RemRear.Stats(),
+		perception.SegFusedRemote:  s.RemFused.Stats(),
+		perception.SegFusionFront:  s.FusionFront.Stats(),
+		perception.SegFusionRear:   s.FusionRear.Stats(),
+	} {
+		checkSketchAgainstSample(t, set, name, st.Latencies())
+	}
+}
+
+// TestLiveHealthMatchesCounters pins the /health (m,k) criterion on the sim
+// timebase: the health document's window state must equal the weakly-hard
+// counters the monitor itself computed, for segments and chains.
+func TestLiveHealthMatchesCounters(t *testing.T) {
+	s, set := liveRun(t, 7)
+	h := set.Health()
+
+	checkSeg := func(name string, ctr *weaklyhard.Counter) {
+		t.Helper()
+		sh, ok := h.Segments[name]
+		if !ok || sh.SLO == nil {
+			t.Errorf("%s: no SLO in health document", name)
+			return
+		}
+		if sh.SLO.WindowMisses != ctr.Misses() || sh.SLO.Budget != ctr.Budget() {
+			t.Errorf("%s: health window (%d misses, %d budget) != counter (%d, %d)",
+				name, sh.SLO.WindowMisses, sh.SLO.Budget, ctr.Misses(), ctr.Budget())
+		}
+		exec, misses, viol := ctr.Totals()
+		if sh.SLO.Executions != exec || sh.SLO.TotalMisses != misses || sh.SLO.Violations != viol {
+			t.Errorf("%s: health totals (%d,%d,%d) != counter totals (%d,%d,%d)",
+				name, sh.SLO.Executions, sh.SLO.TotalMisses, sh.SLO.Violations, exec, misses, viol)
+		}
+		if (sh.SLO.State == "violated") != ctr.Violated() {
+			t.Errorf("%s: health state %q vs counter violated=%v", name, sh.SLO.State, ctr.Violated())
+		}
+	}
+	checkSeg(perception.SegObjectsLocal, s.SegObjects.Counter())
+	checkSeg(perception.SegGroundLocal, s.SegGround.Counter())
+	checkSeg(perception.SegFrontRemote, s.RemFront.Counter())
+	checkSeg(perception.SegRearRemote, s.RemRear.Counter())
+	checkSeg(perception.SegFusedRemote, s.RemFused.Counter())
+
+	for name, c := range map[string]*monitor.Chain{
+		"front": s.ChainFront, "rear": s.ChainRear,
+	} {
+		ch, ok := h.Chains[c.Name]
+		if !ok || ch.SLO == nil {
+			t.Errorf("chain %s: missing from health document", name)
+			continue
+		}
+		ctr := c.Counter()
+		if ch.SLO.WindowMisses != ctr.Misses() || ch.SLO.Budget != ctr.Budget() {
+			t.Errorf("chain %s: health window (%d, %d) != counter (%d, %d)",
+				name, ch.SLO.WindowMisses, ch.SLO.Budget, ctr.Misses(), ctr.Budget())
+		}
+	}
+	if h.Timebase != "sim" {
+		t.Errorf("timebase = %q, want sim", h.Timebase)
+	}
+}
+
+// TestLiveDoesNotPerturb requires an instrumented run to produce exactly
+// the same verdicts as a dark one: the live set observes resolutions but
+// never advances virtual time or touches a random stream.
+func TestLiveDoesNotPerturb(t *testing.T) {
+	counts := func(attach bool) (all [][3]int) {
+		cfg := perception.DefaultConfig()
+		cfg.Seed = 9
+		cfg.Frames = 100
+		cfg.FullChain = true
+		s := perception.Build(cfg)
+		if attach {
+			perception.AttachLive(s, livestats.NewSet(0))
+		}
+		s.Run()
+		for _, st := range []*monitor.SegmentStats{
+			s.SegObjects.Stats(), s.SegGround.Stats(),
+			s.RemFront.Stats(), s.RemRear.Stats(), s.RemFused.Stats(),
+		} {
+			ok, rec, miss := st.Counts()
+			all = append(all, [3]int{ok, rec, miss})
+		}
+		return all
+	}
+	bare, live := counts(false), counts(true)
+	for i := range bare {
+		if bare[i] != live[i] {
+			t.Errorf("segment %d verdicts changed under live stats: %v vs %v", i, bare[i], live[i])
+		}
+	}
+}

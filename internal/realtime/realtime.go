@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chainmon/internal/livestats"
 	"chainmon/internal/monitor"
 	rt "chainmon/internal/runtime"
 	"chainmon/internal/runtime/walltime"
@@ -52,6 +53,12 @@ type Config struct {
 	// Seed feeds the monitor's derived RNG streams (costs are constant on
 	// the wall clock, so it only matters for future extensions).
 	Seed int64
+	// Live, when non-nil, receives the run's live health state: per-segment
+	// latency sketches and (m,k) SLO burn tracking, plus a chain-level "rt"
+	// scope driven by the ground segment (the verdict-bearing end of the
+	// shared-start pair). Safe to scrape (Health/PublishMetrics) while the
+	// run is in progress.
+	Live *livestats.Set
 }
 
 // DefaultConfig is sized for a CI smoke run: 50 frames at 20 ms ≈ one
@@ -222,6 +229,16 @@ func Run(cfg Config, sink *telemetry.Sink) (Result, error) {
 	objects, ground := segs[0], segs[1]
 	if traced {
 		mon.AttachWallclockTelemetry(sink, "rt")
+	}
+	if cfg.Live != nil {
+		cfg.Live.SetTimebase("wall")
+		mon.AttachLive(cfg.Live)
+		// Chain-level (m,k): the two segments share their start event and
+		// the ground segment carries the verdict (the objects segment never
+		// misses), so the chain window slides on ground resolutions.
+		chain := monitor.NewChain("rt", cfg.Deadline+time.Millisecond, cfg.Deadline+time.Millisecond, mk)
+		chain.Append(objects).Append(ground).Seal()
+		chain.AttachLive(cfg.Live)
 	}
 
 	var scanCount atomic.Uint64

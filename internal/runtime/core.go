@@ -29,6 +29,64 @@ type SegmentHooks struct {
 	Expire func(start Event, deadline, now Time)
 }
 
+// Chain composes hooks: h runs first, then next. Observer hooks
+// (DrainLatency, OK, Expire) both run; SkipArm vetoes when either side
+// vetoes (next still runs, so observers see every event); Arm runs both and
+// keeps the first non-nil timer. This is how an observability layer rides
+// an already-configured segment without disturbing its verdict logic.
+func (h SegmentHooks) Chain(next SegmentHooks) SegmentHooks {
+	out := h
+	if next.DrainLatency != nil {
+		if prev := h.DrainLatency; prev != nil {
+			out.DrainLatency = func(lat Duration) { prev(lat); next.DrainLatency(lat) }
+		} else {
+			out.DrainLatency = next.DrainLatency
+		}
+	}
+	if next.SkipArm != nil {
+		if prev := h.SkipArm; prev != nil {
+			out.SkipArm = func(act uint64) bool {
+				a := prev(act)
+				b := next.SkipArm(act)
+				return a || b
+			}
+		} else {
+			out.SkipArm = next.SkipArm
+		}
+	}
+	if next.Arm != nil {
+		if prev := h.Arm; prev != nil {
+			out.Arm = func(start Event, deadline, now Time) Timer {
+				t := prev(start, deadline, now)
+				if t2 := next.Arm(start, deadline, now); t == nil {
+					t = t2
+				}
+				return t
+			}
+		} else {
+			out.Arm = next.Arm
+		}
+	}
+	if next.OK != nil {
+		if prev := h.OK; prev != nil {
+			out.OK = func(start Event, end Time) { prev(start, end); next.OK(start, end) }
+		} else {
+			out.OK = next.OK
+		}
+	}
+	if next.Expire != nil {
+		if prev := h.Expire; prev != nil {
+			out.Expire = func(start Event, deadline, now Time) {
+				prev(start, deadline, now)
+				next.Expire(start, deadline, now)
+			}
+		} else {
+			out.Expire = next.Expire
+		}
+	}
+	return out
+}
+
 // pendingTimeout is one armed activation of a segment. start retains the
 // full start event so the expiry/completion hooks see its flow identity.
 type pendingTimeout struct {
@@ -57,6 +115,11 @@ func (s *Segment) EndRing() EventRing { return s.end }
 
 // Pending returns the number of armed timeouts of this segment.
 func (s *Segment) Pending() int { return len(s.pending) }
+
+// AppendHooks chains additional hooks after the segment's existing ones
+// (see SegmentHooks.Chain). Call it before events flow; hooks run on the
+// monitor's execution context.
+func (s *Segment) AppendHooks(h SegmentHooks) { s.hooks = s.hooks.Chain(h) }
 
 // Core is the timebase-independent monitor algorithm of the paper (Fig. 4):
 // per-segment start/end rings drained in fixed registration order, a

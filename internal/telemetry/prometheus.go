@@ -14,6 +14,7 @@ import (
 // the dump is byte-identical for identical runs. Histogram buckets and sums
 // are rendered in seconds, as Prometheus convention expects.
 func (s *Sink) WriteMetrics(w io.Writer) error {
+	s.runExportHooks()
 	s.syncRecorderMetrics()
 	bw := bufio.NewWriter(w)
 	r := s.Reg

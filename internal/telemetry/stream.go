@@ -56,6 +56,21 @@ type StreamOptions struct {
 	// Metrics, when non-nil, receives the writer's drop/flush/volume
 	// counters (chainmon_stream_*).
 	Metrics *Registry
+	// RotateBytes, when > 0 and the writer owns its files (NewStreamFile),
+	// rotates to a fresh gzip-compressed segment — path.0.gz, path.1.gz, … —
+	// whenever the current segment's uncompressed encoded size crosses the
+	// threshold. Every segment is independently readable: it restates the
+	// magic, the timebase meta record and all track/label/scope definitions
+	// seen so far, so a reader can start at any segment. Ignored by
+	// NewStreamWriter (the caller owns the io.Writer there).
+	RotateBytes int64
+}
+
+// defRecord is one retained definition record (track/label/scope), replayed
+// at the start of every rotated segment so each segment is self-describing.
+type defRecord struct {
+	typ     byte
+	payload []byte
 }
 
 // StreamWriter tees flight-recorder appends to an append-only binary event
@@ -85,18 +100,42 @@ type StreamWriter struct {
 	bytesC   *Counter
 	flushesC *Counter
 	reg      *Registry
+
+	// File-owning rotation state (NewStreamFile; nil/zero otherwise).
+	timebase    string
+	out         *segmentedFile
+	rotateBytes int64
+	segBytes    uint64 // uncompressed bytes in the current segment
+	rotating    bool   // guards against re-entrant rotation while replaying defs
+	defs        []defRecord
+	rotations   uint64
+	rotationsC  *Counter
 }
 
 // NewStreamWriter creates a writer on w and writes the log header. timebase
 // names the timestamp domain of the events ("sim" or "wall") and is recorded
 // as log metadata.
 func NewStreamWriter(w io.Writer, timebase string, opts StreamOptions) (*StreamWriter, error) {
+	sw := newStreamWriterCore(w, timebase, opts)
+	sw.writeHeaderLocked()
+	if sw.err != nil {
+		return nil, sw.err
+	}
+	sw.start()
+	return sw, nil
+}
+
+// newStreamWriterCore builds a writer on w without writing the header or
+// starting the background drainer, so NewStreamWriter and NewStreamFile
+// share construction.
+func newStreamWriterCore(w io.Writer, timebase string, opts StreamOptions) *StreamWriter {
 	sw := &StreamWriter{
 		bw:         bufio.NewWriterSize(w, 1<<16),
 		background: opts.Background,
 		ringCap:    opts.RingCap,
 		flushEvery: opts.FlushEvery,
 		reg:        opts.Metrics,
+		timebase:   timebase,
 	}
 	if sw.ringCap <= 0 {
 		sw.ringCap = 8192
@@ -112,20 +151,28 @@ func NewStreamWriter(w io.Writer, timebase string, opts StreamOptions) (*StreamW
 		sw.flushesC = sw.reg.Counter("chainmon_stream_flushes_total",
 			"Buffered-writer flushes of the streaming trace sink.")
 	}
+	return sw
+}
+
+// writeHeaderLocked writes the magic and the timebase meta record; at
+// construction no lock is needed, after a rotation the caller holds sw.mu.
+func (sw *StreamWriter) writeHeaderLocked() {
 	if _, err := sw.bw.WriteString(streamMagic); err != nil {
-		return nil, err
+		sw.err = err
+		return
 	}
 	sw.bytes += uint64(len(streamMagic))
-	sw.writeRecordLocked(recMeta, []byte("timebase="+timebase))
-	if sw.err != nil {
-		return nil, sw.err
-	}
+	sw.segBytes += uint64(len(streamMagic))
+	sw.writeRecordLocked(recMeta, []byte("timebase="+sw.timebase))
+}
+
+// start launches the background drainer when configured.
+func (sw *StreamWriter) start() {
 	if sw.background {
 		sw.stop = make(chan struct{})
 		sw.done = make(chan struct{})
 		go sw.drainLoop()
 	}
-	return sw, nil
 }
 
 // register is called by Recorder.Track at track creation (the caller holds
@@ -136,6 +183,7 @@ func (sw *StreamWriter) register(t *Track) {
 	payload := make([]byte, 2+len(t.name))
 	binary.LittleEndian.PutUint16(payload, t.id)
 	copy(payload[2:], t.name)
+	sw.retainDefLocked(recTrackDef, payload)
 	sw.writeRecordLocked(recTrackDef, payload)
 	if sw.background {
 		t.ring = newStreamRing(sw.ringCap)
@@ -155,6 +203,7 @@ func (sw *StreamWriter) defineLabel(id uint16, name string) {
 	payload := make([]byte, 2+len(name))
 	binary.LittleEndian.PutUint16(payload, id)
 	copy(payload[2:], name)
+	sw.retainDefLocked(recLabelDef, payload)
 	sw.writeRecordLocked(recLabelDef, payload)
 }
 
@@ -166,6 +215,7 @@ func (sw *StreamWriter) defineScope(id uint8, name string) {
 	payload := make([]byte, 1+len(name))
 	payload[0] = id
 	copy(payload[1:], name)
+	sw.retainDefLocked(recScopeDef, payload)
 	sw.writeRecordLocked(recScopeDef, payload)
 }
 
@@ -208,10 +258,12 @@ func (sw *StreamWriter) writeEventLocked(track uint16, ev Event) {
 	}
 	sw.events++
 	sw.bytes += uint64(len(b))
+	sw.segBytes += uint64(len(b))
 	if sw.eventsC != nil {
 		sw.eventsC.Inc()
 		sw.bytesC.Add(uint64(len(b)))
 	}
+	sw.maybeRotateLocked()
 }
 
 // writeRecordLocked encodes one non-event record; callers hold sw.mu.
@@ -231,8 +283,18 @@ func (sw *StreamWriter) writeRecordLocked(typ byte, payload []byte) {
 		return
 	}
 	sw.bytes += uint64(len(hdr) + len(payload))
+	sw.segBytes += uint64(len(hdr) + len(payload))
 	if sw.bytesC != nil {
 		sw.bytesC.Add(uint64(len(hdr) + len(payload)))
+	}
+	sw.maybeRotateLocked()
+}
+
+// retainDefLocked remembers a definition record for replay at segment
+// starts; a no-op unless the writer rotates.
+func (sw *StreamWriter) retainDefLocked(typ byte, payload []byte) {
+	if sw.rotateBytes > 0 {
+		sw.defs = append(sw.defs, defRecord{typ: typ, payload: payload})
 	}
 }
 
@@ -278,6 +340,11 @@ func (sw *StreamWriter) flushOnce() {
 	if err := sw.bw.Flush(); err != nil && sw.err == nil {
 		sw.err = err
 	}
+	if sw.out != nil {
+		if err := sw.out.flush(); err != nil && sw.err == nil {
+			sw.err = err
+		}
+	}
 	sw.flushes.Add(1)
 	if sw.flushesC != nil {
 		sw.flushesC.Inc()
@@ -285,8 +352,9 @@ func (sw *StreamWriter) flushOnce() {
 }
 
 // Close drains any staged events (background mode), flushes the buffered
-// writer and returns the first write error. Producers must have quiesced:
-// events appended concurrently with Close may miss the final drain.
+// writer, closes any owned files (NewStreamFile) and returns the first write
+// error. Producers must have quiesced: events appended concurrently with
+// Close may miss the final drain.
 func (sw *StreamWriter) Close() error {
 	if sw.background {
 		close(sw.stop)
@@ -297,6 +365,11 @@ func (sw *StreamWriter) Close() error {
 	if !sw.closed {
 		if err := sw.bw.Flush(); err != nil && sw.err == nil {
 			sw.err = err
+		}
+		if sw.out != nil {
+			if err := sw.out.closeSegment(); err != nil && sw.err == nil {
+				sw.err = err
+			}
 		}
 		sw.flushes.Add(1)
 		if sw.flushesC != nil {
@@ -325,6 +398,14 @@ func (sw *StreamWriter) BytesWritten() uint64 {
 
 // Flushes returns how many times the buffered writer was flushed.
 func (sw *StreamWriter) Flushes() uint64 { return sw.flushes.Load() }
+
+// Rotations returns how many times the writer rotated to a new segment
+// (always 0 without NewStreamFile + RotateBytes).
+func (sw *StreamWriter) Rotations() uint64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.rotations
+}
 
 // Dropped returns how many events were dropped because a staging ring was
 // full (always 0 in direct mode).

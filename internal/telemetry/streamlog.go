@@ -34,39 +34,52 @@ type LogTrack struct {
 // cannot ask for gigabytes.
 const maxStreamRecordLen = 1 << 20
 
-// ReadLog parses an event log written by a StreamWriter. It tolerates a
-// truncated final record (a run killed mid-flush) but rejects structural
-// corruption.
-func ReadLog(r io.Reader) (*Log, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	magic := make([]byte, len(streamMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("telemetry: reading log magic: %w", err)
-	}
-	if string(magic) != streamMagic {
-		return nil, fmt.Errorf("telemetry: not a chainmon event log (magic %q)", magic)
-	}
-	l := &Log{
+// newLog allocates an empty Log ready to absorb one or more streams.
+func newLog() *Log {
+	return &Log{
 		labels: []string{""},
 		scopes: []string{""},
 		byID:   map[uint16]*LogTrack{},
+	}
+}
+
+// ReadLog parses an event log written by a StreamWriter. It tolerates a
+// truncated final record (a run killed mid-flush) but rejects structural
+// corruption. For on-disk logs that may be gzip-compressed or rotated into
+// segments, use OpenLogSet instead.
+func ReadLog(r io.Reader) (*Log, error) {
+	l := newLog()
+	if err := l.readFrom(r); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// readFrom absorbs one CHMTRC01 stream into the log. Re-definitions with
+// identical content — the per-segment def replay of a rotated log — merge
+// silently; a track id re-defined under a different name is corruption.
+func (l *Log) readFrom(r io.Reader) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(streamMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("telemetry: reading log magic: %w", err)
+	}
+	if string(magic) != streamMagic {
+		return fmt.Errorf("telemetry: not a chainmon event log (magic %q)", magic)
 	}
 	var hdr [5]byte
 	payload := make([]byte, 0, 256)
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if err == io.EOF {
-				return l, nil
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // end of stream or truncated trailing record
 			}
-			if err == io.ErrUnexpectedEOF {
-				return l, nil // truncated trailing record
-			}
-			return nil, err
+			return err
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		typ := hdr[4]
 		if n > maxStreamRecordLen {
-			return nil, fmt.Errorf("telemetry: corrupt log: record length %d", n)
+			return fmt.Errorf("telemetry: corrupt log: record length %d", n)
 		}
 		if cap(payload) < int(n) {
 			payload = make([]byte, n)
@@ -74,22 +87,29 @@ func ReadLog(r io.Reader) (*Log, error) {
 		payload = payload[:n]
 		if _, err := io.ReadFull(br, payload); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return l, nil // truncated trailing record
+				return nil // truncated trailing record
 			}
-			return nil, err
+			return err
 		}
 		switch typ {
 		case recTrackDef:
 			if len(payload) < 2 {
-				return nil, fmt.Errorf("telemetry: corrupt track def")
+				return fmt.Errorf("telemetry: corrupt track def")
 			}
 			id := binary.LittleEndian.Uint16(payload)
-			t := &LogTrack{ID: id, Name: string(payload[2:])}
+			name := string(payload[2:])
+			if existing, ok := l.byID[id]; ok {
+				if existing.Name != name {
+					return fmt.Errorf("telemetry: track %d redefined as %q (was %q)", id, name, existing.Name)
+				}
+				break // def replay of a rotated segment
+			}
+			t := &LogTrack{ID: id, Name: name}
 			l.tracks = append(l.tracks, t)
 			l.byID[id] = t
 		case recLabelDef:
 			if len(payload) < 2 {
-				return nil, fmt.Errorf("telemetry: corrupt label def")
+				return fmt.Errorf("telemetry: corrupt label def")
 			}
 			id := binary.LittleEndian.Uint16(payload)
 			for len(l.labels) <= int(id) {
@@ -98,7 +118,7 @@ func ReadLog(r io.Reader) (*Log, error) {
 			l.labels[id] = string(payload[2:])
 		case recScopeDef:
 			if len(payload) < 1 {
-				return nil, fmt.Errorf("telemetry: corrupt scope def")
+				return fmt.Errorf("telemetry: corrupt scope def")
 			}
 			id := payload[0]
 			for len(l.scopes) <= int(id) {
@@ -107,12 +127,12 @@ func ReadLog(r io.Reader) (*Log, error) {
 			l.scopes[id] = string(payload[1:])
 		case recEvent:
 			if len(payload) != eventPayloadLen {
-				return nil, fmt.Errorf("telemetry: corrupt event record (%d bytes)", len(payload))
+				return fmt.Errorf("telemetry: corrupt event record (%d bytes)", len(payload))
 			}
 			trackID := binary.LittleEndian.Uint16(payload[0:2])
 			t, ok := l.byID[trackID]
 			if !ok {
-				return nil, fmt.Errorf("telemetry: event references undefined track %d", trackID)
+				return fmt.Errorf("telemetry: event references undefined track %d", trackID)
 			}
 			t.Events = append(t.Events, Event{
 				TS:     int64(binary.LittleEndian.Uint64(payload[2:10])),
@@ -128,7 +148,7 @@ func ReadLog(r io.Reader) (*Log, error) {
 				l.Timebase = strings.TrimPrefix(kv, "timebase=")
 			}
 		default:
-			return nil, fmt.Errorf("telemetry: unknown record type 0x%02x", typ)
+			return fmt.Errorf("telemetry: unknown record type 0x%02x", typ)
 		}
 	}
 }

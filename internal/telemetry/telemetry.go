@@ -17,6 +17,8 @@
 // unboundedly by its own instrumentation.
 package telemetry
 
+import "sync"
+
 // Kind is the type tag of a trace event.
 type Kind uint8
 
@@ -176,6 +178,32 @@ type Event struct {
 type Sink struct {
 	Rec *Recorder
 	Reg *Registry
+
+	hookMu sync.Mutex
+	hooks  []func()
+}
+
+// AddExportHook registers fn to run at the start of every metrics export
+// (WriteMetrics — which serves both the live /metrics scrape and the
+// end-of-run -metrics-out snapshot). Components whose state is not already
+// registry-backed (e.g. a livestats.Set republishing its gauges) hook in
+// here, so every export surface sees the same values. Hooks must be safe
+// to call concurrently with the instrumented system.
+func (s *Sink) AddExportHook(fn func()) {
+	s.hookMu.Lock()
+	s.hooks = append(s.hooks, fn)
+	s.hookMu.Unlock()
+}
+
+// runExportHooks invokes the registered hooks outside the hook lock, so a
+// hook may itself touch the sink.
+func (s *Sink) runExportHooks() {
+	s.hookMu.Lock()
+	hooks := append([]func(){}, s.hooks...)
+	s.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // NewSink creates a sink whose tracks hold trackCap events each (rounded up
