@@ -3,11 +3,14 @@
 // engine work:
 //
 //   - hot-path allocation cuts: kernel event scheduling with and without the
-//     pooled freelist, measured via testing.Benchmark;
-//   - parallel campaign throughput: the frozen 102-combo chaos matrix run
-//     serially and through the sharded worker pool, with the merged summaries
-//     byte-compared so the speedup number is only reported for identical
-//     output;
+//     pooled freelist, the overload queue-churn workload (work-item freelist
+//     and pre-bound wakers), and the sweep-framework overhead per combo, all
+//     measured via testing.Benchmark;
+//   - parallel campaign throughput: the frozen 102-combo chaos matrix (or
+//     the 10k nightly matrix with -matrix 10k) run serially and through the
+//     sharded worker pool, with the merged summaries byte-compared so the
+//     speedup number is only reported for identical output, plus the
+//     measured heap allocations per combo;
 //   - fleet sweep throughput: a 64-vehicle jittered fleet run serially and
 //     through the pool, with the rendered fleet summary byte-compared the
 //     same way.
@@ -16,9 +19,18 @@
 // records num_cpu and go_max_procs so a reader can tell a 1-CPU container
 // result (speedup ≈ 1×) from a real parallel run.
 //
+// With -baseline FILE the run compares itself against a previous report and
+// exits non-zero on regression: any allocs/op increase on a named benchmark
+// fails unconditionally (allocation counts are machine-independent), and
+// ns/op regressions beyond -gate-ns fail when the fraction is positive
+// (wall-clock gating only makes sense against a baseline from the same
+// machine class, e.g. night-over-night CI artifacts — leave it 0 across
+// machines).
+//
 // Usage:
 //
-//	bench [-workers N] [-out BENCH_parallel.json]
+//	bench [-workers N] [-out BENCH_parallel.json] [-quick] [-matrix 102|10k]
+//	      [-baseline FILE] [-gate-ns FRAC]
 package main
 
 import (
@@ -34,9 +46,14 @@ import (
 
 	"chainmon/internal/faultinject"
 	"chainmon/internal/fleet"
+	"chainmon/internal/parallel"
 	"chainmon/internal/perception"
 	"chainmon/internal/sim"
 )
+
+// schemaVersion identifies the report layout; bump it when fields change
+// incompatibly so downstream consumers (the CI gate) can refuse mismatches.
+const schemaVersion = 2
 
 type benchRow struct {
 	Name        string  `json:"name"`
@@ -46,12 +63,20 @@ type benchRow struct {
 }
 
 type sweepResult struct {
+	Matrix          string  `json:"matrix"`
 	Combos          int     `json:"combos"`
 	Workers         int     `json:"workers"`
 	SerialNs        int64   `json:"serial_ns"`
 	ParallelNs      int64   `json:"parallel_ns"`
 	Speedup         float64 `json:"speedup"`
 	IdenticalOutput bool    `json:"identical_output"`
+	// AllocsPerCombo is the measured heap-allocation count per combo of the
+	// serial leg (runtime.MemStats.Mallocs delta / combos). Each combo still
+	// deliberately builds its own simulation from the seed — determinism —
+	// so this is O(build) per combo; the gateable property is that it does
+	// not grow with the matrix size (the sweep framework itself is O(1), see
+	// the sweep_framework benchmark row).
+	AllocsPerCombo float64 `json:"sweep_allocs_per_combo"`
 }
 
 type fleetSweepResult struct {
@@ -65,23 +90,29 @@ type fleetSweepResult struct {
 }
 
 type report struct {
-	GoVersion  string           `json:"go_version"`
-	NumCPU     int              `json:"num_cpu"`
-	GoMaxProcs int              `json:"go_max_procs"`
-	Benchmarks []benchRow       `json:"benchmarks"`
-	Sweep      sweepResult      `json:"sweep"`
-	FleetSweep fleetSweepResult `json:"fleet_sweep"`
+	SchemaVersion int              `json:"schema_version"`
+	GoVersion     string           `json:"go_version"`
+	NumCPU        int              `json:"num_cpu"`
+	GoMaxProcs    int              `json:"go_max_procs"`
+	Benchmarks    []benchRow       `json:"benchmarks"`
+	Sweep         sweepResult      `json:"sweep,omitempty"`
+	FleetSweep    fleetSweepResult `json:"fleet_sweep,omitempty"`
 }
 
 func main() {
 	workers := flag.Int("workers", 4, "worker pool size for the parallel sweep leg")
 	out := flag.String("out", "BENCH_parallel.json", "output JSON path (- for stdout)")
+	quick := flag.Bool("quick", false, "benchmark rows only: skip the sweep and fleet legs")
+	matrix := flag.String("matrix", "102", "sweep matrix: 102 (frozen reference) or 10k (nightly)")
+	baseline := flag.String("baseline", "", "previous report JSON to gate against (empty: no gate)")
+	gateNs := flag.Float64("gate-ns", 0, "fail when ns/op regresses beyond this fraction (0: allocs-only gate)")
 	flag.Parse()
 
 	rep := report{
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		SchemaVersion: schemaVersion,
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 	}
 
 	run := func(name string, fn func(b *testing.B)) {
@@ -126,11 +157,83 @@ func main() {
 		k.AfterPooled(100, tick)
 		k.Run()
 	})
+	// queue_churn is the overload-campaign event pattern (periodic chain work
+	// plus a near-saturating service on a 2-core processor): enqueue, wakeup,
+	// dispatch, preemption and completion per kernel step. The zero-alloc
+	// gate in internal/sim pins this workload at 0 allocs/op.
+	run("queue_churn", func(b *testing.B) {
+		b.ReportAllocs()
+		k := sim.NewKernel()
+		rng := sim.NewRNG(1)
+		proc := sim.NewProcessor(k, rng, "ecu", 2)
+		work := proc.NewThread("chain", 100)
+		svc := proc.NewThread("svc", 50)
+		proc.PeriodicLoad(work, "frame", 0, 100*sim.Millisecond,
+			sim.NormalDist{Mean: 8 * sim.Millisecond, Stddev: sim.Millisecond, Min: sim.Millisecond})
+		proc.PeriodicLoad(svc, "busy", 0, sim.Millisecond,
+			sim.UniformDist{Lo: 600 * sim.Microsecond, Hi: 900 * sim.Microsecond})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !k.Step() {
+				b.Fatal("queue drained")
+			}
+		}
+	})
+	// sweep_framework isolates the sweep machinery from the combos: one op is
+	// an arena-sharded MapSliceArena walk over the full 102-combo list with a
+	// no-op worker, so allocs/op is the framework's total allocation budget
+	// for an entire sweep (results slice + one arena) — a fraction of an
+	// allocation per combo, independent of matrix size.
+	run("sweep_framework", func(b *testing.B) {
+		b.ReportAllocs()
+		combos := faultinject.Matrix102()
+		sink := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got := parallel.MapSliceArena(1, combos, faultinject.NewSweepArena,
+				func(a *faultinject.SweepArena, shard int, c faultinject.Combo) int {
+					return len(c.Campaign.Name)
+				})
+			sink += got[0]
+		}
+		_ = sink
+	})
 
-	// Campaign throughput on the frozen 102-combo reference matrix.
-	combos := faultinject.Matrix102()
-	fmt.Fprintf(os.Stderr, "sweep: %d combos, serial vs %d workers (GOMAXPROCS=%d)\n",
-		len(combos), *workers, runtime.GOMAXPROCS(0))
+	defer func() {
+		enc, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc = append(enc, '\n')
+		if *out == "-" {
+			os.Stdout.Write(enc)
+		} else {
+			if err := os.WriteFile(*out, enc, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+		}
+		if *baseline != "" {
+			gate(rep, *baseline, *gateNs)
+		}
+	}()
+
+	if *quick {
+		return
+	}
+
+	// Campaign throughput on the selected matrix.
+	var combos []faultinject.Combo
+	switch *matrix {
+	case "102":
+		combos = faultinject.Matrix102()
+	case "10k":
+		combos = faultinject.Matrix10K()
+	default:
+		log.Fatalf("unknown -matrix %q (want 102 or 10k)", *matrix)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: matrix %s, %d combos, serial vs %d workers (GOMAXPROCS=%d)\n",
+		*matrix, len(combos), *workers, runtime.GOMAXPROCS(0))
 
 	timeSweep := func(w int) (time.Duration, string) {
 		start := time.Now()
@@ -143,24 +246,32 @@ func main() {
 		}
 		return elapsed, faultinject.MergedSummary(items)
 	}
-	// Warm up once so neither leg pays first-run costs, then measure.
+	// Warm up once so neither leg pays first-run costs, then measure. The
+	// serial leg doubles as the allocation measurement: Mallocs delta over
+	// the run divided by the combo count.
 	timeSweep(1)
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
 	serialT, serialOut := timeSweep(1)
+	runtime.ReadMemStats(&ms1)
 	parT, parOut := timeSweep(*workers)
 
 	rep.Sweep = sweepResult{
+		Matrix:          *matrix,
 		Combos:          len(combos),
 		Workers:         *workers,
 		SerialNs:        serialT.Nanoseconds(),
 		ParallelNs:      parT.Nanoseconds(),
 		Speedup:         float64(serialT.Nanoseconds()) / float64(parT.Nanoseconds()),
 		IdenticalOutput: serialOut == parOut,
+		AllocsPerCombo:  float64(ms1.Mallocs-ms0.Mallocs) / float64(len(combos)),
 	}
 	if !rep.Sweep.IdenticalOutput {
 		log.Fatal("parallel sweep output differs from serial — determinism broken, refusing to report a speedup")
 	}
-	fmt.Fprintf(os.Stderr, "sweep: serial %v, parallel %v, speedup %.2fx, identical output\n",
-		serialT, parT, rep.Sweep.Speedup)
+	fmt.Fprintf(os.Stderr, "sweep: serial %v, parallel %v, speedup %.2fx, %.0f allocs/combo, identical output\n",
+		serialT, parT, rep.Sweep.Speedup, rep.Sweep.AllocsPerCombo)
 
 	// Fleet sweep: the same serial-vs-parallel shape on the fleet layer —
 	// N jittered vehicle sims sharded over the pool, with the rendered fleet
@@ -210,18 +321,49 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "fleet sweep: serial %v, parallel %v, speedup %.2fx, identical output\n",
 		fleetSerialT, fleetParT, rep.FleetSweep.Speedup)
+}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+// gate compares the fresh report against a baseline file and terminates the
+// process non-zero on regression. Allocation counts gate strictly — they are
+// deterministic and machine-independent. Wall-clock gates only when gateNs
+// is positive, at that relative tolerance.
+func gate(rep report, baselinePath string, gateNs float64) {
+	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("gate: read baseline: %v", err)
 	}
-	enc = append(enc, '\n')
-	if *out == "-" {
-		os.Stdout.Write(enc)
-		return
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("gate: parse baseline: %v", err)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatal(err)
+	byName := make(map[string]benchRow, len(base.Benchmarks))
+	for _, row := range base.Benchmarks {
+		byName[row.Name] = row
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	failed := false
+	for _, row := range rep.Benchmarks {
+		prev, ok := byName[row.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gate: %-24s no baseline row, skipping\n", row.Name)
+			continue
+		}
+		if row.AllocsPerOp > prev.AllocsPerOp {
+			failed = true
+			fmt.Fprintf(os.Stderr, "gate: %-24s FAIL allocs/op %d -> %d\n",
+				row.Name, prev.AllocsPerOp, row.AllocsPerOp)
+			continue
+		}
+		if gateNs > 0 && prev.NsPerOp > 0 && row.NsPerOp > prev.NsPerOp*(1+gateNs) {
+			failed = true
+			fmt.Fprintf(os.Stderr, "gate: %-24s FAIL ns/op %.1f -> %.1f (>%.0f%%)\n",
+				row.Name, prev.NsPerOp, row.NsPerOp, gateNs*100)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "gate: %-24s ok (allocs %d<=%d, %.1f ns/op vs %.1f)\n",
+			row.Name, row.AllocsPerOp, prev.AllocsPerOp, row.NsPerOp, prev.NsPerOp)
+	}
+	if failed {
+		log.Fatal("gate: benchmark regression against baseline")
+	}
+	fmt.Fprintln(os.Stderr, "gate: no regression against baseline")
 }

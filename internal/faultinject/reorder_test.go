@@ -54,18 +54,17 @@ func TestDuplicateCampaign(t *testing.T) {
 	}
 }
 
-// TestChaosMatrixNightly is the grown ~1000-combination sweep for the
-// scheduled CI job, run through the sharded sweep engine at GOMAXPROCS
-// workers: all ten campaigns (including ptp-asym) × ninety-nine seeds plus
-// ten dds-context runs. Gated behind CHAOS_NIGHTLY so PR runs keep the
-// 23-combination matrix.
+// TestChaosMatrixNightly is the 10000-combination sweep for the scheduled
+// CI job, run through the sharded sweep engine at GOMAXPROCS workers: all
+// twelve campaigns × 830 seeds plus forty dds-context runs. Gated behind
+// CHAOS_NIGHTLY so PR runs keep the 23-combination matrix.
 func TestChaosMatrixNightly(t *testing.T) {
 	if os.Getenv("CHAOS_NIGHTLY") == "" {
 		t.Skip("set CHAOS_NIGHTLY=1 to run the full nightly matrix")
 	}
-	combos := GrownNightlyMatrix()
-	if len(combos) != 1000 {
-		t.Fatalf("grown nightly matrix has %d combos, want 1000", len(combos))
+	combos := Matrix10K()
+	if len(combos) != 10000 {
+		t.Fatalf("nightly matrix has %d combos, want 10000", len(combos))
 	}
 	// Soundness invariants are hard per-run guarantees; the bite checks are
 	// statistical at this seed count (a 0.05-entry Gilbert-Elliott chain has

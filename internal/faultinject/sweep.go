@@ -89,37 +89,57 @@ type SweepItem struct {
 // sanity check passed.
 func (it SweepItem) Ok() bool { return it.Err == nil && it.Sanity == nil && it.Report.Ok() }
 
-// sanityFor maps campaign names to their bite checks, so sweeps can apply
-// them regardless of how the combo list was assembled.
-func sanityFor(name string) func(*Run) error {
+// SweepArena is the per-worker reusable state of a sweep: everything a
+// combo needs that does not depend on the combo itself. Today that is the
+// campaign-name → sanity-check table, which used to be rebuilt by walking
+// AllCampaigns() once per combo — O(#campaigns) allocations per cell that
+// the arena pays once per worker. Combo-dependent state (kernel, RNG
+// streams, telemetry) is intentionally NOT in the arena: rebuilding it from
+// the seed is what keeps shards order-independent.
+type SweepArena struct {
+	sanity map[string]func(*Run) error
+}
+
+// NewSweepArena builds the per-worker arena (one map walk of the campaign
+// set).
+func NewSweepArena() *SweepArena {
+	a := &SweepArena{sanity: make(map[string]func(*Run) error)}
 	for _, e := range AllCampaigns() {
-		if e.Campaign.Name == name && e.Sanity != nil {
-			return e.Sanity
+		if e.Sanity != nil {
+			a.sanity[e.Campaign.Name] = e.Sanity
 		}
 	}
-	return nil
+	return a
+}
+
+// RunCombo executes one combo reusing the arena's lookup state; see the
+// package-level RunCombo for the combo semantics.
+func (a *SweepArena) RunCombo(c Combo) SweepItem {
+	it := SweepItem{Combo: c}
+	run, err := RunCombo(c)
+	if err != nil {
+		it.Err = err
+		return it
+	}
+	it.Report = run.Report
+	if c.Variant == monitor.VariantMonitorThread {
+		if sanity := a.sanity[c.Campaign.Name]; sanity != nil {
+			it.Sanity = sanity(run)
+		}
+	}
+	return it
 }
 
 // RunSweep executes every combo, fanning out over the given worker count
 // (≤ 0: GOMAXPROCS), and returns the outcomes in combo order. Sanity checks
 // run only for monitor-thread combos, matching the historical matrix tests
-// (dds-context runs check the soundness contract alone).
+// (dds-context runs check the soundness contract alone). Each worker reuses
+// one SweepArena across all the combos it claims.
 func RunSweep(combos []Combo, workers int) []SweepItem {
-	return parallel.MapSlice(workers, combos, func(shard int, c Combo) SweepItem {
-		it := SweepItem{Combo: c}
-		run, err := RunCombo(c)
-		if err != nil {
-			it.Err = err
-			return it
-		}
-		it.Report = run.Report
-		if c.Variant == monitor.VariantMonitorThread {
-			if sanity := sanityFor(c.Campaign.Name); sanity != nil {
-				it.Sanity = sanity(run)
-			}
-		}
-		return it
-	})
+	return parallel.MapSliceArena(workers, combos, NewSweepArena,
+		func(a *SweepArena, shard int, c Combo) SweepItem {
+			return a.RunCombo(c)
+		})
 }
 
 // MergedSummary renders the sweep outcome as one deterministic text report:
@@ -445,5 +465,20 @@ func GrownNightlyMatrix() []Combo {
 		Combo{Campaign: ReorderEntry().Campaign, Seed: 33, Variant: monitor.VariantDDSContext},
 		Combo{Campaign: DuplicateEntry().Campaign, Seed: 33, Variant: monitor.VariantDDSContext},
 	)
+	return combos
+}
+
+// Matrix10K is the 10000-combo nightly sweep the zero-alloc hot path makes
+// affordable: all twelve campaigns × 830 seeds (9960 monitor-thread combos)
+// plus the four dds-context-safe campaigns × ten seeds. At ~8 ms per combo
+// it stays within a nightly CI budget even under -race.
+func Matrix10K() []Combo {
+	combos := cross(AllCampaigns(), seedSeq(830), monitor.VariantMonitorThread)
+	ddsSafe := []MatrixEntry{ReorderEntry(), DuplicateEntry(), ChaosCampaigns()[0], ChaosCampaigns()[1]}
+	for _, seed := range seedSeq(10) {
+		for _, e := range ddsSafe {
+			combos = append(combos, Combo{Campaign: e.Campaign, Seed: seed, Variant: monitor.VariantDDSContext})
+		}
+	}
 	return combos
 }

@@ -86,12 +86,12 @@ type ClassAggregate struct {
 
 // Result is a fully aggregated fleet run.
 type Result struct {
-	Size    int        `json:"fleet_size"`
-	Seed    int64      `json:"fleet_seed"`
-	Jitter  JitterSpec `json:"jitter"`
-	Frames  int        `json:"frames"`
-	Period  string     `json:"period"`
-	Oracle  bool       `json:"oracle"`
+	Size    int              `json:"fleet_size"`
+	Seed    int64            `json:"fleet_seed"`
+	Jitter  JitterSpec       `json:"jitter"`
+	Frames  int              `json:"frames"`
+	Period  string           `json:"period"`
+	Oracle  bool             `json:"oracle"`
 	Classes []ClassAggregate `json:"classes,omitempty"`
 	Fleet   Aggregate        `json:"fleet"`
 	// Knee is the saturation analyzer's report (nil unless a saturation

@@ -229,10 +229,11 @@ type VehicleResult struct {
 // Exceptions returns the vehicle's temporal-exception count.
 func (v VehicleResult) Exceptions() int { return v.Recovered + v.Missed }
 
-// monitoredStats lists the vehicle's monitored segments in a fixed order,
-// so the merged report is stable regardless of build internals.
-func monitoredStats(sys *perception.System) []*monitor.SegmentStats {
-	var out []*monitor.SegmentStats
+// monitoredStatsInto lists the vehicle's monitored segments in a fixed
+// order, so the merged report is stable regardless of build internals. The
+// buffer is the caller's scratch, reused across vehicles on one worker.
+func monitoredStatsInto(buf []*monitor.SegmentStats, sys *perception.System) []*monitor.SegmentStats {
+	out := buf[:0]
 	if sys.RemFront != nil {
 		out = append(out, sys.RemFront.Stats(), sys.RemRear.Stats(),
 			sys.FusionFront.Stats(), sys.FusionRear.Stats(), sys.RemFused.Stats())
@@ -241,12 +242,27 @@ func monitoredStats(sys *perception.System) []*monitor.SegmentStats {
 	return out
 }
 
+// VehicleArena is the per-worker reusable scratch of a fleet run (see
+// parallel.ForEachArena): buffers every vehicle overwrites in full, never
+// state that flows between vehicles.
+type VehicleArena struct {
+	stats []*monitor.SegmentStats
+}
+
+// NewVehicleArena creates an empty arena.
+func NewVehicleArena() *VehicleArena { return &VehicleArena{} }
+
 // RunVehicle builds and runs one jittered vehicle sim: the base scenario
 // under the vehicle's parameters, with an optional fault campaign and an
 // optional ground-truth soundness oracle (requires a monitored full-chain
 // base). Everything is constructed from the vehicle seed, so calls are
 // independent and can run on any worker in any order.
 func RunVehicle(base perception.Config, p VehicleParams, camp faultinject.Campaign, withOracle bool) VehicleResult {
+	return NewVehicleArena().RunVehicle(base, p, camp, withOracle)
+}
+
+// RunVehicle runs one vehicle reusing the arena's scratch buffers.
+func (a *VehicleArena) RunVehicle(base perception.Config, p VehicleParams, camp faultinject.Campaign, withOracle bool) VehicleResult {
 	res := VehicleResult{Vehicle: p.Vehicle, Seed: p.Seed, Campaign: camp.Name, Params: p}
 	cfg := p.Apply(base)
 	sys := perception.Build(cfg)
@@ -263,7 +279,9 @@ func RunVehicle(base perception.Config, p VehicleParams, camp faultinject.Campai
 	}
 	sys.Run()
 
-	for _, st := range monitoredStats(sys) {
+	a.stats = monitoredStatsInto(a.stats, sys)
+	res.Segments = make([]SegmentCount, 0, len(a.stats))
+	for _, st := range a.stats {
 		ok, rec, miss := st.Counts()
 		res.Segments = append(res.Segments, SegmentCount{
 			Name: st.Name, Activations: ok + rec + miss, OK: ok, Recovered: rec, Missed: miss,
@@ -342,14 +360,15 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	vehicles := parallel.Map(cfg.Workers, cfg.Size, func(i int) VehicleResult {
-		p := DeriveParams(cfg.Seed, i, cfg.Jitter)
-		var camp faultinject.Campaign
-		if len(cfg.Mix) > 0 {
-			camp = cfg.Mix[i%len(cfg.Mix)]
-		}
-		return RunVehicle(cfg.Base, p, camp, cfg.Oracle)
-	})
+	vehicles := parallel.MapArena(cfg.Workers, cfg.Size, NewVehicleArena,
+		func(a *VehicleArena, i int) VehicleResult {
+			p := DeriveParams(cfg.Seed, i, cfg.Jitter)
+			var camp faultinject.Campaign
+			if len(cfg.Mix) > 0 {
+				camp = cfg.Mix[i%len(cfg.Mix)]
+			}
+			return a.RunVehicle(cfg.Base, p, camp, cfg.Oracle)
+		})
 	return aggregate(cfg, vehicles), nil
 }
 

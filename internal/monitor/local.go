@@ -36,7 +36,10 @@ type LocalMonitor struct {
 	// armTimer arms a scan at the deadline (simtime kernel timer); nil when
 	// the host loop sleeps on Core.NextDeadline instead (walltime).
 	armTimer func(deadline rt.Time, fire func()) rt.Timer
-	newRing  func() rt.EventRing
+	// forceWake is the bound m.sched.ForceWake method value, created once —
+	// evaluating it per armed timeout would allocate on every activation.
+	forceWake func()
+	newRing   func() rt.EventRing
 
 	rng      *sim.RNG
 	core     *rt.Core
@@ -79,7 +82,10 @@ func NewLocalMonitor(ecu *dds.ECU) *LocalMonitor {
 		newRing:    func() rt.EventRing { return &rt.SliceRing{} },
 	}
 	m.exec = simtime.Executor{T: m.Thread}
-	m.sched = &simScheduler{m: m}
+	sc := &simScheduler{m: m}
+	sc.scanFn = sc.runScan
+	m.sched = sc
+	m.forceWake = sc.ForceWake
 	timers := simtime.TimerHost{K: k}
 	m.armTimer = func(deadline rt.Time, fire func()) rt.Timer {
 		return timers.At(deadline, dds.PrioMonitor, fire)
@@ -136,6 +142,9 @@ func (m *LocalMonitor) ScanNow() { m.scan() }
 type simScheduler struct {
 	m      *LocalMonitor
 	queued bool
+	// scanFn is the bound runScan method value, created once so queueing a
+	// scan does not allocate a closure per pass.
+	scanFn func()
 }
 
 // Wake raises the monitor semaphore: one scan pass is queued on the monitor
@@ -163,10 +172,12 @@ func (sc *simScheduler) queue() {
 	if m.tel != nil {
 		m.lastScanCost = cost
 	}
-	m.Thread.Enqueue("monitor/scan", cost, func() {
-		sc.queued = false
-		m.scan()
-	})
+	m.Thread.Enqueue("monitor/scan", cost, sc.scanFn)
+}
+
+func (sc *simScheduler) runScan() {
+	sc.queued = false
+	sc.m.scan()
 }
 
 // inlineExecutor runs handler work immediately on the calling goroutine —
@@ -247,7 +258,7 @@ func (m *LocalMonitor) AddSegment(cfg SegmentConfig) *LocalSegment {
 				})
 			}
 			if m.armTimer != nil && deadline > now {
-				return m.armTimer(deadline, m.sched.ForceWake)
+				return m.armTimer(deadline, m.forceWake)
 			}
 			return nil
 		},

@@ -37,6 +37,19 @@ func Workers(n int) int {
 // the calling goroutine after the pool drains, so a deterministic modelling
 // bug surfaces identically in serial and parallel runs.
 func ForEach(workers, n int, fn func(shard int)) {
+	ForEachArena(workers, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, shard int) { fn(shard) })
+}
+
+// ForEachArena is ForEach with a per-worker arena: newArena runs once per
+// worker goroutine (once total on the serial path) and the arena is handed
+// to every shard that worker claims. Shards reuse the arena's scratch
+// instead of rebuilding per-shard state, which is what makes a long sweep
+// O(1) allocations per shard. Determinism is unaffected: an arena must only
+// carry scratch that fn fully overwrites (or resets) per shard, never data
+// that flows between shards — results must still be written by shard index.
+func ForEachArena[A any](workers, n int, newArena func() A, fn func(arena A, shard int)) {
 	if n <= 0 {
 		return
 	}
@@ -45,8 +58,9 @@ func ForEach(workers, n int, fn func(shard int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		arena := newArena()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(arena, i)
 		}
 		return
 	}
@@ -56,24 +70,25 @@ func ForEach(workers, n int, fn func(shard int)) {
 		wg       sync.WaitGroup
 		panicked atomic.Value // first shard panic, re-raised by the caller
 	)
-	run := func(shard int) {
+	run := func(arena A, shard int) {
 		defer func() {
 			if r := recover(); r != nil {
 				panicked.CompareAndSwap(nil, shardPanic{shard, r})
 			}
 		}()
-		fn(shard)
+		fn(arena, shard)
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			arena := newArena()
 			for {
 				shard := int(next.Add(1)) - 1
 				if shard >= n {
 					return
 				}
-				run(shard)
+				run(arena, shard)
 			}
 		}()
 	}
@@ -104,5 +119,21 @@ func Map[T any](workers, n int, fn func(shard int) T) []T {
 func MapSlice[In, Out any](workers int, items []In, fn func(shard int, item In) Out) []Out {
 	return Map(workers, len(items), func(shard int) Out {
 		return fn(shard, items[shard])
+	})
+}
+
+// MapArena is Map with a per-worker arena (see ForEachArena).
+func MapArena[A, T any](workers, n int, newArena func() A, fn func(arena A, shard int) T) []T {
+	out := make([]T, n)
+	ForEachArena(workers, n, newArena, func(arena A, shard int) {
+		out[shard] = fn(arena, shard)
+	})
+	return out
+}
+
+// MapSliceArena is MapSlice with a per-worker arena (see ForEachArena).
+func MapSliceArena[A, In, Out any](workers int, items []In, newArena func() A, fn func(arena A, shard int, item In) Out) []Out {
+	return MapArena(workers, len(items), newArena, func(arena A, shard int) Out {
+		return fn(arena, shard, items[shard])
 	})
 }

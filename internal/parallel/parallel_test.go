@@ -67,6 +67,52 @@ func TestMapSliceKeepsItemOrder(t *testing.T) {
 	}
 }
 
+// TestForEachArenaOnePerWorker pins the arena lifecycle: one arena per
+// worker goroutine (one total on the serial path), every shard sees an
+// arena, and the merge stays shard-ordered regardless of which worker's
+// arena served which shard.
+func TestForEachArenaOnePerWorker(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		var arenas atomic.Int64
+		const n = 40
+		got := MapArena(workers, n,
+			func() *[]int { arenas.Add(1); return new([]int) },
+			func(scratch *[]int, shard int) int {
+				// Reuse the scratch buffer the way real arenas do.
+				*scratch = append((*scratch)[:0], shard, shard)
+				return (*scratch)[0] + (*scratch)[1]
+			})
+		for i := range got {
+			if got[i] != 2*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], 2*i)
+			}
+		}
+		if a := arenas.Load(); a > int64(Workers(workers)) || a < 1 {
+			t.Errorf("workers=%d: %d arenas created", workers, a)
+		}
+		if workers == 1 && arenas.Load() != 1 {
+			t.Errorf("serial path created %d arenas, want exactly 1", arenas.Load())
+		}
+	}
+}
+
+func TestMapSliceArenaKeepsItemOrder(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e"}
+	got := MapSliceArena(4, items,
+		func() *strings.Builder { return &strings.Builder{} },
+		func(b *strings.Builder, shard int, item string) string {
+			b.Reset()
+			b.WriteString(strings.ToUpper(item))
+			return b.String()
+		})
+	want := []string{"A", "B", "C", "D", "E"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
 // TestForEachPropagatesPanic requires a shard panic to surface on the
 // calling goroutine, for serial and parallel pools alike.
 func TestForEachPropagatesPanic(t *testing.T) {

@@ -1,7 +1,5 @@
 package runtime
 
-import "container/heap"
-
 // SegmentHooks customizes one Segment of a Core without the Core knowing
 // anything about verdict bookkeeping, telemetry or the timebase. All hooks
 // are optional (nil disables them) and run synchronously inside Scan, on the
@@ -89,10 +87,13 @@ func (h SegmentHooks) Chain(next SegmentHooks) SegmentHooks {
 
 // pendingTimeout is one armed activation of a segment. start retains the
 // full start event so the expiry/completion hooks see its flow identity.
+// Resolved timeouts are recycled through a Core-level freelist (next), so
+// steady-state arming does not allocate.
 type pendingTimeout struct {
 	start    Event
 	deadline Time
 	timer    Timer
+	next     *pendingTimeout
 }
 
 // Segment is one monitored local segment inside a Core: a start ring, an
@@ -105,6 +106,11 @@ type Segment struct {
 	end     EventRing
 	hooks   SegmentHooks
 	pending map[uint64]*pendingTimeout
+
+	// startBatch/endBatch cache the rings' optional BatchPopper so the
+	// per-drain type assertion happens once, at registration.
+	startBatch BatchPopper
+	endBatch   BatchPopper
 }
 
 // StartRing returns the ring the instrumented subscriber posts into.
@@ -135,6 +141,35 @@ func (s *Segment) AppendHooks(h SegmentHooks) { s.hooks = s.hooks.Chain(h) }
 type Core struct {
 	segments []*Segment
 	deadline deadlineHeap
+
+	// freePending recycles resolved timeout records; batch and due are drain
+	// scratch, reused across Scan calls. Segment hooks never re-enter Scan
+	// (they observe, arm timers or dispatch handler work items — all
+	// deferred), so the scratch cannot be aliased mid-drain.
+	freePending *pendingTimeout
+	batch       []Event
+	due         []*pendingTimeout
+}
+
+// drainBatch is the per-call batch size of ring drains: one PopBatch moves
+// up to this many events, amortizing the interface call across a burst.
+const drainBatch = 128
+
+func (c *Core) newPending() *pendingTimeout {
+	p := c.freePending
+	if p == nil {
+		return &pendingTimeout{}
+	}
+	c.freePending = p.next
+	p.next = nil
+	return p
+}
+
+func (c *Core) releasePending(p *pendingTimeout) {
+	p.start = Event{}
+	p.timer = nil
+	p.next = c.freePending
+	c.freePending = p
 }
 
 // NewCore creates an empty monitor core.
@@ -152,6 +187,8 @@ func (c *Core) AddSegment(name string, dMon Duration, start, end EventRing, hook
 		hooks:   hooks,
 		pending: make(map[uint64]*pendingTimeout),
 	}
+	s.startBatch, _ = start.(BatchPopper)
+	s.endBatch, _ = end.(BatchPopper)
 	c.segments = append(c.segments, s)
 	return s
 }
@@ -179,45 +216,85 @@ func (c *Core) Scan(now Time) {
 	for _, s := range c.segments {
 		c.fireDue(s, now)
 	}
+	// Prune stale heap tops (activations that completed or fired) so the
+	// lazy-deletion heap stays bounded by the live pending set instead of
+	// growing with the total activation count. The simtime path never calls
+	// NextDeadline, so this is its only pruning point.
+	for len(c.deadline.entries) > 0 {
+		e := c.deadline.entries[0]
+		if p, ok := e.seg.pending[e.act]; ok && p.deadline == e.at {
+			break
+		}
+		c.deadline.pop()
+	}
+}
+
+// popBatch fills buf from the ring, preferring the batch interface. The
+// fallback loop gives any EventRing identical batch semantics: same events,
+// same order, just one interface call per event.
+func popBatch(r EventRing, bp BatchPopper, buf []Event) int {
+	if bp != nil {
+		return bp.PopBatch(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		ev, ok := r.Pop()
+		if !ok {
+			break
+		}
+		buf[n] = ev
+		n++
+	}
+	return n
 }
 
 func (c *Core) drain(s *Segment, now Time) {
-	for {
-		ev, ok := s.start.Pop()
-		if !ok {
-			break
-		}
-		if s.hooks.DrainLatency != nil {
-			s.hooks.DrainLatency(now.Sub(ev.TS))
-		}
-		if s.hooks.SkipArm != nil && s.hooks.SkipArm(ev.Act) {
-			continue // propagated-in activation that was already handled
-		}
-		p := &pendingTimeout{start: ev, deadline: ev.TS.Add(s.DMon)}
-		s.pending[ev.Act] = p
-		heap.Push(&c.deadline, deadlineEntry{at: p.deadline, seg: s, act: ev.Act})
-		if s.hooks.Arm != nil {
-			p.timer = s.hooks.Arm(p.start, p.deadline, now)
-		}
-		// Deadlines already in the past are picked up by fireDue below.
+	if c.batch == nil {
+		c.batch = make([]Event, drainBatch)
 	}
 	for {
-		ev, ok := s.end.Pop()
-		if !ok {
+		n := popBatch(s.start, s.startBatch, c.batch)
+		if n == 0 {
 			break
 		}
-		p, armed := s.pending[ev.Act]
-		if !armed {
-			// End events for excepted activations are discarded; end events
-			// without a start cannot occur (causality).
-			continue
+		for _, ev := range c.batch[:n] {
+			if s.hooks.DrainLatency != nil {
+				s.hooks.DrainLatency(now.Sub(ev.TS))
+			}
+			if s.hooks.SkipArm != nil && s.hooks.SkipArm(ev.Act) {
+				continue // propagated-in activation that was already handled
+			}
+			p := c.newPending()
+			p.start = ev
+			p.deadline = ev.TS.Add(s.DMon)
+			s.pending[ev.Act] = p
+			c.deadline.push(deadlineEntry{at: p.deadline, seg: s, act: ev.Act})
+			if s.hooks.Arm != nil {
+				p.timer = s.hooks.Arm(p.start, p.deadline, now)
+			}
+			// Deadlines already in the past are picked up by fireDue below.
 		}
-		if p.timer != nil {
-			p.timer.Cancel()
+	}
+	for {
+		n := popBatch(s.end, s.endBatch, c.batch)
+		if n == 0 {
+			break
 		}
-		delete(s.pending, ev.Act)
-		if s.hooks.OK != nil {
-			s.hooks.OK(p.start, ev.TS)
+		for _, ev := range c.batch[:n] {
+			p, armed := s.pending[ev.Act]
+			if !armed {
+				// End events for excepted activations are discarded; end events
+				// without a start cannot occur (causality).
+				continue
+			}
+			if p.timer != nil {
+				p.timer.Cancel()
+			}
+			delete(s.pending, ev.Act)
+			if s.hooks.OK != nil {
+				s.hooks.OK(p.start, ev.TS)
+			}
+			c.releasePending(p)
 		}
 	}
 }
@@ -228,7 +305,7 @@ func (c *Core) drain(s *Segment, now Time) {
 // are left to expire: a stale ForceWake causes one extra empty pass, which
 // is harmless and mirrors the paper's semaphore semantics.
 func (c *Core) fireDue(s *Segment, now Time) {
-	var due []*pendingTimeout
+	due := c.due[:0]
 	for _, p := range s.pending {
 		if p.deadline <= now {
 			due = append(due, p)
@@ -240,12 +317,15 @@ func (c *Core) fireDue(s *Segment, now Time) {
 			due[j], due[j-1] = due[j-1], due[j]
 		}
 	}
-	for _, p := range due {
+	for i, p := range due {
 		delete(s.pending, p.start.Act)
 		if s.hooks.Expire != nil {
 			s.hooks.Expire(p.start, p.deadline, now)
 		}
+		c.releasePending(p)
+		due[i] = nil
 	}
+	c.due = due[:0]
 }
 
 // NextDeadline returns the earliest armed deadline, dropping stale heap
@@ -254,12 +334,12 @@ func (c *Core) fireDue(s *Segment, now Time) {
 // path does not need it because every armed timeout carries a kernel
 // timer.
 func (c *Core) NextDeadline() (Time, bool) {
-	for len(c.deadline) > 0 {
-		e := c.deadline[0]
+	for len(c.deadline.entries) > 0 {
+		e := c.deadline.entries[0]
 		if p, ok := e.seg.pending[e.act]; ok && p.deadline == e.at {
 			return e.at, true
 		}
-		heap.Pop(&c.deadline)
+		c.deadline.pop()
 	}
 	return 0, false
 }
@@ -272,16 +352,46 @@ type deadlineEntry struct {
 	act uint64
 }
 
-type deadlineHeap []deadlineEntry
+// deadlineHeap is a hand-rolled min-heap on deadlineEntry.at. container/heap
+// would box every pushed entry into an interface value — one allocation per
+// armed timeout — so the two operations the Core needs are written out.
+// Only the minimum is ever observed (NextDeadline), so heap-layout details
+// are not part of the deterministic surface.
+type deadlineHeap struct {
+	entries []deadlineEntry
+}
 
-func (h deadlineHeap) Len() int           { return len(h) }
-func (h deadlineHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h deadlineHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *deadlineHeap) Push(x any)        { *h = append(*h, x.(deadlineEntry)) }
-func (h *deadlineHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (h *deadlineHeap) push(e deadlineEntry) {
+	h.entries = append(h.entries, e)
+	i := len(h.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.entries[parent].at <= h.entries[i].at {
+			break
+		}
+		h.entries[parent], h.entries[i] = h.entries[i], h.entries[parent]
+		i = parent
+	}
+}
+
+func (h *deadlineHeap) pop() {
+	n := len(h.entries) - 1
+	h.entries[0] = h.entries[n]
+	h.entries[n] = deadlineEntry{}
+	h.entries = h.entries[:n]
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && h.entries[l].at < h.entries[small].at {
+			small = l
+		}
+		if r := 2*i + 2; r < n && h.entries[r].at < h.entries[small].at {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.entries[i], h.entries[small] = h.entries[small], h.entries[i]
+		i = small
+	}
 }

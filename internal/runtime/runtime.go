@@ -56,6 +56,16 @@ type EventRing interface {
 	Len() int
 }
 
+// BatchPopper is an optional EventRing extension: PopBatch moves up to
+// len(buf) events into buf in posting order and returns the count. The Core
+// prefers it over Pop so one waker invocation drains a whole burst with a
+// single call per ring instead of one interface call per event. A correct
+// implementation is observationally equivalent to calling Pop len(buf)
+// times — same events, same order.
+type BatchPopper interface {
+	PopBatch(buf []Event) int
+}
+
 // Timer is an armed one-shot timer handle. Cancel is idempotent and may be
 // called after the timer fired.
 type Timer interface {
@@ -127,6 +137,17 @@ func (r *SliceRing) Pop() (Event, bool) {
 	ev := r.buf[r.head]
 	r.head++
 	return ev, true
+}
+
+// PopBatch moves up to len(buf) oldest events into buf, in posting order.
+func (r *SliceRing) PopBatch(buf []Event) int {
+	n := copy(buf, r.buf[r.head:])
+	r.head += n
+	if r.head >= len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+	}
+	return n
 }
 
 // Len returns the number of buffered events.

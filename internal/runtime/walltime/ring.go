@@ -77,6 +77,29 @@ func (r *Ring) Pop() (rt.Event, bool) {
 	return ev, true
 }
 
+// PopBatch removes up to len(buf) oldest events into buf, in posting order.
+// It must be called by a single consumer. Each slot is marked consumed as it
+// is copied out (the producer reuses slots as soon as their seq advances);
+// head is published once at the end, which the single consumer never
+// observes mid-batch.
+func (r *Ring) PopBatch(buf []rt.Event) int {
+	head := r.head.Load()
+	n := 0
+	for n < len(buf) {
+		s := &r.buf[(head+uint64(n))&r.mask]
+		if s.seq.Load() != head+uint64(n)+1 {
+			break // empty
+		}
+		buf[n] = s.ev
+		s.seq.Store(head + uint64(n) + uint64(len(r.buf)))
+		n++
+	}
+	if n > 0 {
+		r.head.Store(head + uint64(n))
+	}
+	return n
+}
+
 // Len returns the approximate number of buffered events (exact when called
 // from either the producer or the consumer).
 func (r *Ring) Len() int {

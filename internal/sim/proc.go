@@ -1,24 +1,40 @@
 package sim
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // WorkItem is a unit of computation queued on a Thread: it occupies the
 // thread for Cost of virtual CPU time and then runs Fn (the item's effects:
 // publishing messages, programming timers, ...).
+//
+// Items are recycled through an intrusive per-thread freelist: once an item
+// completes (after its Fn returned) it is returned to its thread and the
+// next Enqueue reuses it, so steady-state enqueueing does not touch the
+// heap. The handle returned by Enqueue/EnqueueDirect is therefore only
+// valid until the item's Fn returns — reading latency bookkeeping after
+// completion requires Retain, exactly like the kernel's pooled events
+// require dropping the handle before the event fires.
 type WorkItem struct {
 	Label string
 	Cost  Duration
 	Fn    func()
 
+	// t is the owning thread; items never migrate between freelists, so the
+	// pre-bound wake callback stays valid across recycles.
+	t *Thread
+	// next links the item into the thread freelist while parked.
+	next *WorkItem
+	// wakeFn is the bound (*WorkItem).wake method value, created once when
+	// the item is first allocated — the wakeup scheduling of Enqueue reuses
+	// it instead of closing over the item on every call.
+	wakeFn EventFunc
+
 	enqueued   Time // when Enqueue was called
 	ready      Time // when the wakeup latency elapsed and the item became runnable
 	started    Time // first dispatch on a core
 	finished   Time
-	everRan    bool
 	preemptCnt int
+	retained   bool
+	inFree     bool
 }
 
 // Enqueued returns the time Enqueue was called for this item.
@@ -32,6 +48,16 @@ func (w *WorkItem) Finished() Time { return w.finished }
 
 // Preemptions returns how often the item was preempted.
 func (w *WorkItem) Preemptions() int { return w.preemptCnt }
+
+// Retain opts the item out of freelist recycling: the handle (and its
+// latency bookkeeping) stays valid after completion instead of aliasing
+// whatever work reuses the slot. Call it right after Enqueue when the
+// timestamps are read after the run; fire-and-forget callers (the hot path)
+// never need it.
+func (w *WorkItem) Retain() *WorkItem {
+	w.retained = true
+	return w
+}
 
 // Thread is a schedulable entity with a fixed priority and a FIFO queue of
 // work items. Higher Priority values take precedence.
@@ -48,12 +74,17 @@ type Thread struct {
 	remaining  Duration
 	running    bool
 	blocked    bool // suspended outside the scheduler (fault injection)
+	shouldRun  bool // scratch of Processor.reschedule, meaningless outside it
 	dispatched Time // when the thread last got a core
 	readySince Time
 	completion *Event
 	// completeFn is the bound t.complete method value, created once so
 	// every dispatch does not allocate a fresh closure.
 	completeFn EventFunc
+	// free heads the intrusive freelist of recycled work items; freeLen
+	// mirrors its length for allocation assertions in tests.
+	free    *WorkItem
+	freeLen int
 
 	busy      Duration // accumulated executed CPU time
 	completed uint64
@@ -78,6 +109,11 @@ type Processor struct {
 	Wakeup Dist
 
 	threads []*Thread
+	// ready and coreTaken are reschedule scratch, reused across calls so the
+	// scheduler itself never allocates. reschedule runs no user code, so the
+	// buffers cannot be re-entered.
+	ready     []*Thread
+	coreTaken []bool
 }
 
 // NewProcessor creates a processor with the given core count. The overhead
@@ -140,38 +176,84 @@ func (p *Processor) Utilization() float64 {
 	return float64(busy) / (float64(p.k.Now()) * float64(p.Cores))
 }
 
-// Enqueue schedules a work item on the thread. The item becomes runnable
-// after the processor's wakeup latency and then competes for a core at the
-// thread's priority. It returns the item for latency bookkeeping.
-func (t *Thread) Enqueue(label string, cost Duration, fn func()) *WorkItem {
+// newItem is the single work-item constructor behind Enqueue and
+// EnqueueDirect: it pops a recycled item off the thread freelist (or heap-
+// allocates the first few laps) and initializes every field both entry
+// points share, so the two paths cannot drift apart.
+func (t *Thread) newItem(label string, cost Duration, fn func()) *WorkItem {
 	if cost < 0 {
 		panic(fmt.Sprintf("sim: negative cost %v for %q", cost, label))
 	}
-	w := &WorkItem{Label: label, Cost: cost, Fn: fn, enqueued: t.proc.k.Now()}
+	w := t.free
+	if w != nil {
+		t.free = w.next
+		t.freeLen--
+		w.next = nil
+		w.inFree = false
+		w.Label, w.Cost, w.Fn = label, cost, fn
+		w.ready, w.started, w.finished = 0, 0, 0
+		w.preemptCnt = 0
+		w.retained = false
+	} else {
+		w = &WorkItem{t: t, Label: label, Cost: cost, Fn: fn}
+		w.wakeFn = w.wake
+	}
+	w.enqueued = t.proc.k.Now()
+	return w
+}
+
+// releaseItem parks a completed item on the thread freelist. Retained items
+// stay out; the stale Fn and Label are cleared so a recycled slot can never
+// run or report a previous item's work.
+func (t *Thread) releaseItem(w *WorkItem) {
+	if w.retained || w.inFree {
+		return
+	}
+	w.Fn = nil
+	w.Label = ""
+	w.inFree = true
+	w.next = t.free
+	t.free = w
+	t.freeLen++
+}
+
+// FreeItems returns the number of work items parked on the freelist, for
+// allocation assertions in tests.
+func (t *Thread) FreeItems() int { return t.freeLen }
+
+// wake makes the item runnable after the wakeup latency elapsed. It is
+// scheduled through the pre-bound wakeFn, so enqueueing does not allocate a
+// closure per item.
+func (w *WorkItem) wake() {
+	t := w.t
+	w.ready = t.proc.k.Now()
+	if len(t.queue) == 0 && t.current == nil {
+		t.readySince = w.ready
+	}
+	t.queue = append(t.queue, w)
+	t.proc.reschedule()
+}
+
+// Enqueue schedules a work item on the thread. The item becomes runnable
+// after the processor's wakeup latency and then competes for a core at the
+// thread's priority. The returned handle is valid until the item's Fn
+// returns; Retain it when bookkeeping must survive completion.
+func (t *Thread) Enqueue(label string, cost Duration, fn func()) *WorkItem {
+	w := t.newItem(label, cost, fn)
 	wake := t.proc.Wakeup.Sample(t.proc.rng)
-	t.proc.k.AfterPooled(wake, func() {
-		w.ready = t.proc.k.Now()
-		if len(t.queue) == 0 && t.current == nil {
-			t.readySince = w.ready
-		}
-		t.queue = append(t.queue, w)
-		t.proc.reschedule()
-	})
+	t.proc.k.AfterPooled(wake, w.wakeFn)
 	return w
 }
 
 // EnqueueDirect schedules a work item without the wakeup latency: the item
 // becomes runnable immediately. Use it for work a thread queues onto itself
 // (it is already awake), e.g. the monitor thread dispatching exception
-// handlers it will execute next.
+// handlers it will execute next. The handle contract matches Enqueue.
 func (t *Thread) EnqueueDirect(label string, cost Duration, fn func()) *WorkItem {
-	if cost < 0 {
-		panic(fmt.Sprintf("sim: negative cost %v for %q", cost, label))
-	}
-	now := t.proc.k.Now()
-	w := &WorkItem{Label: label, Cost: cost, Fn: fn, enqueued: now, ready: now}
+	w := t.newItem(label, cost, fn)
+	w.ready = w.enqueued
 	if len(t.queue) == 0 && t.current == nil {
-		t.readySince = now
+		t.readySince = w.ready
 	}
 	t.queue = append(t.queue, w)
 	t.proc.reschedule()
@@ -235,28 +317,42 @@ func (t *Thread) ready() bool {
 func (p *Processor) reschedule() {
 	now := p.k.Now()
 
-	ready := make([]*Thread, 0, len(p.threads))
+	ready := p.ready[:0]
 	for _, t := range p.threads {
+		t.shouldRun = false
 		if t.ready() {
 			ready = append(ready, t)
 		}
 	}
-	sort.SliceStable(ready, func(i, j int) bool {
-		if ready[i].Priority != ready[j].Priority {
-			return ready[i].Priority > ready[j].Priority
+	// Stable insertion sort by priority (desc), then readySince (asc):
+	// registration order breaks remaining ties, exactly as sort.SliceStable
+	// did, so scheduling decisions — and every golden — are unchanged.
+	for i := 1; i < len(ready); i++ {
+		t := ready[i]
+		j := i - 1
+		for j >= 0 && (ready[j].Priority < t.Priority ||
+			(ready[j].Priority == t.Priority && ready[j].readySince > t.readySince)) {
+			ready[j+1] = ready[j]
+			j--
 		}
-		return ready[i].readySince < ready[j].readySince
-	})
+		ready[j+1] = t
+	}
+	p.ready = ready
 
-	shouldRun := make(map[*Thread]bool, p.Cores)
-	coreTaken := make([]bool, p.Cores)
+	if p.coreTaken == nil {
+		p.coreTaken = make([]bool, p.Cores)
+	}
+	coreTaken := p.coreTaken
+	for i := range coreTaken {
+		coreTaken[i] = false
+	}
 	taken := 0
 	// Pinned threads first: the highest-priority ready thread of each
 	// core (ready is priority-sorted).
 	for _, t := range ready {
 		if t.pinned >= 0 && !coreTaken[t.pinned] {
 			coreTaken[t.pinned] = true
-			shouldRun[t] = true
+			t.shouldRun = true
 			taken++
 		}
 	}
@@ -265,23 +361,28 @@ func (p *Processor) reschedule() {
 		if taken >= p.Cores {
 			break
 		}
-		if t.pinned < 0 && !shouldRun[t] {
-			shouldRun[t] = true
+		if t.pinned < 0 && !t.shouldRun {
+			t.shouldRun = true
 			taken++
 		}
 	}
 
 	// Preempt threads that lost their core.
 	for _, t := range p.threads {
-		if t.running && !shouldRun[t] {
+		if t.running && !t.shouldRun {
 			t.preempt(now)
 		}
 	}
 	// Dispatch threads that gained a core.
 	for _, t := range ready {
-		if shouldRun[t] && !t.running {
+		if t.shouldRun && !t.running {
 			t.dispatch(now)
 		}
+	}
+	// Drop scratch references so completed threads' items stay collectable
+	// between reschedules.
+	for i := range ready {
+		ready[i] = nil
 	}
 }
 
@@ -310,7 +411,6 @@ func (t *Thread) dispatch(now Time) {
 		t.queue = t.queue[:len(t.queue)-1]
 		t.remaining = t.current.Cost
 		t.current.started = now
-		t.current.everRan = true
 	}
 	// Context-switch overhead on every dispatch (initial or resume).
 	t.remaining += t.proc.CtxSwitch.Sample(t.proc.rng)
@@ -337,6 +437,11 @@ func (t *Thread) complete() {
 	if w.Fn != nil {
 		w.Fn()
 	}
+	// Recycle after Fn returned (callbacks may read the item's timestamps
+	// while running) and before rescheduling — Fn may have enqueued new
+	// work, which pops from the freelist, never aliasing w since w is only
+	// parked here.
+	t.releaseItem(w)
 	t.proc.reschedule()
 }
 

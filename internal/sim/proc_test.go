@@ -99,7 +99,7 @@ func TestPreemptedWorkResumesWithRemainingCost(t *testing.T) {
 	lo := p.NewThread("lo", 1)
 	hi := p.NewThread("hi", 10)
 	var loDone Time
-	w := lo.Enqueue("long", 100*time.Nanosecond, func() { loDone = k.Now() })
+	w := lo.Enqueue("long", 100*time.Nanosecond, func() { loDone = k.Now() }).Retain()
 	k.At(50, func() { hi.Enqueue("h", 30*time.Nanosecond, nil) })
 	k.Run()
 	if loDone != 130 {
@@ -354,7 +354,7 @@ func TestThreadIntrospection(t *testing.T) {
 		t.Error("RNG() nil")
 	}
 	th := p.NewThread("a", 1)
-	w := th.Enqueue("j", 10*time.Nanosecond, nil)
+	w := th.Enqueue("j", 10*time.Nanosecond, nil).Retain()
 	if th.QueueLen() != 0 { // not yet ready (wakeup pending as event)
 		t.Errorf("queue len = %d before wakeup", th.QueueLen())
 	}
