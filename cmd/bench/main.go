@@ -4,8 +4,9 @@
 //
 //   - hot-path allocation cuts: kernel event scheduling with and without the
 //     pooled freelist, the overload queue-churn workload (work-item freelist
-//     and pre-bound wakers), and the sweep-framework overhead per combo, all
-//     measured via testing.Benchmark;
+//     and pre-bound wakers), the deadline hot-swap cycle of the adaptive
+//     budget loop (budget_swap), and the sweep-framework overhead per combo,
+//     all measured via testing.Benchmark;
 //   - parallel campaign throughput: the frozen 102-combo chaos matrix (or
 //     the 10k nightly matrix with -matrix 10k) run serially and through the
 //     sharded worker pool, with the merged summaries byte-compared so the
@@ -48,6 +49,7 @@ import (
 	"chainmon/internal/fleet"
 	"chainmon/internal/parallel"
 	"chainmon/internal/perception"
+	rt "chainmon/internal/runtime"
 	"chainmon/internal/sim"
 )
 
@@ -177,6 +179,40 @@ func main() {
 			if !k.Step() {
 				b.Fatal("queue drained")
 			}
+		}
+	})
+	// budget_swap is the deadline hot-swap path of the adaptive budget loop:
+	// one op arms 64 pending timeouts, shrinks the segment deadline with
+	// retime (64 lazy heap re-arms), grows it back, then resolves the batch
+	// and prunes the stale heap entries. TestSwapAllocFree in
+	// internal/runtime pins this cycle at 0 allocs/op; the row tracks its
+	// wall cost alongside the other hot-path cuts.
+	run("budget_swap", func(b *testing.B) {
+		b.ReportAllocs()
+		c := rt.NewCore()
+		s := c.AddSegment("s", 10*time.Millisecond, &rt.SliceRing{}, &rt.SliceRing{}, rt.SegmentHooks{})
+		now := rt.Time(0)
+		act := uint64(0)
+		cycle := func() {
+			for i := 0; i < 64; i++ {
+				act++
+				s.StartRing().Post(rt.Event{Act: act, TS: now})
+			}
+			c.Scan(now)
+			c.SetDeadline(s, 2*time.Millisecond, now, true)
+			c.SetDeadline(s, 10*time.Millisecond, now, true)
+			for a := act - 63; a <= act; a++ {
+				s.EndRing().Post(rt.Event{Act: a, TS: now.Add(time.Millisecond)})
+			}
+			now = now.Add(time.Millisecond)
+			c.Scan(now)
+			now = now.Add(30 * time.Millisecond)
+			c.Scan(now)
+		}
+		cycle() // warm the timeout pool before the timer starts
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle()
 		}
 	})
 	// sweep_framework isolates the sweep machinery from the combos: one op is

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"chainmon/internal/budget"
+	"chainmon/internal/livestats"
+	"chainmon/internal/weaklyhard"
+)
+
+// TestHealthProblemMatchesControllerFrontend pins the agreement contract of
+// -from-health: solving over a scraped /health document (including the JSON
+// round trip) must produce byte-for-byte the same deadline assignment as
+// the adaptive controller's in-process frontend, which reads the same
+// quantile points straight from the live sketches. Both funnel into
+// budget.LiveProblem.Build; this test would catch either side drifting to a
+// different point set, trace synthesis or solver entry point.
+func TestHealthProblemMatchesControllerFrontend(t *testing.T) {
+	c := weaklyhard.Constraint{M: 1, K: 8}
+	set := livestats.NewSet(0.01)
+	segs := []string{"stage/a", "stage/b"}
+	for i, name := range segs {
+		sc := set.Segment(name, c)
+		for j := 0; j < 300; j++ {
+			// Distinct skewed distributions per segment.
+			lat := float64(2_000_000+i*1_500_000) + float64(j%97)*40_000
+			if j%41 == 0 {
+				lat *= 2.5 // heavy tail
+			}
+			sc.Observe(lat, false)
+		}
+	}
+
+	const (
+		dex  = int64(1_000_000)
+		be2e = int64(40_000_000)
+	)
+
+	// Offline path: Health → JSON → parse → healthProblem (what the CLI does
+	// with a scraped document).
+	raw, err := json.Marshal(set.Health())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h livestats.Health
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatal(err)
+	}
+	offline, skipped, err := healthProblem(h, segs, dex, be2e, 0, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped %v, want none", skipped)
+	}
+
+	// Online path: the controller's frontend — quantile points read directly
+	// from the live scopes (internal/adaptive reads {p50, p95, p99, max} via
+	// QuantileOK and builds the same LiveProblem).
+	live := make([]budget.LiveSegment, 0, len(segs))
+	for _, name := range segs {
+		sc := set.Segment(name, c)
+		var pts []budget.QuantilePoint
+		for _, q := range []float64{0.50, 0.95, 0.99, 1.00} {
+			v, ok := sc.QuantileOK(q)
+			if !ok {
+				t.Fatalf("segment %s: quantile %v unobserved", name, q)
+			}
+			pts = append(pts, budget.QuantilePoint{Q: q, NS: v})
+		}
+		live = append(live, budget.LiveSegment{
+			Name: name, Propagation: 1, Count: sc.Count(), Points: pts,
+		})
+	}
+	online, _, err := budget.LiveProblem{
+		Segments: live, DEx: dex, Be2e: be2e, Constraint: c,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(offline, online) {
+		t.Fatalf("synthesized problems diverge:\noffline %+v\nonline  %+v", offline, online)
+	}
+	okOff, aOff := budget.Schedulable(offline)
+	okOn, aOn := budget.Schedulable(online)
+	if !okOff || !okOn {
+		t.Fatalf("expected both schedulable (offline %v, online %v)", aOff.Reason, aOn.Reason)
+	}
+	if !reflect.DeepEqual(aOff.Deadlines, aOn.Deadlines) || aOff.Sum != aOn.Sum {
+		t.Fatalf("deadline assignments diverge:\noffline %v\nonline  %v", aOff.Deadlines, aOn.Deadlines)
+	}
+}

@@ -11,9 +11,11 @@
 //	         [-telemetry-trace out.json] [-metrics-out metrics.prom]
 //	         [-telemetry-csv events.csv] [-metrics-addr :9090]
 //	         [-trace-stream events.chmtrc] [-trace-rotate BYTES]
+//	         [-adaptive [-adapt-interval D] [-adapt-guard F]]
 //	chainmon -realtime [-frames N] [-seed S] [-metrics-addr :9090]
 //	         [-metrics-out metrics.prom] [-trace-stream events.chmtrc]
 //	         [-trace-rotate BYTES]
+//	         [-adaptive [-adapt-interval D] [-adapt-guard F]]
 //	chainmon trace convert events.chmtrc out.json
 //	chainmon trace report events.chmtrc
 //	chainmon trace report -diff [-diff-rel F] [-diff-abs D] [-diff-miss F] old.chmtrc new.chmtrc
@@ -47,6 +49,15 @@
 // exported as chainmon_live_* gauges on /metrics (and in -metrics-out) and
 // as a JSON document on /health. The -metrics-addr mux also mounts
 // net/http/pprof under /debug/pprof/.
+//
+// -adaptive closes the loop between the health layer and the monitor: a
+// periodic controller re-solves the local segment deadlines from the live
+// latency quantiles and hot-swaps them through the budget table, guarded by
+// hysteresis (-adapt-guard), min/max clamps, a solver margin and burn-aware
+// hold/rollback rules. In the simulation the controller ticks as a kernel
+// event, so same-seed runs produce byte-identical actuation sequences; with
+// -realtime it ticks on a wall-clock ticker. The actuation history and the
+// current budget table are part of the /health document.
 package main
 
 import (
@@ -59,9 +70,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"chainmon/internal/adaptive"
 	"chainmon/internal/faultinject"
 	"chainmon/internal/livestats"
 	"chainmon/internal/monitor"
@@ -72,6 +85,7 @@ import (
 	"chainmon/internal/sim"
 	"chainmon/internal/telemetry"
 	"chainmon/internal/trace"
+	"chainmon/internal/weaklyhard"
 )
 
 func main() {
@@ -102,6 +116,9 @@ func main() {
 	traceStream := flag.String("trace-stream", "", "stream the flight recorder to this binary log while the run progresses (see 'chainmon trace convert/report')")
 	traceRotate := flag.Int64("trace-rotate", 0, "rotate the -trace-stream log into gzip-compressed segments (<log>.0.gz, .1.gz, …) of roughly this many uncompressed bytes each")
 	rtMode := flag.Bool("realtime", false, "run the monitor core on the wall clock (real goroutines and deadlines) instead of the simulation")
+	adaptiveFlag := flag.Bool("adaptive", false, "run the adaptive budget control loop: periodically re-solve the segment deadlines from live latency quantiles and hot-swap them mid-run")
+	adaptInterval := flag.Duration("adapt-interval", time.Second, "control-loop tick interval (virtual time in the simulation, wall time with -realtime)")
+	adaptGuard := flag.Float64("adapt-guard", adaptive.DefaultHysteresis, "control-loop hysteresis dead band, as a fraction of the current deadline")
 	flag.Parse()
 
 	if *traceRotate < 0 {
@@ -123,7 +140,8 @@ func main() {
 				rcfg.Frames = *frames
 			case "seed":
 				rcfg.Seed = *seed
-			case "realtime", "metrics-addr", "metrics-out", "trace-stream", "trace-rotate":
+			case "realtime", "metrics-addr", "metrics-out", "trace-stream", "trace-rotate",
+				"adaptive", "adapt-interval", "adapt-guard":
 			default:
 				bad = append(bad, "-"+fl.Name)
 			}
@@ -131,7 +149,11 @@ func main() {
 		if len(bad) > 0 {
 			log.Fatalf("-realtime is a wall-clock run; it cannot combine with the simulation-only flags %s", strings.Join(bad, ", "))
 		}
-		runRealtime(rcfg, *metricsAddr, *metricsOut, *traceStream, *traceRotate)
+		var ad *adaptOpts
+		if *adaptiveFlag {
+			ad = &adaptOpts{interval: *adaptInterval, guard: *adaptGuard}
+		}
+		runRealtime(rcfg, *metricsAddr, *metricsOut, *traceStream, *traceRotate, ad)
 		return
 	}
 
@@ -197,9 +219,14 @@ func main() {
 		}
 	}
 
-	wantTelemetry := *telTrace != "" || *metricsOut != "" || *telCSV != "" || *metricsAddr != "" || *traceStream != ""
+	// The control loop reads live quantiles, so -adaptive implies the live
+	// health layer even when no exporter was asked for.
+	wantTelemetry := *telTrace != "" || *metricsOut != "" || *telCSV != "" || *metricsAddr != "" || *traceStream != "" || *adaptiveFlag
 
 	if *seeds > 1 {
+		if *adaptiveFlag {
+			log.Fatal("-adaptive applies to a single run; drop it or use -seeds 1")
+		}
 		// Multi-seed sweep: each seed is an independent simulation sharded
 		// over the worker pool; the merged output is ordered by seed, so a
 		// parallel sweep prints exactly what the serial one would.
@@ -215,7 +242,7 @@ func main() {
 			c.Seed = cfg.Seed + int64(shard)
 			var buf bytes.Buffer
 			fmt.Fprintf(&buf, "### seed %d\n", c.Seed)
-			sound := runOne(c, camp, nil, nil, &buf)
+			sound := runOne(c, camp, nil, nil, nil, &buf)
 			return outcome{buf.Bytes(), sound}
 		})
 		allSound := true
@@ -253,7 +280,11 @@ func main() {
 		live = newLiveSet(sink, stream)
 	}
 
-	sound := runOne(cfg, camp, sink, live, os.Stdout)
+	var ad *adaptOpts
+	if *adaptiveFlag {
+		ad = &adaptOpts{interval: *adaptInterval, guard: *adaptGuard}
+	}
+	sound := runOne(cfg, camp, sink, live, ad, os.Stdout)
 	closeStream(stream, *traceStream)
 	if !sound {
 		os.Exit(1)
@@ -388,17 +419,95 @@ func runTraceCmd(args []string) {
 	}
 }
 
+// adaptOpts carries the -adaptive flags into a run.
+type adaptOpts struct {
+	interval time.Duration
+	guard    float64
+}
+
+// attachAdaptive wires the budget control loop to the ECU2 evaluation
+// segments: a fresh BudgetTable on their monitor, a controller solving over
+// the live quantiles, and a deterministic kernel-event tick schedule.
+func attachAdaptive(s *perception.System, live *livestats.Set, sink *telemetry.Sink, ad *adaptOpts) *adaptive.Controller {
+	cfg := s.Cfg
+	table := monitor.NewBudgetTable()
+	s.MonECU2.AttachBudget(table)
+	chain := ""
+	if cfg.FullChain {
+		// The front chain ends in the objects segment; its burn state gates
+		// rollback for the controlled pair.
+		chain = s.ChainFront.Name
+	}
+	ctrl, err := adaptive.New(adaptive.Config{
+		Set: live, Table: table, Chain: chain,
+		Segments: []adaptive.SegmentSpec{
+			{Name: perception.SegObjectsLocal, Propagation: 1,
+				Initial: cfg.LocalDeadline, Min: cfg.LocalDeadline / 20, Max: cfg.LocalDeadline},
+			{Name: perception.SegGroundLocal, Propagation: 1,
+				Initial: cfg.LocalDeadline, Min: cfg.LocalDeadline / 20, Max: cfg.LocalDeadline},
+		},
+		DEx: sim.Millisecond,
+		// Both segments at their Max plus 10% headroom: the budget cap is a
+		// sanity bound here, not the binding constraint — Min/Max clamps are.
+		Be2e:       2*(cfg.LocalDeadline+sim.Millisecond) + cfg.LocalDeadline/5,
+		Constraint: cfg.Constraint,
+		Guard:      adaptive.Guardrails{Hysteresis: ad.guard},
+		Sink:       sink,
+	})
+	if err != nil {
+		log.Fatalf("building adaptive controller: %v", err)
+	}
+	ctrl.ScheduleSim(s.K, ad.interval, sim.Time(cfg.Frames)*sim.Time(cfg.Period))
+	return ctrl
+}
+
+// printActuations summarizes the control loop's decisions after a run.
+// baseNS is subtracted from the tick timestamps: zero for the simulation
+// (virtual time already starts at zero), the run's start time on the wall
+// clock (ticks are stamped with absolute unix nanos there).
+func printActuations(w io.Writer, hist []adaptive.Actuation, baseNS int64) {
+	counts := map[string]int{}
+	for _, a := range hist {
+		counts[a.Result]++
+	}
+	fmt.Fprintf(w, "\nadaptive budget loop: %d ticks (%d applied, %d held, %d infeasible, %d rollback)\n",
+		len(hist), counts[adaptive.ResultApplied], counts[adaptive.ResultHeld],
+		counts[adaptive.ResultInfeasible], counts[adaptive.ResultRollback])
+	for _, a := range hist {
+		if a.Result == adaptive.ResultHeld {
+			continue
+		}
+		fmt.Fprintf(w, "  t=%-12v epoch=%d %-10s", time.Duration(a.AtNS-baseNS), a.Epoch, a.Result)
+		names := make([]string, 0, len(a.DeadlinesNS))
+		for name := range a.DeadlinesNS {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, " %s=%v", name, time.Duration(a.DeadlinesNS[name]))
+		}
+		if a.Reason != "" {
+			fmt.Fprintf(w, "  (%s)", a.Reason)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
 // runOne builds the system for one configuration, runs it and writes the
 // full report to w. A non-nil sink (and live set) is wired into the system
 // (single-run only). The returned flag is false when a fault-campaign
 // oracle cross-check failed.
-func runOne(cfg perception.Config, camp faultinject.Campaign, sink *telemetry.Sink, live *livestats.Set, w io.Writer) bool {
+func runOne(cfg perception.Config, camp faultinject.Campaign, sink *telemetry.Sink, live *livestats.Set, ad *adaptOpts, w io.Writer) bool {
 	s := perception.Build(cfg)
 	if sink != nil {
 		perception.AttachTelemetry(s, sink)
 	}
 	if live != nil {
 		perception.AttachLive(s, live)
+	}
+	var ctrl *adaptive.Controller
+	if ad != nil && s.MonECU2 != nil && live != nil {
+		ctrl = attachAdaptive(s, live, sink, ad)
 	}
 	var sup *monitor.Supervisor
 	if cfg.FullChain {
@@ -439,6 +548,10 @@ func runOne(cfg perception.Config, camp faultinject.Campaign, sink *telemetry.Si
 	fmt.Fprintln(w, "\nmonitor overheads (simulated):")
 	for _, row := range s.MonECU2.Overheads().Rows() {
 		fmt.Fprintf(w, "  %s\n", row)
+	}
+
+	if ctrl != nil {
+		printActuations(w, ctrl.History(), 0)
 	}
 
 	if cfg.FullChain {
@@ -525,7 +638,7 @@ func writeTrace(path string, cfg perception.Config) {
 // goroutine append to lock-free rings, a drainer goroutine writes the log —
 // bounded memory regardless of run length, drops counted in
 // chainmon_stream_dropped_total.
-func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream string, traceRotate int64) {
+func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream string, traceRotate int64, ad *adaptOpts) {
 	var sink *telemetry.Sink
 	var stream *telemetry.StreamWriter
 	if traceStream != "" {
@@ -545,6 +658,32 @@ func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream strin
 	}
 	live := newLiveSet(sink, stream)
 	cfg.Live = live
+
+	var ctrl *adaptive.Controller
+	if ad != nil {
+		cfg.Budget = monitor.NewBudgetTable()
+		var err error
+		ctrl, err = adaptive.New(adaptive.Config{
+			Set: live, Table: cfg.Budget, Chain: "rt",
+			Segments: []adaptive.SegmentSpec{
+				{Name: realtime.SegObjects, Propagation: 1,
+					Initial: sim.Duration(cfg.Deadline), Min: sim.Duration(time.Millisecond),
+					Max: sim.Duration(cfg.Period - time.Millisecond)},
+				{Name: realtime.SegGround, Propagation: 1,
+					Initial: sim.Duration(cfg.Deadline), Min: sim.Duration(time.Millisecond),
+					Max: sim.Duration(cfg.Period - time.Millisecond)},
+			},
+			DEx:  sim.Duration(time.Millisecond),
+			Be2e: 2 * sim.Duration(cfg.Period),
+			// Matches the (m,k) budget realtime.Run installs on its segments.
+			Constraint: weaklyhard.Constraint{M: 1, K: 5},
+			Guard:      adaptive.Guardrails{Hysteresis: ad.guard},
+			Sink:       sink,
+		})
+		if err != nil {
+			log.Fatalf("building adaptive controller: %v", err)
+		}
+	}
 
 	if metricsAddr != "" {
 		ln, err := net.Listen("tcp", metricsAddr)
@@ -567,7 +706,15 @@ func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream strin
 		fmt.Printf("serving live metrics on http://%s/metrics (+ /health, /debug/pprof/)\n", ln.Addr())
 	}
 
+	var stopCtrl func()
+	startNS := time.Now().UnixNano()
+	if ctrl != nil {
+		stopCtrl = ctrl.StartWall(ad.interval)
+	}
 	res, err := realtime.Run(cfg, sink)
+	if stopCtrl != nil {
+		stopCtrl()
+	}
 	if err != nil {
 		log.Fatalf("wall-clock run failed: %v", err)
 	}
@@ -575,5 +722,8 @@ func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream strin
 	// what a last live /metrics scrape would have shown.
 	closeStream(stream, traceStream)
 	res.Summary(os.Stdout)
+	if ctrl != nil {
+		printActuations(os.Stdout, ctrl.History(), startNS)
+	}
 	writeTelemetry(sink, "", metricsOut, "")
 }

@@ -74,6 +74,55 @@ func TestChaosMatrix(t *testing.T) {
 	}
 }
 
+// chaosSwaps is the actuation schedule of the epoch-boundary matrix: the
+// objects deadline is halved mid-run and restored near the end, the ground
+// deadline tightened once. The instants sit off the 100 ms frame grid so
+// epoch boundaries land between a start and its drain as often as possible.
+func chaosSwaps() []BudgetSwap {
+	return []BudgetSwap{
+		{At: Duration(3550 * sim.Millisecond), Segment: perception.SegObjectsLocal, DMon: 50 * Duration(sim.Millisecond)},
+		{At: Duration(5050 * sim.Millisecond), Segment: perception.SegGroundLocal, DMon: 70 * Duration(sim.Millisecond)},
+		{At: Duration(8550 * sim.Millisecond), Segment: perception.SegObjectsLocal, DMon: 100 * Duration(sim.Millisecond)},
+	}
+}
+
+// TestChaosMatrixWithActuations re-runs the PR matrix (the 23-combo grid of
+// the CI job) with mid-run deadline actuations staged through the budget
+// table on every combo. The oracle knows the actuation timeline, so the
+// zero-false-negative contract is asserted ACROSS the epoch boundaries: an
+// activation judged under the tightened deadline must raise an exception
+// whenever its true latency exceeds it, and the swap barrier must keep
+// in-flight activations on their armed deadline (else the interval checks
+// flag a false positive). The halved objects deadline is chosen to bite —
+// nominal objects latencies routinely exceed 50 ms — so the assertion is
+// not vacuous, which the TrueLate floor pins.
+func TestChaosMatrixWithActuations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix is not a -short test")
+	}
+	trueLate := 0
+	for _, combo := range PRMatrix() {
+		combo := combo
+		combo.Swaps = chaosSwaps()
+		t.Run(combo.String(), func(t *testing.T) {
+			run, err := RunCombo(combo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !run.Report.Ok() {
+				t.Errorf("oracle invariants violated across epoch boundaries:\n%s", run.Report.Summary())
+			}
+			s := segReport(t, run.Report, perception.SegObjectsLocal)
+			trueLate += s.TrueLate
+		})
+	}
+	// Whether a combo's objects latencies exceed the halved deadline depends
+	// on its campaign and seed, so the floor is matrix-wide.
+	if trueLate < 50 {
+		t.Errorf("tightened objects deadline rarely bit (TrueLate=%d across the matrix); the FN assertion is near-vacuous", trueLate)
+	}
+}
+
 // TestChaosDDSContext runs the campaigns that leave the middleware thread
 // schedulable under the dds-context variant: without interference the
 // delayed timeout entry stays bounded and the soundness contract holds.

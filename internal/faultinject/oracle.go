@@ -112,9 +112,77 @@ type SegmentTruth struct {
 	res     map[uint64]monitor.Resolution
 	tainted map[uint64]bool // touched by a recovery injection: latency truth unknown
 
+	// timeline records hot-swapped deadline actuations (budget epochs) in
+	// staging order. Empty means the construction deadline DMon held for the
+	// whole run.
+	timeline []deadlineChange
+
 	haveRes  bool
 	firstRes uint64
 	lastRes  uint64
+}
+
+// deadlineChange is one staged deadline actuation: from At on, the
+// monitored deadline is (eventually) DMon.
+type deadlineChange struct {
+	At   sim.Time
+	DMon sim.Duration
+}
+
+// DeadlineChange records a deadline actuation staged at the given time.
+// Calls must come in non-decreasing staging order (the budget table's
+// epochs are totally ordered, so any actuation source is).
+//
+// The monitor applies a staged deadline at the top of its next scan pass,
+// and the swap barrier keeps in-flight activations on the deadline they
+// were armed with — so around an epoch boundary the oracle cannot know
+// which of the two deadlines judged a given activation. The checks become
+// interval-based: a false negative needs the true latency beyond the
+// LARGEST deadline possibly in force near the start, a false positive
+// needs it below the SMALLEST. Away from boundaries the interval collapses
+// to a point and the checks are exactly as tight as the static ones.
+func (st *SegmentTruth) DeadlineChange(at sim.Time, dmon sim.Duration) {
+	st.timeline = append(st.timeline, deadlineChange{At: at, DMon: dmon})
+}
+
+// DeadlineChange records an actuation on the named segment truth; unknown
+// names are ignored (the controller may manage segments the oracle does
+// not watch).
+func (o *Oracle) DeadlineChange(segment string, at sim.Time, dmon sim.Duration) {
+	for _, st := range o.segs {
+		if st.Name == segment {
+			st.DeadlineChange(at, dmon)
+		}
+	}
+}
+
+// dmonBounds returns the smallest and largest monitored deadline that can
+// have judged an activation started at the given time. The staging-to-
+// application delay is at most one scan pass, bounded by the segment
+// period, so every deadline in force anywhere in [start, start+Period] is
+// a candidate: the value staged last before the window plus anything
+// staged inside it.
+func (st *SegmentTruth) dmonBounds(start sim.Time) (lo, hi sim.Duration) {
+	lo, hi = st.DMon, st.DMon
+	inForce := st.DMon
+	until := start.Add(st.Period)
+	for _, ch := range st.timeline {
+		if ch.At <= start {
+			inForce = ch.DMon
+			lo, hi = inForce, inForce
+			continue
+		}
+		if ch.At > until {
+			break
+		}
+		if ch.DMon < lo {
+			lo = ch.DMon
+		}
+		if ch.DMon > hi {
+			hi = ch.DMon
+		}
+	}
+	return lo, hi
 }
 
 // Segment registers a segment truth record. Remote marks segments whose
@@ -410,18 +478,22 @@ func (st *SegmentTruth) checkLocal() (SegmentReport, []Violation) {
 			}
 			continue
 		}
-		if tl > st.DMon+st.Grace {
+		// With hot-swapped deadlines the judging deadline is one of the
+		// values in force near the start (see DeadlineChange); the FN check
+		// uses the largest candidate, the FP check the smallest.
+		dmonLo, dmonHi := st.dmonBounds(st.starts[act])
+		if tl > dmonHi+st.Grace {
 			rep.TrueLate++
 			if !r.Exception {
 				vs = append(vs, Violation{st.Name, act, KindFalseNegative,
 					fmt.Sprintf("true latency %v > deadline %v + grace %v, resolved %v",
-						tl, st.DMon, st.Grace, r.Status)})
+						tl, dmonHi, st.Grace, r.Status)})
 			}
 		}
-		if r.Exception && tl <= st.DMon-st.Slack {
+		if r.Exception && tl <= dmonLo-st.Slack {
 			vs = append(vs, Violation{st.Name, act, KindFalsePositive,
 				fmt.Sprintf("exception although true latency %v ≤ deadline %v − slack %v",
-					tl, st.DMon, st.Slack)})
+					tl, dmonLo, st.Slack)})
 		}
 	}
 	return rep, vs

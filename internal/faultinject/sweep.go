@@ -36,11 +36,23 @@ type Run struct {
 }
 
 // Combo is one cell of a sweep: a campaign run at a seed under a monitor
-// variant.
+// variant, optionally with scheduled deadline actuations riding along.
 type Combo struct {
 	Campaign Campaign
 	Seed     int64
 	Variant  monitor.RemoteVariant
+	// Swaps are deadline actuations staged mid-run through the hot-swappable
+	// budget table, in staging order. The oracle is told about each one, so
+	// its soundness checks stay exact across the epoch boundaries.
+	Swaps []BudgetSwap
+}
+
+// BudgetSwap schedules one deadline actuation: at virtual time At, the
+// named local segment's monitored deadline is re-staged to DMon.
+type BudgetSwap struct {
+	At      Duration
+	Segment string
+	DMon    Duration
 }
 
 // String renders the combo as a stable sweep-cell label.
@@ -65,6 +77,19 @@ func RunCombo(c Combo) (*Run, error) {
 	sys.K.At(drain.Add(5*sim.Second), iam.Stop)
 
 	orc := ForPerception(sys, c.Campaign)
+	if len(c.Swaps) > 0 {
+		// Actuations go through the same staged table a live controller
+		// uses; the oracle mirrors each one into its deadline timeline.
+		table := monitor.NewBudgetTable()
+		sys.MonECU2.AttachBudget(table)
+		for _, sw := range c.Swaps {
+			sw := sw
+			sys.K.At(sim.Time(sw.At), func() {
+				table.Stage([]monitor.DeadlineUpdate{{Segment: sw.Segment, DMon: sim.Duration(sw.DMon)}})
+			})
+			orc.DeadlineChange(sw.Segment, sim.Time(sw.At), sim.Duration(sw.DMon))
+		}
+	}
 	if err := NewInjector(sim.NewRNG(c.Seed)).Apply(c.Campaign, TargetsOf(sys)); err != nil {
 		return nil, fmt.Errorf("apply campaign %q: %w", c.Campaign.Name, err)
 	}

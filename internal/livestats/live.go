@@ -25,6 +25,7 @@ type Set struct {
 	scopes   map[string]*Scope
 	names    []string // creation order; exports sort anyway
 	drops    []dropSource
+	budget   func() any // adaptive-controller /health section, nil = absent
 }
 
 type dropSource struct {
@@ -96,6 +97,16 @@ func (s *Set) scope(name, kind string, c weaklyhard.Constraint) *Scope {
 	return sc
 }
 
+// SetBudgetProvider registers the adaptive budget controller's /health
+// section provider. The returned value must be JSON-marshalable and
+// deterministic for a given controller state; it is fetched outside the
+// set's lock so the provider may lock its own state.
+func (s *Set) SetBudgetProvider(fn func() any) {
+	s.mu.Lock()
+	s.budget = fn
+	s.mu.Unlock()
+}
+
 // AddDropSource registers a named drop-total source (e.g. the flight
 // recorder's dropped-events count or the stream sink's drop counter) to
 // surface on /health.
@@ -146,6 +157,15 @@ func (sc *Scope) Quantile(q float64) float64 {
 	sc.set.mu.Lock()
 	defer sc.set.mu.Unlock()
 	return sc.lat.Quantile(q)
+}
+
+// QuantileOK is Quantile with an explicit emptiness signal: ok is false
+// when the scope has observed no latency yet. Budget consumers must use
+// this form so unobserved scopes are skipped, not solved on zeros.
+func (sc *Scope) QuantileOK(q float64) (float64, bool) {
+	sc.set.mu.Lock()
+	defer sc.set.mu.Unlock()
+	return sc.lat.QuantileOK(q)
 }
 
 // Count returns how many latencies the scope has observed.
@@ -201,12 +221,24 @@ type Health struct {
 	Segments map[string]ScopeHealth `json:"segments"`
 	Chains   map[string]ScopeHealth `json:"chains"`
 	Drops    map[string]uint64      `json:"drops,omitempty"`
+	// Budget is the adaptive budget controller's self-description (current
+	// deadline table, epoch, actuation history), filled by the budget
+	// provider when one is registered. Typed as any because livestats sits
+	// below the controller in the dependency order.
+	Budget any `json:"budget,omitempty"`
 }
 
 // Health captures a point-in-time snapshot of the whole set. Map keys are
 // scope names; encoding/json renders maps with sorted keys, so the
 // document is deterministic.
 func (s *Set) Health() Health {
+	s.mu.Lock()
+	budget := s.budget
+	s.mu.Unlock()
+	var budgetDoc any
+	if budget != nil {
+		budgetDoc = budget() // outside the lock: the provider locks its own state
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h := Health{
@@ -239,6 +271,7 @@ func (s *Set) Health() Health {
 			h.Drops[d.name] += d.fn()
 		}
 	}
+	h.Budget = budgetDoc
 	return h
 }
 

@@ -197,14 +197,27 @@ func (s *Sketch) Max() float64 {
 // Estimates are clamped to the exact [Min, Max], so Quantile(0) and
 // Quantile(1) are exact. An empty sketch returns NaN.
 func (s *Sketch) Quantile(q float64) float64 {
-	if s.count == 0 {
+	v, ok := s.QuantileOK(q)
+	if !ok {
 		return math.NaN()
 	}
+	return v
+}
+
+// QuantileOK is Quantile with an explicit emptiness signal: ok is false —
+// and the value 0, never a garbage bucket bound — when no valid value was
+// observed. Consumers that turn quantiles into budgets (the live solver
+// frontend) must use this form so unobserved segments are skipped instead
+// of solved on zeros.
+func (s *Sketch) QuantileOK(q float64) (float64, bool) {
+	if s.count == 0 {
+		return 0, false
+	}
 	if q <= 0 {
-		return s.min
+		return s.min, true
 	}
 	if q >= 1 {
-		return s.max
+		return s.max, true
 	}
 	rank := q * float64(s.count-1)
 
@@ -217,7 +230,7 @@ func (s *Sketch) Quantile(q float64) float64 {
 	if v > s.max {
 		v = s.max
 	}
-	return v
+	return v, true
 }
 
 // locate walks the buckets in ascending value order — negatives by

@@ -1,0 +1,193 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	rt "chainmon/internal/runtime"
+	"chainmon/internal/runtime/walltime"
+	"chainmon/internal/sim"
+	"chainmon/internal/weaklyhard"
+)
+
+// TestBudgetTableVersioning pins the table semantics: versions are
+// cumulative full snapshots, epochs are monotonic, non-positive deadlines
+// are rejected, and wakers fire per stage.
+func TestBudgetTableVersioning(t *testing.T) {
+	tab := NewBudgetTable()
+	if tab.Epoch() != 0 || tab.AppliedEpoch() != 0 {
+		t.Fatalf("fresh table at epoch %d/%d, want 0/0", tab.Epoch(), tab.AppliedEpoch())
+	}
+	kicks := 0
+	tab.RegisterWaker(func() { kicks++ })
+	if e := tab.Stage([]DeadlineUpdate{{Segment: "a", DMon: 5 * sim.Millisecond}}); e != 1 {
+		t.Fatalf("first stage at epoch %d, want 1", e)
+	}
+	if e := tab.Stage([]DeadlineUpdate{{Segment: "b", DMon: 7 * sim.Millisecond}, {Segment: "bogus", DMon: -1}}); e != 2 {
+		t.Fatalf("second stage at epoch %d, want 2", e)
+	}
+	v := tab.load()
+	if len(v.updates) != 2 {
+		t.Fatalf("version carries %d updates, want the full 2-segment snapshot", len(v.updates))
+	}
+	if v.updates[0] != (DeadlineUpdate{Segment: "a", DMon: 5 * sim.Millisecond}) ||
+		v.updates[1] != (DeadlineUpdate{Segment: "b", DMon: 7 * sim.Millisecond}) {
+		t.Fatalf("snapshot %+v lost earlier updates or kept the invalid one", v.updates)
+	}
+	if kicks != 2 {
+		t.Fatalf("wakers kicked %d times, want 2", kicks)
+	}
+	d := tab.Deadlines()
+	if len(d) != 2 || d["a"] != 5*sim.Millisecond || d["b"] != 7*sim.Millisecond {
+		t.Fatalf("staged deadlines %v", d)
+	}
+}
+
+// TestBudgetSwapSimBarrier drives the deterministic rig across a mid-run
+// shrink: the activation already in flight when the new table lands keeps
+// its armed deadline (swap barrier), the next one is supervised under the
+// tighter budget and misses.
+func TestBudgetSwapSimBarrier(t *testing.T) {
+	r := newTestRig()
+	seg := r.segment(5*sim.Millisecond, weaklyhard.Constraint{M: 2, K: 4}, nil)
+	tab := NewBudgetTable()
+	r.mon.AttachBudget(tab)
+	r.defCost = 3 * sim.Millisecond // OK under 5ms, a miss under 2ms
+	r.produce(4, 100*sim.Millisecond)
+	// Activation 2 starts at ~200ms and runs 3ms; the shrink is staged at
+	// 201ms, mid-flight. The table's waker forces a scan pass, so the swap
+	// applies immediately — but only to activations drained afterwards.
+	r.k.At(sim.Time(201*sim.Millisecond), func() {
+		tab.Stage([]DeadlineUpdate{{Segment: "worker", DMon: 2 * sim.Millisecond}})
+	})
+	r.k.Run()
+	if got := tab.AppliedEpoch(); got != 1 {
+		t.Fatalf("applied epoch %d, want 1", got)
+	}
+	if got := seg.Config().DMon; got != 2*sim.Millisecond {
+		t.Fatalf("live config DMon %v, want the staged 2ms", got)
+	}
+	want := []Status{StatusOK, StatusOK, StatusOK, StatusMissed}
+	res := seg.Stats().Resolutions()
+	if len(res) != len(want) {
+		t.Fatalf("%d resolutions, want %d", len(res), len(want))
+	}
+	for i, r := range res {
+		if r.Status != want[i] {
+			t.Fatalf("act %d resolved %v, want %v (in-flight act 2 must keep its 5ms deadline)", i, r.Status, want[i])
+		}
+	}
+}
+
+// TestBudgetSwapSimGrow covers the relax direction: activations missing
+// under the tight initial deadline become OK once a grown budget is staged,
+// and the in-flight activation at the swap still resolves under the
+// deadline it started with.
+func TestBudgetSwapSimGrow(t *testing.T) {
+	r := newTestRig()
+	seg := r.segment(2*sim.Millisecond, weaklyhard.Constraint{M: 4, K: 8}, nil)
+	tab := NewBudgetTable()
+	r.mon.AttachBudget(tab)
+	r.defCost = 3 * sim.Millisecond
+	r.produce(4, 100*sim.Millisecond)
+	r.k.At(sim.Time(101*sim.Millisecond), func() {
+		tab.Stage([]DeadlineUpdate{{Segment: "worker", DMon: 5 * sim.Millisecond}})
+	})
+	r.k.Run()
+	want := []Status{StatusMissed, StatusMissed, StatusOK, StatusOK}
+	res := seg.Stats().Resolutions()
+	if len(res) != len(want) {
+		t.Fatalf("%d resolutions, want %d", len(res), len(want))
+	}
+	for i, r := range res {
+		if r.Status != want[i] {
+			t.Fatalf("act %d resolved %v, want %v (growth must not relax the in-flight act 1)", i, r.Status, want[i])
+		}
+	}
+}
+
+// TestBudgetSwapUnderPreemptionWallclock is the -race battery on the wall
+// timebase: a producer goroutine feeds activations, the monitor loop scans,
+// and a third goroutine stages shrink/grow swaps concurrently. The test
+// asserts the bookkeeping invariants that must survive arbitrary
+// interleavings — every activation resolves exactly once, and after the
+// final (generous) swap settles, late activations resolve OK.
+func TestBudgetSwapUnderPreemptionWallclock(t *testing.T) {
+	clock := walltime.NewClock()
+	sem := walltime.NewSem()
+	mon := NewWallclockMonitor(clock, sem, func() rt.EventRing { return walltime.NewRing(256) }, 1)
+	seg := mon.AddSegment(SegmentConfig{
+		Name: "w", DMon: 5 * time.Millisecond, Period: time.Millisecond,
+		Constraint: weaklyhard.Constraint{M: 100, K: 200},
+	})
+	var mu sync.Mutex
+	resolved := make(map[uint64]int)
+	var last Resolution
+	seg.OnResolve(func(r Resolution) {
+		mu.Lock()
+		resolved[r.Activation]++
+		last = r
+		mu.Unlock()
+	})
+	tab := NewBudgetTable()
+	mon.AttachBudget(tab)
+
+	loop := walltime.NewLoop(clock, sem)
+	loop.Scan = mon.ScanNow
+	loop.Next = mon.Core().NextDeadline
+	loop.Start()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			d := 2 * time.Millisecond
+			if i%2 == 1 {
+				d = 8 * time.Millisecond
+			}
+			tab.Stage([]DeadlineUpdate{{Segment: "w", DMon: d}})
+			time.Sleep(500 * time.Microsecond)
+		}
+		// Settle on a budget no activation below can miss.
+		tab.Stage([]DeadlineUpdate{{Segment: "w", DMon: 50 * time.Millisecond}})
+	}()
+	const n = 100
+	for act := uint64(0); act < n; act++ {
+		seg.StartInjected(act)
+		if act%5 == 0 {
+			// Slow activations straddle the swapped deadlines, so some race
+			// the expiry path while swaps land; fast ones resolve OK.
+			time.Sleep(3 * time.Millisecond)
+		} else {
+			time.Sleep(200 * time.Microsecond)
+		}
+		seg.EndInjected(act)
+	}
+	<-done
+	// Post a tail activation after the generous budget settled.
+	seg.StartInjected(n)
+	time.Sleep(time.Millisecond)
+	seg.EndInjected(n)
+	time.Sleep(20 * time.Millisecond)
+	sem.Wake()
+	time.Sleep(10 * time.Millisecond)
+	loop.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(resolved) != n+1 {
+		t.Fatalf("%d activations resolved, want %d", len(resolved), n+1)
+	}
+	for act, c := range resolved {
+		if c != 1 {
+			t.Fatalf("activation %d resolved %d times", act, c)
+		}
+	}
+	if last.Activation != n || last.Status != StatusOK {
+		t.Fatalf("tail activation resolved %v (act %d), want OK under the settled 50ms budget", last.Status, last.Activation)
+	}
+	if got := seg.Config().DMon; got != 50*sim.Millisecond {
+		t.Fatalf("settled DMon %v, want 50ms", got)
+	}
+}

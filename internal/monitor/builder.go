@@ -72,6 +72,11 @@ type BuiltChain struct {
 	// Monitors holds the per-ECU local monitor threads that were used or
 	// created.
 	Monitors map[*dds.ECU]*LocalMonitor
+	// Budget is the chain's hot-swappable deadline table, attached to every
+	// monitor of the chain. Deadlines staged on it retime the corresponding
+	// segments at runtime (the construction-time DMon values remain in force
+	// until the first Stage).
+	Budget *BudgetTable
 }
 
 // BuildChain validates a chain specification and wires everything the paper
@@ -154,6 +159,7 @@ func BuildChain(spec ChainSpec, monitors map[*dds.ECU]*LocalMonitor) (*BuiltChai
 		Locals:   make(map[string]*LocalSegment),
 		Remotes:  make(map[string]*RemoteMonitor),
 		Monitors: monitors,
+		Budget:   NewBudgetTable(),
 	}
 	segs := make([]MonitoredSegment, len(spec.Segments))
 	for i, s := range spec.Segments {
@@ -172,11 +178,13 @@ func BuildChain(spec ChainSpec, monitors map[*dds.ECU]*LocalMonitor) (*BuiltChai
 			} else {
 				seg.EndOnDeliver(s.EndSub)
 			}
+			lm.AttachBudget(built.Budget)
 			built.Locals[s.Name] = seg
 			segs[i] = seg
 		case KindRemote:
 			lm := lmFor(s.Sub.Node().ECU)
 			rm := NewRemoteMonitor(s.Sub, cfg, s.Variant, lm)
+			rm.AttachBudget(built.Budget)
 			built.Remotes[s.Name] = rm
 			segs[i] = rm
 		}

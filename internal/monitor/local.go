@@ -57,6 +57,10 @@ type LocalMonitor struct {
 	tel          *monTel        // nil when uninstrumented
 	live         *livestats.Set // nil when no live health surface is attached
 	lastScanCost sim.Duration
+
+	// budgets are the hot-swappable deadline tables this monitor serves;
+	// staged versions are folded in at the top of each scan pass.
+	budgets []budgetBinding
 }
 
 // NewLocalMonitor creates the monitor thread of an ECU at the highest
@@ -428,6 +432,9 @@ func (m *LocalMonitor) wake() { m.sched.Wake() }
 // resolve completed activations, and fire due temporal exceptions.
 func (m *LocalMonitor) scan() {
 	now := m.clock.Now()
+	if len(m.budgets) != 0 {
+		m.applyBudgets(now)
+	}
 	m.core.Scan(now)
 	if m.tel != nil {
 		m.tel.scans.Inc()

@@ -81,6 +81,12 @@ type RemoteMonitor struct {
 	lastActSet   bool
 
 	tel *remoteTel // nil when uninstrumented
+
+	// budget is the hot-swappable deadline table (nil = static deadlines);
+	// staged versions are folded in before the next deadline is derived.
+	budget     *BudgetTable
+	budgetSeen uint64
+	budgetName string // table identity; family template name for keyed monitors
 }
 
 // NewRemoteMonitor attaches a synchronization-based monitor to the
@@ -158,6 +164,7 @@ type KeyedRemoteMonitor struct {
 	order    []string
 	onCreate func(writer string, m *RemoteMonitor)
 	sink     *telemetry.Sink // nil when uninstrumented
+	budget   *BudgetTable    // nil = static deadlines
 }
 
 // NewKeyedRemoteMonitor attaches a per-writer monitor family to the
@@ -187,6 +194,8 @@ func (km *KeyedRemoteMonitor) onDeliver(s *dds.Sample) bool {
 		cfg := km.cfg
 		cfg.Name = cfg.Name + "@" + s.Writer
 		m = newDetachedRemoteMonitor(km.sub, cfg, km.variant, km.lm)
+		m.budgetName = km.cfg.Name
+		m.AttachBudget(km.budget)
 		m.AttachTelemetry(km.sink)
 		km.monitors[s.Writer] = m
 		km.order = append(km.order, s.Writer)
@@ -260,6 +269,7 @@ func (m *RemoteMonitor) onDeliver(s *dds.Sample) bool {
 	if s.Recovered {
 		return true // our own issued receive event
 	}
+	m.applyBudget()
 	now := sim.Time(m.clock.Now())
 	m.writer = s.Writer
 	if !m.started {
@@ -364,6 +374,7 @@ func (m *RemoteMonitor) handleTimeout(act uint64, detection sim.Duration) {
 		m.Stop()
 		return
 	}
+	m.applyBudget()
 	m.runHandler(act, detection)
 	// Next deadline: add the publication period to the last set deadline
 	// and restart the timer (Fig. 8).

@@ -3,6 +3,7 @@ package realtime
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"chainmon/internal/dds"
 	"chainmon/internal/monitor"
@@ -27,8 +28,44 @@ func TestCrossTimebaseEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	virt := simReplica(cfg)
+	compareTimebases(t, wall, simReplica(cfg))
+}
 
+// TestCrossTimebaseEquivalenceWithActuations extends the equivalence across
+// two mid-run deadline actuations staged through the hot-swappable budget
+// table. Frame 3 grows the ground deadline to 26 ms — its stalled end still
+// arrives a full period after the start, so the verdict stays missed (the
+// grow is one-sidedly robust against jitter). Frame 5 shrinks it to 1 ms,
+// below the 2 ms work, so frames 5 and 6 miss and the stalled frame 7
+// misses too. The swap barrier keeps every verdict decided by the deadline
+// the activation was armed with, on both timebases.
+func TestCrossTimebaseEquivalenceWithActuations(t *testing.T) {
+	cfg := testConfig()
+	cfg.Swaps = []Swap{
+		{Frame: 3, Segment: SegGround, DMon: 26 * time.Millisecond},
+		{Frame: 5, Segment: SegGround, DMon: time.Millisecond},
+	}
+
+	wall, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt := simReplica(cfg)
+	compareTimebases(t, wall, virt)
+
+	want := "0:ok 1:ok 2:ok 3:missed 4:ok 5:missed 6:missed 7:missed "
+	for _, segs := range [][]SegmentResult{wall.Segments, virt} {
+		if got := verdictTrace(segs[1].Resolutions); got != want {
+			t.Errorf("%s verdicts %q, want %q", segs[1].Name, got, want)
+		}
+		if got := verdictTrace(segs[0].Resolutions); got != "0:ok 1:ok 2:ok 3:ok 4:ok 5:ok 6:ok 7:ok " {
+			t.Errorf("%s verdicts %q, want all ok (actuations target ground only)", segs[0].Name, got)
+		}
+	}
+}
+
+func compareTimebases(t *testing.T, wall Result, virt []SegmentResult) {
+	t.Helper()
 	if len(wall.Segments) != len(virt) {
 		t.Fatalf("segment count: wall %d vs sim %d", len(wall.Segments), len(virt))
 	}
@@ -74,6 +111,11 @@ func simReplica(cfg Config) []SegmentResult {
 	mon := monitor.NewLocalMonitor(ecu)
 	mon.PostCost = sim.Constant(0)
 	mon.ScanCost = sim.Constant(0)
+	var budget *monitor.BudgetTable
+	if len(cfg.Swaps) > 0 {
+		budget = monitor.NewBudgetTable()
+		mon.AttachBudget(budget)
+	}
 
 	results := make([]SegmentResult, 0, 2)
 	segs := make([]*monitor.LocalSegment, 0, 2)
@@ -102,7 +144,13 @@ func simReplica(cfg Config) []SegmentResult {
 	for act := 0; act < cfg.Frames; act++ {
 		a := uint64(act)
 		at := sim.Time(act) * sim.Time(cfg.Period)
+		ups := cfg.swapsFor(act)
 		k.At(at, func() {
+			if ups != nil {
+				// Same ordering contract as Run's producer: staged before
+				// this frame's starts are posted.
+				budget.Stage(ups)
+			}
 			objects.StartInjected(a)
 			ground.StartInjected(a)
 		})

@@ -59,6 +59,25 @@ type Config struct {
 	// shared-start pair). Safe to scrape (Health/PublishMetrics) while the
 	// run is in progress.
 	Live *livestats.Set
+	// Swaps are scripted mid-run deadline actuations: each is staged on the
+	// monitor's budget table immediately before the named frame's start
+	// events are posted. Because every scan applies staged budgets before
+	// draining, the named frame and all later ones are supervised under the
+	// new deadline on both timebases — which is what extends the
+	// cross-timebase equivalence across actuations.
+	Swaps []Swap
+	// Budget, when non-nil, is attached to the monitor so an external
+	// controller (cmd/chainmon -adaptive) can hot-swap deadlines while the
+	// run is in progress. Swaps stage through the same table. When nil and
+	// Swaps are present, Run creates a private table.
+	Budget *monitor.BudgetTable
+}
+
+// Swap is one scripted deadline actuation of a wall-clock run.
+type Swap struct {
+	Frame   int           // staged before this frame's start events
+	Segment string        // SegObjects or SegGround
+	DMon    time.Duration // the new monitored deadline
 }
 
 // DefaultConfig is sized for a CI smoke run: 50 frames at 20 ms ≈ one
@@ -92,7 +111,30 @@ func (c Config) Validate() error {
 	if c.RingCap&(c.RingCap-1) != 0 || c.RingCap <= 0 {
 		return fmt.Errorf("realtime: ring capacity %d must be a power of two", c.RingCap)
 	}
+	for _, sw := range c.Swaps {
+		if sw.Frame < 0 || sw.Frame >= c.Frames {
+			return fmt.Errorf("realtime: swap frame %d outside the run's %d frames", sw.Frame, c.Frames)
+		}
+		if sw.Segment != SegObjects && sw.Segment != SegGround {
+			return fmt.Errorf("realtime: swap names unknown segment %q", sw.Segment)
+		}
+		if sw.DMon <= 0 || sw.DMon >= c.Period {
+			return fmt.Errorf("realtime: swap deadline %v must be in (0, period %v) — a late end is posted one period after its start", sw.DMon, c.Period)
+		}
+	}
 	return nil
+}
+
+// swapsFor collects the updates staged before frame act's start events, in
+// declaration order.
+func (c Config) swapsFor(act int) []monitor.DeadlineUpdate {
+	var ups []monitor.DeadlineUpdate
+	for _, sw := range c.Swaps {
+		if sw.Frame == act {
+			ups = append(ups, monitor.DeadlineUpdate{Segment: sw.Segment, DMon: sw.DMon})
+		}
+	}
+	return ups
 }
 
 // SegmentResult is one segment's verdict accounting after the run.
@@ -147,6 +189,13 @@ func Run(cfg Config, sink *telemetry.Sink) (Result, error) {
 	sem := walltime.NewSem()
 	mon := monitor.NewWallclockMonitor(clock, sem,
 		func() rt.EventRing { return walltime.NewRing(cfg.RingCap) }, cfg.Seed)
+	budget := cfg.Budget
+	if budget == nil && len(cfg.Swaps) > 0 {
+		budget = monitor.NewBudgetTable()
+	}
+	if budget != nil {
+		mon.AttachBudget(budget)
+	}
 
 	traced := sink != nil && sink.Rec != nil
 	var frames *telemetry.Counter
@@ -270,6 +319,14 @@ func Run(cfg Config, sink *telemetry.Sink) (Result, error) {
 			// the ground exception has already fired.
 			ground.EndInjected(uint64(lateGround))
 			lateGround = -1
+		}
+
+		if ups := cfg.swapsFor(act); ups != nil {
+			// Staged before this frame's starts are posted: the scan that
+			// drains them applies the table first, so this frame onward runs
+			// under the new deadlines while in-flight activations keep the
+			// deadline they were armed with.
+			budget.Stage(ups)
 		}
 
 		if traced {

@@ -328,6 +328,58 @@ func (c *Core) fireDue(s *Segment, now Time) {
 	c.due = due[:0]
 }
 
+// SetDeadline hot-swaps the segment's monitored deadline. It must run on
+// the scan thread (the same execution context that calls Scan), which is
+// what makes it lock-free: subsequent drains latch the new deadline into
+// their pending timeouts, so the swap is a natural barrier — in-flight
+// activations keep the deadline they were armed with.
+//
+// With retime=false (the swap-barrier mode monitors use) that barrier is
+// the whole story: on shrink, armed activations still finish under their
+// old, longer deadline; on growth, their heap entries simply fire later
+// than strictly necessary and the lazy-deletion heap tolerates them.
+//
+// With retime=true a shrink additionally re-arms every pending timeout
+// whose deadline would move earlier: the old heap entry goes stale (pruned
+// lazily), a new one is pushed, and the Arm hook runs again so the host
+// can program a tighter timer. Re-timing can only raise exceptions earlier
+// — it can never turn a would-be exception into an OK — so it preserves
+// the zero-false-negative contract. Growth never re-times. The walk reuses
+// the Core's due scratch and orders re-arms by activation, keeping the
+// operation deterministic and allocation-free after warmup.
+func (c *Core) SetDeadline(s *Segment, d Duration, now Time, retime bool) {
+	s.DMon = d
+	if !retime {
+		return
+	}
+	due := c.due[:0]
+	for _, p := range s.pending {
+		if p.start.TS.Add(d) < p.deadline {
+			due = append(due, p)
+		}
+	}
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && due[j].start.Act < due[j-1].start.Act; j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	for i, p := range due {
+		if p.timer != nil {
+			p.timer.Cancel()
+			p.timer = nil
+		}
+		p.deadline = p.start.TS.Add(d)
+		c.deadline.push(deadlineEntry{at: p.deadline, seg: s, act: p.start.Act})
+		if s.hooks.Arm != nil {
+			p.timer = s.hooks.Arm(p.start, p.deadline, now)
+		}
+		due[i] = nil
+	}
+	c.due = due[:0]
+	// Deadlines that moved into the past fire on the host's next Scan pass
+	// (monitors swap at the top of a scan, so that pass is imminent).
+}
+
 // NextDeadline returns the earliest armed deadline, dropping stale heap
 // entries of activations that completed or already fired. The walltime
 // loop sleeps until this time (sem_timedwait in the paper); the simtime

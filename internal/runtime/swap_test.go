@@ -1,0 +1,174 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSwapBarrierKeepsInflightDeadline pins the swap-barrier contract:
+// with retime=false, a shrink applies only to activations drained after
+// the swap — in-flight activations finish under the deadline they were
+// armed with.
+func TestSwapBarrierKeepsInflightDeadline(t *testing.T) {
+	c := NewCore()
+	var oks, expired []uint64
+	s := c.AddSegment("s", 10*time.Millisecond, &SliceRing{}, &SliceRing{}, SegmentHooks{
+		OK:     func(start Event, _ Time) { oks = append(oks, start.Act) },
+		Expire: func(start Event, _, _ Time) { expired = append(expired, start.Act) },
+	})
+	s.StartRing().Post(Event{Act: 1, TS: 0})
+	c.Scan(0) // act 1 armed at deadline 10ms
+	c.SetDeadline(s, 2*time.Millisecond, 0, false)
+	s.StartRing().Post(Event{Act: 2, TS: 0})
+	c.Scan(0) // act 2 armed at deadline 2ms
+	// At 3ms only act 2's (post-swap) deadline has passed; act 1 is still
+	// in flight under its pre-swap 10ms budget.
+	c.Scan(Time(3 * time.Millisecond))
+	s.EndRing().Post(Event{Act: 1, TS: Time(5 * time.Millisecond)})
+	c.Scan(Time(5 * time.Millisecond))
+	if len(oks) != 1 || oks[0] != 1 {
+		t.Fatalf("ok set %v, want [1] (in-flight act must keep its pre-swap deadline)", oks)
+	}
+	if len(expired) != 1 || expired[0] != 2 {
+		t.Fatalf("expired set %v, want [2] (post-swap act must use the new deadline)", expired)
+	}
+}
+
+// TestSwapRetimeShrinkReArms pins the retime path: a shrink with
+// retime=true re-latches pending deadlines, re-runs the Arm hook with the
+// tighter deadline, and fires the exception at the new time.
+func TestSwapRetimeShrinkReArms(t *testing.T) {
+	c := NewCore()
+	var armed []Time
+	var expired []Time
+	s := c.AddSegment("s", 10*time.Millisecond, &SliceRing{}, &SliceRing{}, SegmentHooks{
+		Arm:    func(_ Event, deadline, _ Time) Timer { armed = append(armed, deadline); return nil },
+		Expire: func(_ Event, deadline, _ Time) { expired = append(expired, deadline) },
+	})
+	s.StartRing().Post(Event{Act: 1, TS: 0})
+	c.Scan(0)
+	c.SetDeadline(s, 2*time.Millisecond, 0, true)
+	if want := []Time{Time(10 * time.Millisecond), Time(2 * time.Millisecond)}; len(armed) != 2 || armed[0] != want[0] || armed[1] != want[1] {
+		t.Fatalf("arm trace %v, want %v", armed, want)
+	}
+	if at, ok := c.NextDeadline(); !ok || at != Time(2*time.Millisecond) {
+		t.Fatalf("NextDeadline %v/%v, want 2ms after retimed shrink", at, ok)
+	}
+	c.Scan(Time(3 * time.Millisecond))
+	if len(expired) != 1 || expired[0] != Time(2*time.Millisecond) {
+		t.Fatalf("expire trace %v, want exception at the retimed 2ms deadline", expired)
+	}
+}
+
+// TestSwapRetimeNeverRelaxesInflight pins that retime is shrink-only per
+// activation: growing the budget (even with retime=true) leaves armed
+// deadlines untouched, so an in-flight activation can never be granted
+// more time than it started with.
+func TestSwapRetimeNeverRelaxesInflight(t *testing.T) {
+	c := NewCore()
+	var expired []uint64
+	s := c.AddSegment("s", 2*time.Millisecond, &SliceRing{}, &SliceRing{}, SegmentHooks{
+		Expire: func(start Event, _, _ Time) { expired = append(expired, start.Act) },
+	})
+	s.StartRing().Post(Event{Act: 1, TS: 0})
+	c.Scan(0)
+	c.SetDeadline(s, 20*time.Millisecond, 0, true)
+	if at, ok := c.NextDeadline(); !ok || at != Time(2*time.Millisecond) {
+		t.Fatalf("NextDeadline %v/%v, want the original 2ms deadline", at, ok)
+	}
+	c.Scan(Time(3 * time.Millisecond))
+	if len(expired) != 1 || expired[0] != 1 {
+		t.Fatalf("expired %v, want [1]: growth must not relax the armed deadline", expired)
+	}
+	// A fresh activation drains under the grown deadline.
+	s.StartRing().Post(Event{Act: 2, TS: Time(3 * time.Millisecond)})
+	s.EndRing().Post(Event{Act: 2, TS: Time(13 * time.Millisecond)})
+	c.Scan(Time(13 * time.Millisecond))
+	if len(expired) != 1 {
+		t.Fatalf("expired %v, want act 2 OK under the grown 20ms budget", expired)
+	}
+}
+
+// TestSwapWithPendingTimeoutsBattery churns a segment through repeated
+// shrink/grow swaps with many pending timeouts in flight, in both retime
+// modes, and checks the verdict bookkeeping stays exact: every activation
+// resolves exactly once and the heap prunes back down.
+func TestSwapWithPendingTimeoutsBattery(t *testing.T) {
+	for _, retime := range []bool{false, true} {
+		c := NewCore()
+		resolved := map[uint64]int{}
+		s := c.AddSegment("s", 10*time.Millisecond, &SliceRing{}, &SliceRing{}, SegmentHooks{
+			OK:     func(start Event, _ Time) { resolved[start.Act]++ },
+			Expire: func(start Event, _, _ Time) { resolved[start.Act]++ },
+		})
+		now := Time(0)
+		act := uint64(0)
+		deadlines := []Duration{10 * time.Millisecond, 2 * time.Millisecond, 25 * time.Millisecond, 5 * time.Millisecond}
+		for round := 0; round < 200; round++ {
+			for i := 0; i < 64; i++ {
+				act++
+				s.StartRing().Post(Event{Act: act, TS: now})
+			}
+			c.Scan(now) // 64 pending
+			c.SetDeadline(s, deadlines[round%len(deadlines)], now, retime)
+			// Half the batch completes 3ms in, the rest strands.
+			for a := act - 63; a <= act; a += 2 {
+				s.EndRing().Post(Event{Act: a, TS: now.Add(3 * time.Millisecond)})
+			}
+			now = now.Add(3 * time.Millisecond)
+			c.Scan(now)
+			now = now.Add(30 * time.Millisecond) // past every deadline variant
+			c.Scan(now)
+		}
+		if c.PendingTimeouts() != 0 {
+			t.Fatalf("retime=%v: %d pending timeouts leaked", retime, c.PendingTimeouts())
+		}
+		if int(act) != len(resolved) {
+			t.Fatalf("retime=%v: %d activations resolved, want %d", retime, len(resolved), act)
+		}
+		for a, n := range resolved {
+			if n != 1 {
+				t.Fatalf("retime=%v: act %d resolved %d times", retime, a, n)
+			}
+		}
+		if n := len(c.deadline.entries); n > 64 {
+			t.Fatalf("retime=%v: deadline heap holds %d entries after churn", retime, n)
+		}
+	}
+}
+
+// TestSwapAllocFree extends the allocation gate to the hot-swap path: a
+// cycle that arms 64 timeouts, shrinks with retime (64 re-arms), grows
+// back, and resolves everything must not allocate once warm.
+func TestSwapAllocFree(t *testing.T) {
+	c := NewCore()
+	s := c.AddSegment("s", 10*time.Millisecond, &SliceRing{}, &SliceRing{}, SegmentHooks{})
+	now := Time(0)
+	act := uint64(0)
+	cycle := func() {
+		for i := 0; i < 64; i++ {
+			act++
+			s.StartRing().Post(Event{Act: act, TS: now})
+		}
+		c.Scan(now)
+		c.SetDeadline(s, 2*time.Millisecond, now, true)
+		c.SetDeadline(s, 10*time.Millisecond, now, true)
+		for a := act - 63; a <= act; a++ {
+			s.EndRing().Post(Event{Act: a, TS: now.Add(time.Millisecond)})
+		}
+		now = now.Add(time.Millisecond)
+		c.Scan(now)
+		now = now.Add(30 * time.Millisecond)
+		c.Scan(now)
+	}
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(500, cycle)
+	if allocs != 0 {
+		t.Fatalf("swap cycle allocates %.2f/op, want 0", allocs)
+	}
+	if c.PendingTimeouts() != 0 {
+		t.Fatalf("leftover pending timeouts: %d", c.PendingTimeouts())
+	}
+}

@@ -86,6 +86,10 @@ const (
 	// late publication (Algorithm 2 propagation). Act = activation,
 	// Arg = size in bytes, Label = topic.
 	KindPubSkip
+	// KindBudgetSwap: the adaptive budget controller staged a new deadline
+	// table version (one event per retimed segment). Act = table epoch,
+	// Arg = new monitored deadline in ns, Label = segment.
+	KindBudgetSwap
 
 	kindCount
 )
@@ -111,6 +115,7 @@ var kindNames = [kindCount]string{
 	KindModeChange:    "mode-change",
 	KindNetSend:       "net-send",
 	KindPubSkip:       "pub-skip",
+	KindBudgetSwap:    "budget-swap",
 }
 
 func (k Kind) String() string {
