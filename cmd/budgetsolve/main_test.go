@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"reflect"
 	"testing"
 
@@ -91,5 +92,64 @@ func TestHealthProblemMatchesControllerFrontend(t *testing.T) {
 	}
 	if !reflect.DeepEqual(aOff.Deadlines, aOn.Deadlines) || aOff.Sum != aOn.Sum {
 		t.Fatalf("deadline assignments diverge:\noffline %v\nonline  %v", aOff.Deadlines, aOn.Deadlines)
+	}
+}
+
+// TestFromHealthToleratesMetaAndBlame pins forward compatibility of the
+// -from-health scrape: a /health document carrying the meta and blame
+// sections (emitted by runs with the attribution engine attached) must parse
+// and solve exactly as one without them — the solver reads only the segment
+// quantiles and ignores the extra sections.
+func TestFromHealthToleratesMetaAndBlame(t *testing.T) {
+	c := weaklyhard.Constraint{M: 1, K: 8}
+	set := livestats.NewSet(0.01)
+	segs := []string{"stage/a", "stage/b"}
+	for i, name := range segs {
+		sc := set.Segment(name, c)
+		for j := 0; j < 200; j++ {
+			sc.Observe(float64(2_000_000+i*1_500_000)+float64(j%89)*50_000, false)
+		}
+	}
+	raw, err := json.Marshal(set.Health())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["meta"] = json.RawMessage(`{"version":"v1.2.3","go_version":"go1.24",` +
+		`"scenario":"perception","uptime_ns":123456789,"budget_epoch":2}`)
+	doc["blame"] = json.RawMessage(`{"timebase":"sim","epoch":2,"flows":100,"missed":7,` +
+		`"scopes":[{"scope":"s1a","flows":100,"missed":7,"e2e_total_ns":9,"total_blame_ns":5,` +
+		`"hops":[{"name":"net→dds-recv","count":100,"total_ns":9,"blame_ns":5,"share_ppm":1000000}]}]}`)
+	withExtras, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/health.json"
+	if err := os.WriteFile(path, withExtras, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := readHealth(path)
+	if err != nil {
+		t.Fatalf("readHealth on a meta+blame document: %v", err)
+	}
+	withP, skipped, err := healthProblem(h, segs, 1_000_000, 40_000_000, 0, c)
+	if err != nil || len(skipped) != 0 {
+		t.Fatalf("healthProblem: err=%v skipped=%v", err, skipped)
+	}
+
+	var plain livestats.Health
+	if err := json.Unmarshal(raw, &plain); err != nil {
+		t.Fatal(err)
+	}
+	plainP, _, err := healthProblem(plain, segs, 1_000_000, 40_000_000, 0, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withP, plainP) {
+		t.Fatalf("extra sections changed the synthesized problem:\nwith    %+v\nwithout %+v", withP, plainP)
 	}
 }

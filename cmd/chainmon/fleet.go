@@ -32,6 +32,7 @@ func runFleetCmd(args []string) {
 	full := fs.Bool("full", false, "monitor the full chains (remote + fusion segments) on every vehicle")
 	mixFlag := fs.String("fault-mix", "", "comma-separated chaos campaign names assigned round-robin to vehicles; \"nominal\" is a fault-free slot (e.g. nominal,burst-loss,clock-step)")
 	withOracle := fs.Bool("oracle", false, "cross-check every vehicle with the ground-truth soundness oracle (requires -full); exits nonzero on any false negative")
+	withBlame := fs.Bool("blame", false, "attach a per-vehicle miss-attribution engine and roll the blame summaries up into the fleet result")
 	metricsOut := fs.String("metrics-out", "", "write the fleet rollup as Prometheus text to this file")
 	saturate := fs.Bool("saturate", false, "binary-search the load multiplier at which the fleet misses the -sat-target rate")
 	satLo := fs.Float64("sat-lo", 0.5, "saturation search: lowest load multiplier")
@@ -81,6 +82,7 @@ func runFleetCmd(args []string) {
 		Jitter:  fleet.Uniform(*jitter),
 		Base:    base,
 		Oracle:  *withOracle,
+		Blame:   *withBlame,
 		Workers: *workers,
 	}
 	if *mixFlag != "" {

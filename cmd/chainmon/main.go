@@ -17,11 +17,12 @@
 //	         [-trace-rotate BYTES]
 //	         [-adaptive [-adapt-interval D] [-adapt-guard F]]
 //	chainmon trace convert events.chmtrc out.json
-//	chainmon trace report events.chmtrc
+//	chainmon trace report [-top N] events.chmtrc
+//	chainmon trace report -blame events.chmtrc
 //	chainmon trace report -diff [-diff-rel F] [-diff-abs D] [-diff-miss F] old.chmtrc new.chmtrc
 //	chainmon fleet [-fleet-size N] [-fleet-seed S] [-fleet-jitter J]
 //	         [-parallel W] [-fleet-out fleet.json] [-frames N] [-full]
-//	         [-fault-mix nominal,burst-loss] [-oracle] [-config base.json]
+//	         [-fault-mix nominal,burst-loss] [-oracle] [-blame] [-config base.json]
 //	         [-metrics-out metrics.prom]
 //	         [-saturate [-sat-lo L] [-sat-hi H] [-sat-step S] [-sat-target T]]
 //
@@ -41,8 +42,12 @@
 // "chainmon trace convert" turns such a log into Perfetto-loadable JSON with
 // flow arrows linking each activation's hops; "chainmon trace report"
 // prints the end-to-end latency attribution (per-hop and per-segment
-// quantiles, worst activation path); "trace report -diff" compares two logs
-// and exits nonzero when the new one regressed beyond the thresholds.
+// quantiles, worst activation path — "-top N" keeps the N worst);
+// "trace report -blame" recomputes the per-activation miss attribution
+// (slack ledgers, blame shares, worst-miss exemplars) offline,
+// byte-identical to the run's own /health blame section; "trace report
+// -diff" compares two logs and exits nonzero when the new one regressed
+// beyond the thresholds.
 //
 // Whenever telemetry is on, a live health layer rides along: streaming
 // quantile sketches and (m,k) SLO burn tracking per segment and chain,
@@ -62,6 +67,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -70,11 +76,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
 
 	"chainmon/internal/adaptive"
+	"chainmon/internal/blame"
 	"chainmon/internal/faultinject"
 	"chainmon/internal/livestats"
 	"chainmon/internal/monitor"
@@ -279,12 +288,18 @@ func main() {
 		}
 		live = newLiveSet(sink, stream)
 	}
+	scenarioName := "perception"
+	if *configPath != "" {
+		scenarioName = strings.TrimSuffix(filepath.Base(*configPath), filepath.Ext(*configPath))
+	}
+	eng := attachBlame(sink, stream, live, "sim", scenarioName)
 
 	var ad *adaptOpts
 	if *adaptiveFlag {
 		ad = &adaptOpts{interval: *adaptInterval, guard: *adaptGuard}
 	}
 	sound := runOne(cfg, camp, sink, live, ad, os.Stdout)
+	finishBlame(eng, sink)
 	closeStream(stream, *traceStream)
 	if !sound {
 		os.Exit(1)
@@ -329,6 +344,80 @@ func newLiveSet(sink *telemetry.Sink, stream *telemetry.StreamWriter) *livestats
 	return live
 }
 
+// attachBlame wires the miss-attribution engine into a telemetry-enabled
+// run: fed from the stream writer when one exists (so the engine sees
+// exactly the event sequence that reaches the log — the byte-identity
+// contract with `trace report -blame`), from the flight recorder otherwise.
+// The engine surfaces as the `blame` section of /health, as
+// chainmon_blame_* gauges on every metrics export, and its `meta` sibling
+// section describes the running binary. Returns nil when telemetry is off.
+func attachBlame(sink *telemetry.Sink, stream *telemetry.StreamWriter, live *livestats.Set, timebase, scenario string) *blame.Engine {
+	if sink == nil || sink.Rec == nil {
+		return nil
+	}
+	eng := blame.New(blame.Options{})
+	eng.SetTimebase(timebase)
+	if stream != nil {
+		stream.SetObserver(eng.Feed)
+	} else {
+		sink.Rec.SetObserver(eng.Feed)
+	}
+	sink.AddExportHook(func() {
+		eng.PublishMetrics(sink.Reg, blame.RecorderResolvers(sink.Rec))
+	})
+	if live != nil {
+		live.SetBlameProvider(func() any {
+			return eng.Snapshot(blame.RecorderResolvers(sink.Rec))
+		})
+		live.SetMetaProvider(metaProvider(scenario, eng))
+	}
+	return eng
+}
+
+// metaProvider builds the /health meta section: build identity from the
+// binary itself, the scenario name, uptime, and the budget epoch currently
+// in force (as observed by the blame engine). Consumers that don't know the
+// section (cmd/budgetsolve -from-health) ignore it.
+func metaProvider(scenario string, eng *blame.Engine) func() any {
+	type runMeta struct {
+		Version     string `json:"version"`
+		GoVersion   string `json:"go_version"`
+		Scenario    string `json:"scenario"`
+		UptimeNS    int64  `json:"uptime_ns"`
+		BudgetEpoch uint64 `json:"budget_epoch"`
+	}
+	version, goVersion := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+	}
+	start := time.Now()
+	return func() any {
+		return runMeta{
+			Version:     version,
+			GoVersion:   goVersion,
+			Scenario:    scenario,
+			UptimeNS:    time.Since(start).Nanoseconds(),
+			BudgetEpoch: eng.Epoch(),
+		}
+	}
+}
+
+// finishBlame settles the engine at the end of a simulation run: every
+// still-pending activation is finalized and the exemplar-admission records
+// are appended to the blame-exemplar flight-recorder track (reaching the
+// stream log too when one is attached — the sim writes inline, so this must
+// run before closeStream).
+func finishBlame(eng *blame.Engine, sink *telemetry.Sink) {
+	if eng == nil {
+		return
+	}
+	eng.Flush()
+	eng.FlushExemplars(sink.Rec.Track("blame-exemplar"))
+}
+
 // closeStream flushes and closes the streaming trace before any metrics
 // snapshot is taken, so chainmon_stream_* in -metrics-out reflect the final
 // counts (snapshot and live /metrics must agree at run end).
@@ -353,7 +442,8 @@ func closeStream(stream *telemetry.StreamWriter, path string) {
 func runTraceCmd(args []string) {
 	fail := func() {
 		fmt.Fprintln(os.Stderr, "usage: chainmon trace convert <in.chmtrc> <out.json>")
-		fmt.Fprintln(os.Stderr, "       chainmon trace report <in.chmtrc>")
+		fmt.Fprintln(os.Stderr, "       chainmon trace report [-top N] <in.chmtrc>")
+		fmt.Fprintln(os.Stderr, "       chainmon trace report -blame <in.chmtrc>")
 		fmt.Fprintln(os.Stderr, "       chainmon trace report -diff [-diff-rel F] [-diff-abs D] [-diff-miss F] <old.chmtrc> <new.chmtrc>")
 		os.Exit(2)
 	}
@@ -391,8 +481,24 @@ func runTraceCmd(args []string) {
 		diffRel := fs.Float64("diff-rel", 0, "allowed relative quantile growth (default 0.10)")
 		diffAbs := fs.Duration("diff-abs", 0, "absolute quantile growth floor (default 1ms)")
 		diffMiss := fs.Float64("diff-miss", 0, "allowed per-segment miss-fraction growth (default 0.01)")
+		blameMode := fs.Bool("blame", false, "recompute the per-activation miss attribution from the log and print it as JSON (byte-identical to the run's /health blame section)")
+		topN := fs.Int("top", 1, "keep the worst N activation paths per scope (same ordering as the blame engine's exemplar store)")
 		fs.Parse(args[1:])
 		rest := fs.Args()
+		if *blameMode {
+			if *diffMode || len(rest) != 1 {
+				fail()
+			}
+			l := openLog(rest[0])
+			eng := blame.FromLog(l, blame.Options{})
+			doc := eng.Snapshot(blame.LogResolvers(l))
+			out, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				log.Fatalf("marshaling blame report: %v", err)
+			}
+			os.Stdout.Write(append(out, '\n'))
+			return
+		}
 		if *diffMode {
 			if len(rest) != 2 {
 				fail()
@@ -413,7 +519,7 @@ func runTraceCmd(args []string) {
 		if len(rest) != 1 {
 			fail()
 		}
-		telemetry.BuildReport(openLog(rest[0])).Write(os.Stdout)
+		telemetry.BuildReportTop(openLog(rest[0]), *topN).Write(os.Stdout)
 	default:
 		fail()
 	}
@@ -658,6 +764,12 @@ func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream strin
 	}
 	live := newLiveSet(sink, stream)
 	cfg.Live = live
+	// Blame rides the stream observer: it sees exactly what the drainer
+	// writes to the log, in log order, so the live /health blame section and
+	// an offline `trace report -blame` of the written log agree byte for
+	// byte. Without a stream there is no flight recorder in this mode, and
+	// the engine stays detached (attachBlame returns nil).
+	eng := attachBlame(sink, stream, live, "wall", "realtime")
 
 	var ctrl *adaptive.Controller
 	if ad != nil {
@@ -718,9 +830,19 @@ func runRealtime(cfg realtime.Config, metricsAddr, metricsOut, traceStream strin
 	if err != nil {
 		log.Fatalf("wall-clock run failed: %v", err)
 	}
+	// Exemplar admissions observed so far go to the log through the still-
+	// running drainer; the engine itself is flushed only after the stream
+	// closed, once the observer has seen every drained event — the same
+	// feed-everything-then-flush order an offline replay of the log uses.
+	if eng != nil {
+		eng.FlushExemplars(sink.Rec.Track("blame-exemplar"))
+	}
 	// Final flush before the metrics snapshot, so -metrics-out agrees with
 	// what a last live /metrics scrape would have shown.
 	closeStream(stream, traceStream)
+	if eng != nil {
+		eng.Flush()
+	}
 	res.Summary(os.Stdout)
 	if ctrl != nil {
 		printActuations(os.Stdout, ctrl.History(), startNS)

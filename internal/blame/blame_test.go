@@ -1,0 +1,177 @@
+package blame
+
+import (
+	"testing"
+
+	"chainmon/internal/telemetry"
+)
+
+// feedFlow pushes a minimal budgeted-segment activation into the engine:
+// ring-post-start at start, timeout-arm with an absolute deadline, and a
+// verdict at start+e2e. label is the segment, scope the flow scope.
+func feedFlow(e *Engine, scope uint8, act uint64, start, e2e, budget int64, label uint16, status uint8) {
+	flow := telemetry.FlowID(scope, act)
+	e.Feed(0, telemetry.Event{TS: start, Act: act, Flow: flow,
+		Kind: telemetry.KindRingPostStart, Label: label})
+	e.Feed(1, telemetry.Event{TS: start, Act: act, Arg: start + budget, Flow: flow,
+		Kind: telemetry.KindTimeoutArm, Label: label})
+	e.Feed(1, telemetry.Event{TS: start + e2e, Act: act, Arg: e2e, Flow: flow,
+		Kind: telemetry.KindVerdict, Label: label, Status: status})
+}
+
+func res() Resolvers {
+	return Resolvers{
+		Label: func(id uint16) string { return map[uint16]string{1: "segA", 2: "segB"}[id] },
+		Scope: func(id uint8) string { return "s" },
+	}
+}
+
+// TestLedgerTelescoping pins the conservation invariant on a synthetic
+// activation with hops outside any segment span: consecutive-hop deltas sum
+// exactly to the end-to-end latency, so per scope Σ hop totals == Σ e2e.
+func TestLedgerTelescoping(t *testing.T) {
+	e := New(Options{})
+	flow := telemetry.FlowID(3, 7)
+	// dds-send(0) → net-send(10) → dds-recv(25) → post(30) → arm → verdict(70)
+	e.Feed(0, telemetry.Event{TS: 0, Act: 7, Flow: flow, Kind: telemetry.KindDDSSend})
+	e.Feed(0, telemetry.Event{TS: 10, Act: 7, Flow: flow, Kind: telemetry.KindNetSend})
+	e.Feed(0, telemetry.Event{TS: 25, Act: 7, Flow: flow, Kind: telemetry.KindDDSRecv})
+	e.Feed(1, telemetry.Event{TS: 30, Act: 7, Flow: flow, Kind: telemetry.KindRingPostStart, Label: 1})
+	e.Feed(1, telemetry.Event{TS: 30, Act: 7, Arg: 30 + 15, Flow: flow, Kind: telemetry.KindTimeoutArm, Label: 1})
+	e.Feed(1, telemetry.Event{TS: 70, Act: 7, Arg: 40, Flow: flow,
+		Kind: telemetry.KindVerdict, Label: 1, Status: telemetry.StatusMissed})
+	e.Flush()
+
+	doc := e.Snapshot(res())
+	if doc.Flows != 1 || doc.Missed != 1 {
+		t.Fatalf("flows=%d missed=%d, want 1/1", doc.Flows, doc.Missed)
+	}
+	sc := doc.Scopes[0]
+	if sc.E2ETotalNS != 70 {
+		t.Fatalf("e2e total = %d, want 70", sc.E2ETotalNS)
+	}
+	var sum int64
+	for _, h := range sc.Hops {
+		sum += h.TotalNS
+	}
+	if sum != sc.E2ETotalNS {
+		t.Errorf("Σ hop totals = %d, want e2e total %d (ledger must telescope)", sum, sc.E2ETotalNS)
+	}
+	// The segment dwelled 40 against a budget of 15: 25 of overrun, blamed
+	// on the seg hop; the transit hops carry their full deltas as blame.
+	var seg *SegmentDoc
+	for i := range sc.Segments {
+		if sc.Segments[i].Name == "segA" {
+			seg = &sc.Segments[i]
+		}
+	}
+	if seg == nil {
+		t.Fatal("segment segA missing from slack table")
+	}
+	if seg.BudgetNS != 15 || seg.OverrunNS != 25 || seg.Armed != 1 || seg.Missed != 1 {
+		t.Errorf("segA budget=%d overrun=%d armed=%d missed=%d, want 15/25/1/1",
+			seg.BudgetNS, seg.OverrunNS, seg.Armed, seg.Missed)
+	}
+	// Blame shares sum to ~1e6 (integer division loses at most len(hops)-1).
+	var share int64
+	for _, h := range sc.Hops {
+		share += h.SharePPM
+	}
+	if sc.TotalBlameNS > 0 && (share < 1_000_000-int64(len(sc.Hops)) || share > 1_000_000) {
+		t.Errorf("blame shares sum to %d ppm, want 1e6−ε..1e6", share)
+	}
+}
+
+// TestExemplarEviction pins the deterministic top-K ordering: worse = larger
+// e2e, ties by ascending flow id, capped at K with the best-of-the-worst
+// evicted first.
+func TestExemplarEviction(t *testing.T) {
+	e := New(Options{TopK: 2})
+	feedFlow(e, 1, 1, 0, 10, 5, 1, telemetry.StatusMissed)
+	feedFlow(e, 1, 2, 100, 30, 5, 1, telemetry.StatusMissed)
+	feedFlow(e, 1, 3, 200, 20, 5, 1, telemetry.StatusMissed)
+	feedFlow(e, 1, 4, 300, 30, 5, 1, telemetry.StatusMissed)
+	feedFlow(e, 1, 5, 400, 8, 5, 1, telemetry.StatusOK) // OK: never an exemplar
+	e.Flush()
+
+	doc := e.Snapshot(res())
+	xs := doc.Scopes[0].Exemplars
+	if len(xs) != 2 {
+		t.Fatalf("%d exemplars, want 2", len(xs))
+	}
+	// Both e2e=30; the tie goes to the lower flow id (act 2 before act 4).
+	if xs[0].Act != 2 || xs[1].Act != 4 {
+		t.Errorf("exemplar acts = %d,%d, want 2,4", xs[0].Act, xs[1].Act)
+	}
+	if xs[0].Rank != 1 || xs[1].Rank != 2 {
+		t.Errorf("ranks = %d,%d, want 1,2", xs[0].Rank, xs[1].Rank)
+	}
+	for _, x := range xs {
+		if x.E2ENS != 30 || x.Status != "missed" || x.Primary != "segA" {
+			t.Errorf("exemplar %+v, want e2e=30 status=missed primary=segA", x)
+		}
+	}
+}
+
+// TestEpochTracking pins the budget-epoch bookkeeping: the engine's epoch is
+// the max budget-swap epoch seen, and a segment's slack row records the
+// epoch in force when its activation was armed.
+func TestEpochTracking(t *testing.T) {
+	e := New(Options{})
+	feedFlow(e, 1, 1, 0, 10, 20, 1, telemetry.StatusOK)
+	e.Feed(0, telemetry.Event{TS: 50, Act: 3, Arg: 7, Kind: telemetry.KindBudgetSwap, Label: 1})
+	if e.Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3", e.Epoch())
+	}
+	feedFlow(e, 1, 2, 100, 10, 7, 1, telemetry.StatusOK)
+	e.Flush()
+
+	doc := e.Snapshot(res())
+	if doc.Epoch != 3 {
+		t.Errorf("doc epoch = %d, want 3", doc.Epoch)
+	}
+	seg := doc.Scopes[0].Segments[0]
+	if seg.Epoch != 3 || seg.BudgetNS != 7 {
+		t.Errorf("segment epoch=%d budget=%d, want 3/7 (last arm under the swapped budget)", seg.Epoch, seg.BudgetNS)
+	}
+}
+
+// TestConstantMemoryCaps pins the bounded-state behavior: beyond MaxPending
+// the oldest flow is force-finalized (and counted), and hops past MaxHops
+// are dropped (and counted) rather than retained.
+func TestConstantMemoryCaps(t *testing.T) {
+	e := New(Options{MaxPending: 4, MaxHops: 3, Window: 1 << 30})
+	for act := uint64(1); act <= 8; act++ {
+		flow := telemetry.FlowID(1, act)
+		e.Feed(0, telemetry.Event{TS: int64(act) * 10, Act: act, Flow: flow, Kind: telemetry.KindDDSSend})
+	}
+	for i := 0; i < 10; i++ {
+		flow := telemetry.FlowID(1, 8)
+		e.Feed(0, telemetry.Event{TS: 100 + int64(i), Act: 8, Flow: flow, Kind: telemetry.KindNetSend})
+	}
+	e.Flush()
+	doc := e.Snapshot(res())
+	if doc.Forced == 0 {
+		t.Errorf("forced finalizations = 0, want > 0 with MaxPending 4 and 8 live flows")
+	}
+	if doc.TruncatedHops == 0 {
+		t.Errorf("truncated hops = 0, want > 0 with MaxHops 3 and an 11-hop flow")
+	}
+}
+
+// TestSweepFinalizesOutOfWindow pins the online finalization rule: once
+// activation a+Window arrives in a scope, activation a resolves without a
+// Flush — the live /health path.
+func TestSweepFinalizesOutOfWindow(t *testing.T) {
+	e := New(Options{Window: 4})
+	feedFlow(e, 1, 1, 0, 10, 20, 1, telemetry.StatusOK)
+	doc := e.Snapshot(res())
+	if doc.Flows != 0 {
+		t.Fatalf("flow finalized before its window elapsed")
+	}
+	feedFlow(e, 1, 5, 500, 10, 20, 1, telemetry.StatusOK)
+	doc = e.Snapshot(res())
+	if doc.Flows != 1 {
+		t.Errorf("flows = %d, want 1 (act 1 is 4 activations behind act 5)", doc.Flows)
+	}
+}

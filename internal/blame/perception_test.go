@@ -1,0 +1,141 @@
+package blame_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"chainmon/internal/blame"
+	"chainmon/internal/lidar"
+	"chainmon/internal/monitor"
+	"chainmon/internal/perception"
+	"chainmon/internal/telemetry"
+)
+
+// lossyConfig is a full-chain run with enough network loss to exercise the
+// pub-skip path and recovery handlers on both remote segments, so the
+// attribution ledger sees ok, recovered and missed verdicts.
+func lossyConfig(seed int64) perception.Config {
+	cfg := perception.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Frames = 150
+	cfg.FullChain = true
+	cfg.Network.LossProb = 0.05
+	cfg.Handlers = map[string]monitor.Handler{
+		perception.SegFrontRemote: func(ctx *monitor.ExceptionContext) *monitor.Recovery {
+			return &monitor.Recovery{Data: &perception.FrameData{Meta: heldOver(ctx.Activation), Points: 6000}, Size: 16 * 6000}
+		},
+		perception.SegRearRemote: func(ctx *monitor.ExceptionContext) *monitor.Recovery {
+			return &monitor.Recovery{Data: &perception.FrameData{Meta: heldOver(ctx.Activation), Points: 6000}, Size: 16 * 6000}
+		},
+	}
+	return cfg
+}
+
+func heldOver(act uint64) lidar.FrameMeta {
+	return lidar.FrameMeta{Activation: act, GroundPoints: 6000}
+}
+
+// blamedRun executes the lossy scenario with a direct sim stream writer and
+// an online blame engine observing it — exactly the wiring the chainmon
+// binary uses for -trace-stream runs — and returns the online snapshot plus
+// the raw log bytes. The engine sees precisely the events, in precisely the
+// order, that reach the log: that is the byte-identity contract.
+func blamedRun(t *testing.T, seed int64) (blame.Doc, []byte) {
+	t.Helper()
+	sink := telemetry.NewSink(1 << 14)
+	var buf bytes.Buffer
+	sw, err := telemetry.NewStreamWriter(&buf, "sim", telemetry.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := blame.New(blame.Options{})
+	eng.SetTimebase("sim")
+	sw.SetObserver(eng.Feed)
+	sink.Rec.SetStream(sw) // before AttachTelemetry: tracks register on creation
+	s := perception.Build(lossyConfig(seed))
+	perception.AttachTelemetry(s, sink)
+	s.Run()
+	eng.Flush()
+	eng.FlushExemplars(sink.Rec.Track("blame-exemplar"))
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return eng.Snapshot(blame.RecorderResolvers(sink.Rec)), buf.Bytes()
+}
+
+// TestSimOnlineOfflineByteIdentical pins the replay contract on the sim
+// timebase: the online snapshot taken at the end of a streamed run and the
+// offline snapshot recomputed from the written log marshal to identical
+// bytes — same ledgers, same sketch quantiles, same exemplars, same shares.
+func TestSimOnlineOfflineByteIdentical(t *testing.T) {
+	online, raw := blamedRun(t, 11)
+	l, err := telemetry.ReadLog(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := blame.FromLog(l, blame.Options{}).Snapshot(blame.LogResolvers(l))
+
+	got, err := json.MarshalIndent(online, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(offline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("online and offline blame reports diverge\nonline:\n%s\noffline:\n%s", got, want)
+	}
+	if online.Timebase != "sim" || offline.Timebase != "sim" {
+		t.Errorf("timebases = %q/%q, want sim/sim", online.Timebase, offline.Timebase)
+	}
+	if online.Flows == 0 || online.Missed == 0 {
+		t.Fatalf("flows=%d missed=%d: the lossy run must attribute misses", online.Flows, online.Missed)
+	}
+}
+
+// TestLedgerConservationOnRealRun pins the conservation invariant on the
+// real full-chain run, covering the pub-skip and recovery paths: in every
+// scope, per-hop ledger totals sum exactly to the end-to-end total — the
+// ledger partitions each activation's latency, it never double-counts or
+// leaks time.
+func TestLedgerConservationOnRealRun(t *testing.T) {
+	doc, raw := blamedRun(t, 23)
+	if len(doc.Scopes) == 0 {
+		t.Fatal("no scopes attributed")
+	}
+	for _, sc := range doc.Scopes {
+		var sum int64
+		for _, h := range sc.Hops {
+			sum += h.TotalNS
+		}
+		if sum != sc.E2ETotalNS {
+			t.Errorf("scope %s: Σ hop totals = %d, want e2e total %d", sc.Scope, sum, sc.E2ETotalNS)
+		}
+		var share int64
+		for _, h := range sc.Hops {
+			share += h.SharePPM
+		}
+		if sc.TotalBlameNS > 0 && (share < 1_000_000-int64(len(sc.Hops)) || share > 1_000_000) {
+			t.Errorf("scope %s: blame shares sum to %d ppm, want 1e6−ε..1e6", sc.Scope, share)
+		}
+	}
+	// The conservation invariant above must have held over recovered
+	// activations too: confirm the run actually exercised the recovery path.
+	l, err := telemetry.ReadLog(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := 0
+	for _, tr := range l.Tracks() {
+		for _, ev := range tr.Events {
+			if ev.Kind == telemetry.KindVerdict && ev.Status == telemetry.StatusRecovered {
+				recovered++
+			}
+		}
+	}
+	if recovered == 0 {
+		t.Error("no recovered verdicts in the run despite recovery handlers under 5% loss")
+	}
+}

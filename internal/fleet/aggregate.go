@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"chainmon/internal/blame"
 	"chainmon/internal/livestats"
 )
 
@@ -96,7 +97,10 @@ type Result struct {
 	Fleet   Aggregate        `json:"fleet"`
 	// Knee is the saturation analyzer's report (nil unless a saturation
 	// search ran).
-	Knee     *Knee           `json:"knee,omitempty"`
+	Knee *Knee `json:"knee,omitempty"`
+	// Blame is the fleet-wide miss-attribution rollup: the per-vehicle
+	// summaries merged in vehicle order (nil unless Config.Blame).
+	Blame    *blame.Summary  `json:"blame,omitempty"`
 	Vehicles []VehicleResult `json:"vehicles"`
 }
 
@@ -139,6 +143,14 @@ func aggregate(cfg Config, vehicles []VehicleResult) *Result {
 			r.Classes = append(r.Classes, ca)
 		}
 		r.Fleet.PerVehicle = distributionOf(merged)
+	}
+	if cfg.Blame {
+		sums := make([]*blame.Summary, 0, len(vehicles))
+		for _, v := range vehicles {
+			sums = append(sums, v.Blame)
+		}
+		merged := blame.MergeSummaries(sums)
+		r.Blame = &merged
 	}
 	return r
 }
@@ -205,6 +217,9 @@ func (r *Result) Summary() string {
 	if r.Oracle {
 		fmt.Fprintf(&b, "oracle fleet-wide: falseNeg=%d falsePos=%d\n",
 			r.FalseNegatives(), r.FalsePositives())
+	}
+	if r.Blame != nil {
+		fmt.Fprintf(&b, "fleet blame: %s\n", r.Blame)
 	}
 	if errs := r.Errs(); len(errs) > 0 {
 		for _, v := range errs {

@@ -21,6 +21,7 @@ package fleet
 import (
 	"fmt"
 
+	"chainmon/internal/blame"
 	"chainmon/internal/faultinject"
 	"chainmon/internal/lidar"
 	"chainmon/internal/monitor"
@@ -28,6 +29,7 @@ import (
 	"chainmon/internal/parallel"
 	"chainmon/internal/perception"
 	"chainmon/internal/sim"
+	"chainmon/internal/telemetry"
 )
 
 // JitterSpec declares the relative jitter bound of every per-vehicle
@@ -217,6 +219,10 @@ type VehicleResult struct {
 
 	Segments []SegmentCount `json:"segments"`
 
+	// Blame is the vehicle's compact miss-attribution rollup (nil unless
+	// the fleet ran with Config.Blame).
+	Blame *blame.Summary `json:"blame,omitempty"`
+
 	// Oracle cross-check outcome (OracleChecked false when disabled).
 	OracleChecked  bool     `json:"oracle_checked,omitempty"`
 	FalseNegatives int      `json:"false_negatives,omitempty"`
@@ -263,9 +269,28 @@ func RunVehicle(base perception.Config, p VehicleParams, camp faultinject.Campai
 
 // RunVehicle runs one vehicle reusing the arena's scratch buffers.
 func (a *VehicleArena) RunVehicle(base perception.Config, p VehicleParams, camp faultinject.Campaign, withOracle bool) VehicleResult {
+	return a.runVehicle(base, p, camp, withOracle, false)
+}
+
+func (a *VehicleArena) runVehicle(base perception.Config, p VehicleParams, camp faultinject.Campaign, withOracle, withBlame bool) VehicleResult {
 	res := VehicleResult{Vehicle: p.Vehicle, Seed: p.Seed, Campaign: camp.Name, Params: p}
 	cfg := p.Apply(base)
 	sys := perception.Build(cfg)
+
+	// Per-vehicle blame: a private sink feeds a private engine through the
+	// flight-recorder observer; the vehicle retains only the compact
+	// Summary, so fleet memory stays flat in vehicle count. The summary is
+	// a pure function of the vehicle seed, so the fleet rollup is
+	// byte-identical between serial and parallel runs.
+	var eng *blame.Engine
+	var sink *telemetry.Sink
+	if withBlame {
+		sink = telemetry.NewSink(telemetry.DefaultTrackCap)
+		eng = blame.New(blame.Options{})
+		eng.SetTimebase("sim")
+		sink.Rec.SetObserver(eng.Feed)
+		perception.AttachTelemetry(sys, sink)
+	}
 
 	var orc *faultinject.Oracle
 	if withOracle {
@@ -293,6 +318,11 @@ func (a *VehicleArena) RunVehicle(base perception.Config, p VehicleParams, camp 
 	}
 	if res.Activations > 0 {
 		res.MissRate = float64(res.Exceptions()) / float64(res.Activations)
+	}
+	if eng != nil {
+		eng.Flush()
+		s := eng.Summarize(blame.RecorderResolvers(sink.Rec))
+		res.Blame = &s
 	}
 
 	if orc != nil {
@@ -329,6 +359,11 @@ type Config struct {
 	// Oracle runs the ground-truth soundness oracle on every vehicle
 	// (requires a monitored full-chain Base).
 	Oracle bool
+	// Blame attaches a per-vehicle miss-attribution engine and rolls the
+	// per-vehicle summaries up into the fleet result. Off by default: it
+	// attaches full telemetry to every vehicle sim, which nominal fleet
+	// sweeps don't pay for.
+	Blame bool
 	// Workers is the worker-pool size (≤0: GOMAXPROCS, 1: serial).
 	Workers int
 }
@@ -367,7 +402,7 @@ func Run(cfg Config) (*Result, error) {
 			if len(cfg.Mix) > 0 {
 				camp = cfg.Mix[i%len(cfg.Mix)]
 			}
-			return a.RunVehicle(cfg.Base, p, camp, cfg.Oracle)
+			return a.runVehicle(cfg.Base, p, camp, cfg.Oracle, cfg.Blame)
 		})
 	return aggregate(cfg, vehicles), nil
 }

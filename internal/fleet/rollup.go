@@ -27,6 +27,7 @@ func rollupDist(reg *telemetry.Registry, name, help string, d Distribution, labe
 //	chainmon_fleet_miss_rate_ppm            (fleet-wide rate)
 //	chainmon_fleet_vehicle_miss_rate_ppm{q} (per-vehicle distribution)
 //	chainmon_fleet_class_*{campaign}        (per-fault-class breakdown)
+//	chainmon_fleet_blame_*                  (miss-attribution rollup, with Config.Blame)
 //	chainmon_fleet_oracle_false_{negatives,positives}_total
 func (r *Result) Rollup(reg *telemetry.Registry) {
 	reg.Gauge("chainmon_fleet_vehicles_total", "vehicles simulated in the fleet run").Set(int64(r.Fleet.Vehicles))
@@ -49,6 +50,20 @@ func (r *Result) Rollup(reg *telemetry.Registry) {
 			"ground-truth oracle false negatives across the fleet").Add(uint64(r.FalseNegatives()))
 		reg.Counter("chainmon_fleet_oracle_false_positives_total",
 			"ground-truth oracle false positives across the fleet").Add(uint64(r.FalsePositives()))
+	}
+
+	if r.Blame != nil {
+		reg.Counter("chainmon_fleet_blame_flows_total",
+			"activations attributed by the per-vehicle blame engines").Add(r.Blame.Flows)
+		reg.Counter("chainmon_fleet_blame_missed_total",
+			"attributed activations across the fleet whose worst verdict was a miss").Add(r.Blame.Missed)
+		reg.Gauge("chainmon_fleet_blame_ns",
+			"total blamed overrun time across the fleet in nanoseconds").Set(r.Blame.BlameNS)
+		for _, h := range r.Blame.Hops {
+			l := telemetry.L("hop", h.Name)
+			reg.Gauge("chainmon_fleet_blame_share_ppm",
+				"fraction of the fleet's blamed overrun attributable to a hop, in ppm", l...).Set(h.SharePPM)
+		}
 	}
 
 	if r.Knee != nil {

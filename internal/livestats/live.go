@@ -26,6 +26,8 @@ type Set struct {
 	names    []string // creation order; exports sort anyway
 	drops    []dropSource
 	budget   func() any // adaptive-controller /health section, nil = absent
+	blame    func() any // blame-engine /health section, nil = absent
+	meta     func() any // run self-description /health section, nil = absent
 }
 
 type dropSource struct {
@@ -104,6 +106,24 @@ func (s *Set) scope(name, kind string, c weaklyhard.Constraint) *Scope {
 func (s *Set) SetBudgetProvider(fn func() any) {
 	s.mu.Lock()
 	s.budget = fn
+	s.mu.Unlock()
+}
+
+// SetBlameProvider registers the blame engine's /health section provider
+// (a blame.Doc snapshot). Like the budget provider it is fetched outside
+// the set's lock, so the engine may lock its own state.
+func (s *Set) SetBlameProvider(fn func() any) {
+	s.mu.Lock()
+	s.blame = fn
+	s.mu.Unlock()
+}
+
+// SetMetaProvider registers the run self-description /health section
+// provider (build version, scenario, uptime, budget epoch). Fetched
+// outside the set's lock.
+func (s *Set) SetMetaProvider(fn func() any) {
+	s.mu.Lock()
+	s.meta = fn
 	s.mu.Unlock()
 }
 
@@ -226,6 +246,14 @@ type Health struct {
 	// provider when one is registered. Typed as any because livestats sits
 	// below the controller in the dependency order.
 	Budget any `json:"budget,omitempty"`
+	// Blame is the blame engine's attribution snapshot (a blame.Doc),
+	// filled by the blame provider when one is registered. Same typing
+	// rationale as Budget.
+	Blame any `json:"blame,omitempty"`
+	// Meta is the run's self-description (build version, scenario name,
+	// uptime, current budget epoch), filled by the meta provider.
+	// Consumers that solve over /health documents ignore it.
+	Meta any `json:"meta,omitempty"`
 }
 
 // Health captures a point-in-time snapshot of the whole set. Map keys are
@@ -233,11 +261,17 @@ type Health struct {
 // document is deterministic.
 func (s *Set) Health() Health {
 	s.mu.Lock()
-	budget := s.budget
+	budget, blame, meta := s.budget, s.blame, s.meta
 	s.mu.Unlock()
-	var budgetDoc any
+	var budgetDoc, blameDoc, metaDoc any
 	if budget != nil {
 		budgetDoc = budget() // outside the lock: the provider locks its own state
+	}
+	if blame != nil {
+		blameDoc = blame()
+	}
+	if meta != nil {
+		metaDoc = meta()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -272,6 +306,8 @@ func (s *Set) Health() Health {
 		}
 	}
 	h.Budget = budgetDoc
+	h.Blame = blameDoc
+	h.Meta = metaDoc
 	return h
 }
 

@@ -6,6 +6,7 @@ import (
 
 	rt "chainmon/internal/runtime"
 	"chainmon/internal/sim"
+	"chainmon/internal/telemetry"
 )
 
 // DeadlineUpdate retimes one segment's monitored deadline d_mon. The
@@ -167,6 +168,17 @@ func (m *LocalMonitor) applyBudgets(now rt.Time) {
 				if s.cfg.Name == u.Segment && s.cfg.DMon != u.DMon {
 					s.cfg.DMon = u.DMon
 					m.core.SetDeadline(s.core, rt.Duration(u.DMon), now, false)
+					// Record the swap on the monitor track so offline
+					// consumers (the blame engine's epoch accounting) see
+					// deadline changes in order with the arms they retime,
+					// whether the swap came from the adaptive controller or
+					// a scripted actuation.
+					if m.tel != nil && s.tel != nil {
+						m.tel.track.Append(telemetry.Event{
+							TS: int64(now), Act: v.epoch, Arg: int64(u.DMon),
+							Kind: telemetry.KindBudgetSwap, Label: s.tel.label,
+						})
+					}
 				}
 			}
 		}

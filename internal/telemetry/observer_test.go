@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRecorderObserverOrder pins the recorder-side observer contract: the
+// observer sees every append, tagged with its track id, in the appending
+// goroutine's program order.
+func TestRecorderObserverOrder(t *testing.T) {
+	r := NewRecorder(16)
+	type seen struct {
+		track uint16
+		ev    Event
+	}
+	var got []seen
+	r.SetObserver(func(track uint16, ev Event) { got = append(got, seen{track, ev}) })
+	a := r.Track("a")
+	b := r.Track("b")
+	a.Append(Event{TS: 1, Act: 1, Kind: KindDDSSend})
+	b.Append(Event{TS: 2, Act: 1, Kind: KindNetSend})
+	a.Append(Event{TS: 3, Act: 2, Kind: KindDDSSend})
+
+	if len(got) != 3 {
+		t.Fatalf("observer saw %d events, want 3", len(got))
+	}
+	wantTracks := []uint16{a.ID(), b.ID(), a.ID()}
+	wantTS := []int64{1, 2, 3}
+	for i, s := range got {
+		if s.track != wantTracks[i] || s.ev.TS != wantTS[i] {
+			t.Errorf("event %d: track=%d ts=%d, want track=%d ts=%d",
+				i, s.track, s.ev.TS, wantTracks[i], wantTS[i])
+		}
+	}
+}
+
+// TestRecorderObserverAfterTracksPanics pins the installation rule: the
+// observer must be wired before the first track exists, so no append can
+// slip past it.
+func TestRecorderObserverAfterTracksPanics(t *testing.T) {
+	r := NewRecorder(16)
+	r.Track("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("SetObserver after track creation must panic")
+		}
+	}()
+	r.SetObserver(func(uint16, Event) {})
+}
+
+// TestStreamObserverMatchesReplay pins the stream-side observer contract the
+// blame engine's byte-identity rests on: the observer sees exactly the
+// events, in exactly the order, that a replay of the written log yields.
+func TestStreamObserverMatchesReplay(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, "sim", StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type seen struct {
+		track uint16
+		ev    Event
+	}
+	var online []seen
+	sw.SetObserver(func(track uint16, ev Event) { online = append(online, seen{track, ev}) })
+	r := NewRecorder(16)
+	r.SetStream(sw)
+	a := r.Track("a")
+	b := r.Track("b")
+	for i := 0; i < 5; i++ {
+		a.Append(Event{TS: int64(10 * i), Act: uint64(i), Kind: KindRingPostStart})
+		b.Append(Event{TS: int64(10*i + 1), Act: uint64(i), Kind: KindVerdict})
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed []seen
+	l.Replay(func(track uint16, ev Event) { replayed = append(replayed, seen{track, ev}) })
+
+	if len(online) != len(replayed) {
+		t.Fatalf("observer saw %d events, replay yields %d", len(online), len(replayed))
+	}
+	for i := range online {
+		if online[i] != replayed[i] {
+			t.Errorf("event %d: observer %+v, replay %+v", i, online[i], replayed[i])
+		}
+	}
+}
+
+// TestAppendDetachedNoAlloc is the disabled-path cost gate: with no stream
+// and no observer attached, Track.Append must stay allocation-free — the
+// blame hooks' entire detached footprint is one nil check.
+func TestAppendDetachedNoAlloc(t *testing.T) {
+	r := NewRecorder(1 << 10)
+	tr := r.Track("hot")
+	ev := Event{TS: 1, Act: 1, Kind: KindRingPostStart}
+	if avg := testing.AllocsPerRun(1000, func() { tr.Append(ev) }); avg != 0 {
+		t.Errorf("detached Append allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -26,6 +26,7 @@ type Recorder struct {
 	scopeIDs map[string]uint8 // scope name → id
 	streams  map[string]uint8 // event-stream name (topic, segment) → scope id
 	stream   *StreamWriter    // nil when events are not teed to disk
+	observer func(track uint16, ev Event)
 }
 
 // NewRecorder creates a recorder whose tracks hold trackCap events each,
@@ -73,6 +74,24 @@ func (r *Recorder) SetStream(sw *StreamWriter) {
 	}
 }
 
+// SetObserver tees every future Append to fn, in append order. Like
+// SetStream it must be called before any track is created (tracks capture
+// the observer at creation). The callback runs on the appending goroutine;
+// with multiple appending goroutines it must be internally synchronized.
+// When a stream writer is also attached, prefer StreamWriter.SetObserver —
+// it sees the log's drain order, which is what offline replay reproduces.
+func (r *Recorder) SetObserver(fn func(track uint16, ev Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.tracks) > 0 {
+		panic("telemetry: SetObserver must be called before any track is created")
+	}
+	r.observer = fn
+}
+
 // Stream returns the attached stream writer (nil when events stay in
 // memory only).
 func (r *Recorder) Stream() *StreamWriter {
@@ -101,6 +120,7 @@ func (r *Recorder) Track(name string) *Track {
 		id:   uint16(len(r.tracks)),
 		buf:  make([]Event, r.trackCap),
 		mask: uint64(r.trackCap - 1),
+		obs:  r.observer,
 	}
 	if r.stream != nil {
 		t.sw = r.stream
@@ -236,9 +256,11 @@ type Track struct {
 	n atomic.Uint64
 	// sw tees appends to the attached stream writer (nil when not
 	// streaming); ring is the per-track staging ring of a background
-	// writer (nil in direct mode).
+	// writer (nil in direct mode). obs is the recorder-level observer
+	// captured at track creation (nil when none).
 	sw   *StreamWriter
 	ring *streamRing
+	obs  func(track uint16, ev Event)
 }
 
 // Name returns the track name.
@@ -271,6 +293,9 @@ func (t *Track) Append(ev Event) {
 	t.n.Store(n + 1)
 	if t.sw != nil {
 		t.sw.tee(t, ev)
+	}
+	if t.obs != nil {
+		t.obs(t.id, ev)
 	}
 }
 

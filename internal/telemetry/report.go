@@ -39,6 +39,25 @@ type PathStep struct {
 	Label  string
 }
 
+// FlowPath is one ranked activation path of a scope's worst-N list.
+type FlowPath struct {
+	Act   uint64
+	Flow  uint32
+	Total time.Duration
+	Path  []PathStep
+}
+
+// FlowWorse is the shared "worse activation" ordering used by both the
+// report's worst-N path list and the blame engine's exemplar store, so the
+// online top-K and the offline -top agree: larger end-to-end total first,
+// ties broken by ascending flow id (the earlier activation wins).
+func FlowWorse(totalA int64, flowA uint32, totalB int64, flowB uint32) bool {
+	if totalA != totalB {
+		return totalA > totalB
+	}
+	return flowA < flowB
+}
+
 // ScopeReport is the attribution of one flow scope (one chain).
 type ScopeReport struct {
 	Scope string
@@ -53,6 +72,9 @@ type ScopeReport struct {
 	WorstAct   uint64
 	WorstTotal time.Duration
 	WorstPath  []PathStep
+	// TopPaths are the worst-N activation paths in FlowWorse order;
+	// TopPaths[0] always mirrors WorstAct/WorstTotal/WorstPath.
+	TopPaths []FlowPath
 }
 
 // SegmentReport is one segment's verdict accounting recomputed from trace
@@ -74,8 +96,16 @@ type flowHop struct {
 	label uint16
 }
 
-// BuildReport derives the attribution report from a parsed log.
-func BuildReport(l *Log) *Report {
+// BuildReport derives the attribution report from a parsed log, keeping the
+// single worst activation path per scope.
+func BuildReport(l *Log) *Report { return BuildReportTop(l, 1) }
+
+// BuildReportTop derives the attribution report keeping the worst topN
+// activation paths per scope (FlowWorse order).
+func BuildReportTop(l *Log, topN int) *Report {
+	if topN < 1 {
+		topN = 1
+	}
 	rep := &Report{Timebase: l.Timebase, Events: l.Events()}
 
 	flows := map[uint32][]flowHop{}
@@ -175,9 +205,8 @@ func BuildReport(l *Log) *Report {
 			}
 			*lats = append(*lats, hops[i].ts-hops[i-1].ts)
 		}
-		if time.Duration(total) > agg.rep.WorstTotal || agg.rep.WorstPath == nil {
-			agg.rep.WorstTotal = time.Duration(total)
-			agg.rep.WorstAct = FlowAct(id)
+		top := agg.rep.TopPaths
+		if len(top) < topN || FlowWorse(total, id, int64(top[len(top)-1].Total), top[len(top)-1].Flow) {
 			path := make([]PathStep, len(hops))
 			for i, h := range hops {
 				path[i] = PathStep{
@@ -187,7 +216,18 @@ func BuildReport(l *Log) *Report {
 					Label:  l.LabelName(h.label),
 				}
 			}
-			agg.rep.WorstPath = path
+			fp := FlowPath{Act: FlowAct(id), Flow: id, Total: time.Duration(total), Path: path}
+			pos := len(top)
+			for pos > 0 && FlowWorse(total, id, int64(top[pos-1].Total), top[pos-1].Flow) {
+				pos--
+			}
+			top = append(top, FlowPath{})
+			copy(top[pos+1:], top[pos:])
+			top[pos] = fp
+			if len(top) > topN {
+				top = top[:topN]
+			}
+			agg.rep.TopPaths = top
 		}
 	}
 
@@ -198,6 +238,11 @@ func BuildReport(l *Log) *Report {
 		for _, name := range agg.hopSeen {
 			st := hopStat(name, *agg.hops[name])
 			agg.rep.Hops = append(agg.rep.Hops, &st)
+		}
+		if len(agg.rep.TopPaths) > 0 {
+			agg.rep.WorstAct = agg.rep.TopPaths[0].Act
+			agg.rep.WorstTotal = agg.rep.TopPaths[0].Total
+			agg.rep.WorstPath = agg.rep.TopPaths[0].Path
 		}
 		rep.Scopes = append(rep.Scopes, agg.rep)
 	}
@@ -246,9 +291,13 @@ func (r *Report) Write(w io.Writer) {
 		for _, h := range sc.Hops {
 			fmt.Fprintf(w, "  %-28s %s\n", h.Name, h.row())
 		}
-		if sc.WorstPath != nil {
-			fmt.Fprintf(w, "  worst activation %d (total %v):\n", sc.WorstAct, sc.WorstTotal)
-			for _, p := range sc.WorstPath {
+		for rank, fp := range sc.TopPaths {
+			if rank == 0 {
+				fmt.Fprintf(w, "  worst activation %d (total %v):\n", fp.Act, fp.Total)
+			} else {
+				fmt.Fprintf(w, "  #%d worst activation %d (total %v):\n", rank+1, fp.Act, fp.Total)
+			}
+			for _, p := range fp.Path {
 				step := p.Kind.String()
 				if p.Label != "" {
 					step += " (" + p.Label + ")"

@@ -92,6 +92,14 @@ type StreamWriter struct {
 	stop       chan struct{}
 	done       chan struct{}
 
+	// observer sees every event record exactly as it reaches the log, in
+	// log order (direct mode: append order; background mode: drain order).
+	// It runs under sw.mu, so it must never call back into the Recorder or
+	// append to a track. An offline replay of the written log through the
+	// same observer sees an identical event sequence — that is the contract
+	// the blame engine's online/offline byte-identity rests on.
+	observer func(track uint16, ev Event)
+
 	events  uint64 // guarded by mu
 	bytes   uint64
 	flushes atomic.Uint64
@@ -263,7 +271,21 @@ func (sw *StreamWriter) writeEventLocked(track uint16, ev Event) {
 		sw.eventsC.Inc()
 		sw.bytesC.Add(uint64(len(b)))
 	}
+	if sw.observer != nil {
+		sw.observer(track, ev)
+	}
 	sw.maybeRotateLocked()
+}
+
+// SetObserver installs a callback invoked for every event record written to
+// the log, with exactly the records and ordering the log gets (events dropped
+// from a full staging ring are invisible to both). Install before the run
+// starts. The callback runs under the writer lock: it must be fast and must
+// not call back into the Recorder or the writer.
+func (sw *StreamWriter) SetObserver(fn func(track uint16, ev Event)) {
+	sw.mu.Lock()
+	sw.observer = fn
+	sw.mu.Unlock()
 }
 
 // writeRecordLocked encodes one non-event record; callers hold sw.mu.

@@ -21,6 +21,16 @@ type Log struct {
 	scopes []string
 	tracks []*LogTrack
 	byID   map[uint16]*LogTrack
+	// order records the global file order of events across tracks — each
+	// entry points at one event of one track — so Replay can re-feed a
+	// consumer with exactly the sequence the online stream observer saw.
+	order []logEvRef
+}
+
+// logEvRef locates one event in its track's Events slice.
+type logEvRef struct {
+	track uint16
+	idx   uint32
 }
 
 // LogTrack is one track of a parsed log.
@@ -134,6 +144,7 @@ func (l *Log) readFrom(r io.Reader) error {
 			if !ok {
 				return fmt.Errorf("telemetry: event references undefined track %d", trackID)
 			}
+			l.order = append(l.order, logEvRef{track: trackID, idx: uint32(len(t.Events))})
 			t.Events = append(t.Events, Event{
 				TS:     int64(binary.LittleEndian.Uint64(payload[2:10])),
 				Act:    binary.LittleEndian.Uint64(payload[10:18]),
@@ -155,6 +166,24 @@ func (l *Log) readFrom(r io.Reader) error {
 
 // Tracks returns the log's tracks in definition (creation) order.
 func (l *Log) Tracks() []*LogTrack { return l.tracks }
+
+// Replay invokes fn for every event in global file order — the exact order
+// the StreamWriter encoded them, which is the order its online observer saw.
+// Rotated log sets concatenate segments in rotation order, so the property
+// holds across rotation too.
+func (l *Log) Replay(fn func(track uint16, ev Event)) {
+	for _, ref := range l.order {
+		fn(ref.track, l.byID[ref.track].Events[ref.idx])
+	}
+}
+
+// TrackName resolves a track id to its name ("" when undefined).
+func (l *Log) TrackName(id uint16) string {
+	if t, ok := l.byID[id]; ok {
+		return t.Name
+	}
+	return ""
+}
 
 // LabelName resolves an interned label id of the log.
 func (l *Log) LabelName(id uint16) string {

@@ -90,6 +90,12 @@ const (
 	// table version (one event per retimed segment). Act = table epoch,
 	// Arg = new monitored deadline in ns, Label = segment.
 	KindBudgetSwap
+	// KindBlameExemplar: the blame engine admitted an activation into its
+	// worst-exemplar store. Act = activation, Arg = end-to-end latency in
+	// ns, Label = the primary blamed segment, Status = worst verdict.
+	// Flow is deliberately 0 so exemplar records never join the causal
+	// flows they describe.
+	KindBlameExemplar
 
 	kindCount
 )
@@ -116,6 +122,7 @@ var kindNames = [kindCount]string{
 	KindNetSend:       "net-send",
 	KindPubSkip:       "pub-skip",
 	KindBudgetSwap:    "budget-swap",
+	KindBlameExemplar: "blame-exemplar",
 }
 
 func (k Kind) String() string {
